@@ -1,0 +1,41 @@
+//! Benchmarks intra-stage tuning: the full Pareto-frontier computation for
+//! one pipeline-stage candidate — the unit of work behind Fig. 16's
+//! tuning-time results.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mist::presets::{gpt3, AttentionImpl, ModelSize};
+use mist::{ClusterSpec, DeviceMesh, GpuSpec, InterferenceModel, OpCostDb, Platform, StageRole};
+use mist_tuner::{FrontierKey, IntraStageTuner, SearchSpace};
+
+fn bench_frontier(c: &mut Criterion) {
+    let model = gpt3(ModelSize::B6_7, 2048, AttentionImpl::Flash);
+    let cluster = ClusterSpec::for_gpu_count(Platform::GcpL4, 8);
+    let db = OpCostDb::new(GpuSpec::l4());
+    let intf = InterferenceModel::pcie_defaults();
+    for (name, space) in [
+        ("megatron", SearchSpace::megatron()),
+        ("mist", SearchSpace::mist()),
+        ("mist-fine", SearchSpace::mist_fine()),
+    ] {
+        let mut group = c.benchmark_group("intra_stage");
+        group.sample_size(10);
+        group.measurement_time(std::time::Duration::from_secs(8));
+        group.bench_function(format!("frontier/{name}"), |b| {
+            b.iter(|| {
+                // Fresh tuner each iteration: measure the uncached path.
+                let tuner = IntraStageTuner::new(&model, &cluster, &db, &space, &intf, 128);
+                let key = FrontierKey {
+                    mesh: DeviceMesh::new(1, 8),
+                    role: StageRole::Only,
+                    inflight: 1,
+                    grad_accum: 4,
+                };
+                black_box(tuner.frontiers(key, model.num_layers))
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_frontier);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Benchmarks the inter-stage solvers: the Pareto-state DP (Mist's hot
+//! path) vs the MILP branch-and-bound (the paper's formulation, kept as a
+//! cross-check) on realistic frontier families.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mist::presets::{gpt3, AttentionImpl, ModelSize};
+use mist::{ClusterSpec, DeviceMesh, GpuSpec, InterferenceModel, OpCostDb, Platform, StageRole};
+use mist_tuner::{
+    solve_inter_stage_dp, solve_inter_stage_milp, FrontierKey, IntraStageTuner, SearchSpace,
+};
+
+fn bench_solvers(c: &mut Criterion) {
+    let model = gpt3(ModelSize::B22, 2048, AttentionImpl::Flash);
+    let cluster = ClusterSpec::for_gpu_count(Platform::GcpL4, 32);
+    let db = OpCostDb::new(GpuSpec::l4());
+    let intf = InterferenceModel::pcie_defaults();
+    let ladder = SearchSpace::fig13_ladder();
+    let space = ladder[1].clone();
+    let intra = IntraStageTuner::new(&model, &cluster, &db, &space, &intf, 256);
+
+    let mut group = c.benchmark_group("inter_stage");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for s in [2u32, 4, 8] {
+        let g = 32u32;
+        let per = 32 / s;
+        let mesh = if per >= 8 {
+            DeviceMesh::new(per / 8, 8)
+        } else {
+            DeviceMesh::new(1, per)
+        };
+        let handles: Vec<_> = (0..s)
+            .map(|i| {
+                intra.frontiers(
+                    FrontierKey {
+                        mesh,
+                        role: StageRole::of(i, s),
+                        inflight: g.min(s - i),
+                        grad_accum: g,
+                    },
+                    model.num_layers - (s - 1),
+                )
+            })
+            .collect();
+        let refs: Vec<&Vec<Vec<_>>> = handles.iter().map(|h| h.as_ref()).collect();
+        group.bench_with_input(BenchmarkId::new("dp", s), &refs, |b, refs| {
+            b.iter(|| {
+                black_box(solve_inter_stage_dp(
+                    black_box(refs),
+                    model.num_layers,
+                    g,
+                    &space,
+                    f64::INFINITY,
+                ))
+            })
+        });
+        if s <= 4 {
+            group.bench_with_input(BenchmarkId::new("milp", s), &refs, |b, refs| {
+                b.iter(|| {
+                    black_box(solve_inter_stage_milp(
+                        black_box(refs),
+                        model.num_layers,
+                        g,
+                        &space,
+                        f64::INFINITY,
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Ablation: overlap awareness (paper Shortcoming #1).
+//!
+//! Two effects are isolated on the same workload grid:
+//!
+//! 1. *Prediction*: for Mist's chosen plans, compare the overlap-aware
+//!    interference prediction and the serial-sum prediction against the
+//!    simulator's measurement.
+//! 2. *Plan selection*: tune with the overlap-unaware predictor (keeping
+//!    the full search space) and measure the throughput lost relative to
+//!    overlap-aware tuning.
+
+use mist::presets::{gpt3, AttentionImpl, ModelSize};
+use mist::{MistSession, Platform, SearchSpace};
+use mist_bench::{quick_mode, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    aware_throughput: f64,
+    unaware_throughput: f64,
+    aware_pred_err_pct: f64,
+    serial_pred_err_pct: f64,
+}
+
+fn main() {
+    println!("# Ablation: overlap awareness\n");
+    let mut cases = vec![
+        (ModelSize::B2_6, 4u32, 32u64),
+        (ModelSize::B6_7, 8, 64),
+        (ModelSize::B13, 16, 128),
+    ];
+    if quick_mode() {
+        cases.truncate(1);
+    }
+    println!(
+        "| workload | aware (s/s) | unaware (s/s) | loss | aware pred err | serial pred err |"
+    );
+    println!("|---|---|---|---|---|---|");
+    let mut rows = Vec::new();
+    for (size, gpus, batch) in cases {
+        let model = gpt3(size, 2048, AttentionImpl::Flash);
+        let aware_session = MistSession::builder(model.clone(), Platform::GcpL4, gpus).build();
+        let unaware_space = SearchSpace {
+            overlap_aware: false,
+            ..SearchSpace::mist()
+        };
+        let unaware_session = MistSession::builder(model.clone(), Platform::GcpL4, gpus)
+            .space(unaware_space)
+            .build();
+
+        let aware = aware_session.tune(batch).expect("aware plan");
+        let unaware = unaware_session.tune(batch).expect("unaware plan");
+        let aware_meas = aware_session.execute(&aware);
+        let unaware_meas = unaware_session.execute(&unaware);
+
+        // Prediction error of both predictors on the *aware* plan.
+        let aware_err = (aware.predicted_iteration - aware_meas.iteration_time).abs()
+            / aware_meas.iteration_time;
+        // Serial-sum prediction of the aware plan.
+        let serial: f64 = aware
+            .stage_points
+            .iter()
+            .map(|p| {
+                p.fwd.iter().sum::<f64>()
+                    + p.bwd.iter().sum::<f64>()
+                    + (p.first_extra.iter().sum::<f64>() + p.last_extra.iter().sum::<f64>())
+                        / aware.plan.grad_accum as f64
+            })
+            .fold(0.0, f64::max)
+            * aware.plan.grad_accum as f64;
+        let serial_err = (serial - aware_meas.iteration_time).abs() / aware_meas.iteration_time;
+
+        let ta = aware_meas.throughput(batch);
+        let tu = unaware_meas.throughput(batch);
+        println!(
+            "| GPT-3 {}/{}xL4/B{batch} | {ta:.2} | {tu:.2} | {:.1}% | {:.1}% | {:.1}% |",
+            size.label(),
+            gpus,
+            (1.0 - tu / ta) * 100.0,
+            aware_err * 100.0,
+            serial_err * 100.0
+        );
+        assert!(
+            serial_err >= aware_err,
+            "serial prediction must be worse: {serial_err} vs {aware_err}"
+        );
+        rows.push(Row {
+            workload: format!("GPT-3 {}/{}xL4/B{batch}", size.label(), gpus),
+            aware_throughput: ta,
+            unaware_throughput: tu,
+            aware_pred_err_pct: aware_err * 100.0,
+            serial_pred_err_pct: serial_err * 100.0,
+        });
+    }
+    println!("\nThe serial-sum predictor (used by prior auto systems) overestimates the");
+    println!("cost of overlap-heavy plans, steering their tuners away from offloading —");
+    println!("Shortcoming #1's mechanism.");
+    write_json("ablation_overlap", &rows);
+}

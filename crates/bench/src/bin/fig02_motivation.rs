@@ -1,0 +1,100 @@
+//! Figure 2: motivational example — tuning parallelism with each memory
+//! optimization in isolation vs comprehensive co-optimization.
+//!
+//! Workload: GPT-3 2.6B ("2.7B") on 4 NVIDIA L4 GPUs, seq 4096, global
+//! batch 8. The paper's qualitative claims:
+//!   (a) parallelism alone: every plan OOMs;
+//!   (b) full activation checkpointing: feasible baseline;
+//!   (c) ckpt tuning   → ~1.22x over (b);
+//!   (d) ZeRO tuning   → ~1.25x over (b);
+//!   (e) offload tuning → ~1.16x over (b);
+//!   (f) co-optimization → ~1.30x over (b).
+
+use mist::presets::{gpt3, AttentionImpl, ModelSize};
+use mist::{CkptMode, Platform, SearchSpace};
+use mist_bench::{print_throughput_table, run_system, write_json, System, Workload};
+
+fn panels() -> Vec<(char, &'static str, SearchSpace)> {
+    let none = SearchSpace {
+        name: "(a) parallelism only".into(),
+        ckpt: CkptMode::None,
+        zero_levels: vec![0],
+        offload_grid: vec![],
+        offload_enabled: [false; 4],
+        ..SearchSpace::mist()
+    };
+    let full = SearchSpace {
+        name: "(b) full ckpt".into(),
+        ckpt: CkptMode::Full,
+        ..none.clone()
+    };
+    let ckpt = SearchSpace {
+        name: "(c) ckpt tuned".into(),
+        ckpt: CkptMode::Tuned,
+        ..none.clone()
+    };
+    let zero = SearchSpace {
+        name: "(d) zero tuned".into(),
+        zero_levels: vec![0, 1, 2, 3],
+        ..full.clone()
+    };
+    let offload = SearchSpace {
+        name: "(e) offload tuned".into(),
+        offload_grid: vec![0.25, 0.5, 0.75, 1.0],
+        offload_enabled: [true, true, true, true],
+        ..full.clone()
+    };
+    let coopt = SearchSpace {
+        name: "(f) co-optimized (Mist)".into(),
+        ..SearchSpace::mist_fine()
+    };
+    vec![
+        ('a', "parallelism only", none),
+        ('b', "full ckpt", full),
+        ('c', "ckpt tuned", ckpt),
+        ('d', "zero tuned", zero),
+        ('e', "offload tuned", offload),
+        ('f', "co-optimized", coopt),
+    ]
+}
+
+fn main() {
+    let w = Workload {
+        // Standard attention: the s^2 score tensors are what make
+        // parallelism-only plans OOM on 24 GB L4s (Fig. 2a).
+        model: gpt3(ModelSize::B2_6, 4096, AttentionImpl::Standard),
+        platform: Platform::GcpL4,
+        gpus: 4,
+        global_batch: 8,
+    };
+    println!(
+        "# Figure 2: motivational co-optimization study ({})",
+        w.id()
+    );
+    let mut rows = Vec::new();
+    for (_, _, space) in panels() {
+        let m = run_system(&System::Space(space), &w, 8);
+        println!(
+            "  {:28} -> {}  plan: {}",
+            m.system,
+            m.throughput
+                .map_or("OOM".into(), |t| format!("{t:.2} samples/s")),
+            m.plan.clone().unwrap_or_default()
+        );
+        rows.push(m);
+    }
+    print_throughput_table("Figure 2 panels", &rows, None);
+    // Speedups relative to panel (b).
+    let base = rows[1].throughput.expect("full ckpt must be feasible");
+    println!("\n| panel | speedup vs full ckpt | paper |");
+    println!("|---|---|---|");
+    let paper = ["-", "1.00", "1.22", "1.25", "1.16", "1.30"];
+    for (i, m) in rows.iter().enumerate() {
+        let s = m
+            .throughput
+            .map_or("OOM".into(), |t| format!("{:.2}x", t / base));
+        println!("| {} | {} | {} |", m.system, s, paper[i]);
+    }
+    assert!(rows[0].throughput.is_none(), "(a) must OOM as in the paper");
+    write_json("fig02_motivation", &rows);
+}

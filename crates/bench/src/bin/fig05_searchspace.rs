@@ -1,0 +1,38 @@
+//! Figure 5: growth of the configuration-space size as each optimization
+//! is added, for GPT-3 22B on 32 GPUs.
+
+use mist::presets::{gpt3, AttentionImpl, ModelSize};
+use mist::{ClusterSpec, Platform, SearchSpace};
+use mist_bench::write_json;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    space: String,
+    configs: f64,
+}
+
+fn main() {
+    let model = gpt3(ModelSize::B22, 2048, AttentionImpl::Flash);
+    let cluster = ClusterSpec::for_gpu_count(Platform::GcpL4, 32);
+    println!("# Figure 5: search-space growth (GPT-3 22B, 32 GPUs, B=256)\n");
+    println!("| search space | #configurations |");
+    println!("|---|---|");
+    let mut rows = Vec::new();
+    for space in SearchSpace::fig13_ladder() {
+        let count = space.config_count(&model, &cluster, 256);
+        println!("| {} | {:.3e} |", space.name, count);
+        rows.push(Row {
+            space: space.name.clone(),
+            configs: count,
+        });
+    }
+    let fine = SearchSpace::mist_fine();
+    let count = fine.config_count(&model, &cluster, 256);
+    println!("| {} (fine offload grid) | {:.3e} |", fine.name, count);
+    rows.push(Row {
+        space: fine.name.clone(),
+        configs: count,
+    });
+    write_json("fig05_searchspace", &rows);
+}

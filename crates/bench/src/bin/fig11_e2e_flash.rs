@@ -1,0 +1,79 @@
+//! Figure 11: end-to-end training throughput with FlashAttention enabled.
+//!
+//! GPT-3 / LLaMa / Falcon at 1.3B–22B on 2–32 GPUs (Table 4 pairing),
+//! L4 (seq 2048) vs Megatron-LM and DeepSpeed, A100 (seq 4096) vs
+//! Megatron-LM. Paper claims (geomean speedups): 1.32x over Megatron on
+//! L4, 1.51x over DeepSpeed on L4, 1.34x over Megatron on A100.
+//!
+//! `--quick` restricts to GPT on L4 up to 6.7B.
+
+use mist::presets::Family;
+use mist::{Baseline, Platform};
+use mist_bench::{
+    print_throughput_table, quick_mode, run_system, speedup_stats, table4_grid, write_json, System,
+};
+
+fn main() {
+    let quick = quick_mode();
+    println!(
+        "# Figure 11: end-to-end throughput, FlashAttention on{}",
+        if quick { " (quick)" } else { "" }
+    );
+    let mut all = Vec::new();
+    let platforms = if quick {
+        vec![Platform::GcpL4]
+    } else {
+        vec![Platform::GcpL4, Platform::AwsA100]
+    };
+    for platform in platforms {
+        let families = if quick {
+            vec![Family::Gpt3]
+        } else {
+            vec![Family::Gpt3, Family::Llama, Family::Falcon]
+        };
+        for family in families {
+            let mut grid = table4_grid(platform, family, true);
+            if quick {
+                grid.truncate(3);
+            }
+            let mut systems = vec![System::Mist, System::Baseline(Baseline::MegatronLM)];
+            if platform == Platform::GcpL4 {
+                systems.push(System::Baseline(Baseline::DeepSpeed));
+            }
+            let mut rows = Vec::new();
+            for w in &grid {
+                for sys in &systems {
+                    let m = run_system(sys, w, 256);
+                    eprintln!(
+                        "  [{}] {} -> {}",
+                        m.system,
+                        m.workload,
+                        m.throughput.map_or("OOM".into(), |t| format!("{t:.2}"))
+                    );
+                    rows.push(m);
+                }
+            }
+            let title = format!(
+                "{} on {}",
+                family.name(),
+                if platform == Platform::GcpL4 {
+                    "L4"
+                } else {
+                    "A100"
+                }
+            );
+            print_throughput_table(&title, &rows, Some(("Mist", "Megatron-LM")));
+            all.extend(rows);
+        }
+    }
+    println!("\n## Aggregate speedups (geomean / max)\n");
+    println!("| comparison | measured | paper |");
+    println!("|---|---|---|");
+    if let Some((g, m)) = speedup_stats(&all, "Mist", "Megatron-LM") {
+        println!("| Mist vs Megatron-LM | {g:.2}x / {m:.2}x | 1.32x / 1.59x (L4), 1.34x / 1.72x (A100) |");
+    }
+    if let Some((g, m)) = speedup_stats(&all, "Mist", "DeepSpeed") {
+        println!("| Mist vs DeepSpeed (L4) | {g:.2}x / {m:.2}x | 1.51x / 1.67x |");
+    }
+    write_json("fig11_e2e_flash", &all);
+}

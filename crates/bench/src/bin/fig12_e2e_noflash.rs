@@ -1,0 +1,71 @@
+//! Figure 12: end-to-end throughput *without* FlashAttention (Aceso does
+//! not support it, so this is the setting where it can compete).
+//!
+//! GPT-3 only, both platforms, vs Megatron-LM and Aceso. Paper claims:
+//! Mist ≥ all baselines everywhere, geomean 1.14x (max 1.26x) over
+//! Megatron-LM and 1.27x (max 2.04x) over Aceso, with Aceso *losing* to
+//! Megatron-LM in several cases despite the larger search space.
+
+use mist::presets::Family;
+use mist::{Baseline, Platform};
+use mist_bench::{
+    print_throughput_table, quick_mode, run_system, speedup_stats, table4_grid, write_json, System,
+};
+
+fn main() {
+    let quick = quick_mode();
+    println!(
+        "# Figure 12: end-to-end throughput, no FlashAttention{}",
+        if quick { " (quick)" } else { "" }
+    );
+    let mut all = Vec::new();
+    let platforms = if quick {
+        vec![Platform::GcpL4]
+    } else {
+        vec![Platform::GcpL4, Platform::AwsA100]
+    };
+    for platform in platforms {
+        let mut grid = table4_grid(platform, Family::Gpt3, false);
+        if quick {
+            grid.truncate(3);
+        }
+        let systems = vec![
+            System::Mist,
+            System::Baseline(Baseline::MegatronLM),
+            System::Baseline(Baseline::Aceso),
+        ];
+        let mut rows = Vec::new();
+        for w in &grid {
+            for sys in &systems {
+                let m = run_system(sys, w, 256);
+                eprintln!(
+                    "  [{}] {} -> {}",
+                    m.system,
+                    m.workload,
+                    m.throughput.map_or("OOM".into(), |t| format!("{t:.2}"))
+                );
+                rows.push(m);
+            }
+        }
+        let title = format!(
+            "GPT-3 (no Flash) on {}",
+            if platform == Platform::GcpL4 {
+                "L4"
+            } else {
+                "A100"
+            }
+        );
+        print_throughput_table(&title, &rows, Some(("Mist", "Aceso")));
+        all.extend(rows);
+    }
+    println!("\n## Aggregate speedups (geomean / max)\n");
+    println!("| comparison | measured | paper |");
+    println!("|---|---|---|");
+    if let Some((g, m)) = speedup_stats(&all, "Mist", "Megatron-LM") {
+        println!("| Mist vs Megatron-LM | {g:.2}x / {m:.2}x | 1.14x / 1.26x |");
+    }
+    if let Some((g, m)) = speedup_stats(&all, "Mist", "Aceso") {
+        println!("| Mist vs Aceso | {g:.2}x / {m:.2}x | 1.27x / 2.04x |");
+    }
+    write_json("fig12_e2e_noflash", &all);
+}

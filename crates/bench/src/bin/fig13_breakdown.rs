@@ -1,0 +1,70 @@
+//! Figure 13: speedup breakdown — throughput as Mist's search space is
+//! enabled incrementally (Megatron space → +ckpt tuning → +offloading →
+//! +ZeRO → +imbalance awareness), normalized to the base space.
+//!
+//! Paper claims: ckpt tuning ≈ +12%, offloading ≈ +7% more, imbalance
+//! awareness ≈ +9% on top; GPT models on 8/16/32 L4 GPUs.
+
+use mist::presets::{gpt3, AttentionImpl, ModelSize};
+use mist::{Platform, SearchSpace};
+use mist_bench::{quick_mode, run_system, write_json, System, Workload};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    space: String,
+    throughput: Option<f64>,
+    normalized: Option<f64>,
+}
+
+fn main() {
+    println!("# Figure 13: incremental search-space breakdown (GPT on L4)\n");
+    let mut cases = vec![
+        (ModelSize::B6_7, 8u32, 128u64),
+        (ModelSize::B13, 16, 256),
+        (ModelSize::B22, 32, 512),
+    ];
+    if quick_mode() {
+        cases.truncate(1);
+    }
+    let ladder = SearchSpace::fig13_ladder();
+    let mut out = Vec::new();
+    for (size, gpus, batch) in cases {
+        let w = Workload {
+            model: gpt3(size, 2048, AttentionImpl::Flash),
+            platform: Platform::GcpL4,
+            gpus,
+            global_batch: batch,
+        };
+        println!("## {}\n", w.id());
+        println!("| space | samples/s | normalized |");
+        println!("|---|---|---|");
+        let mut base: Option<f64> = None;
+        for space in &ladder {
+            let m = run_system(&System::Space(space.clone()), &w, 256);
+            let norm = match (m.throughput, base) {
+                (Some(t), Some(b)) => Some(t / b),
+                (Some(t), None) => {
+                    base = Some(t);
+                    Some(1.0)
+                }
+                _ => None,
+            };
+            println!(
+                "| {} | {} | {} |",
+                space.name,
+                m.throughput.map_or("OOM".into(), |t| format!("{t:.2}")),
+                norm.map_or("–".into(), |n| format!("{n:.3}"))
+            );
+            out.push(Row {
+                workload: w.id(),
+                space: space.name.clone(),
+                throughput: m.throughput,
+                normalized: norm,
+            });
+        }
+        println!();
+    }
+    write_json("fig13_breakdown", &out);
+}

@@ -1,0 +1,73 @@
+//! Figure 14: robustness across model depth — GPT-3 (22B dims) with a
+//! swept layer count on 32 L4 GPUs, with and without FlashAttention,
+//! Mist's full space vs the Megatron-style baseline space.
+//!
+//! Paper claim: Mist sustains up to ~1.32x across depths (peak at 80
+//! layers).
+
+use mist::presets::{gpt3_with_layers, AttentionImpl, ModelSize};
+use mist::{Platform, SearchSpace};
+use mist_bench::{quick_mode, run_system, write_json, System, Workload};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    layers: u32,
+    flash: bool,
+    system: String,
+    throughput: Option<f64>,
+}
+
+fn main() {
+    println!("# Figure 14: layer-count sweep (GPT-3 22B dims, 32xL4, B=256)\n");
+    let mut depths = vec![32u32, 48, 64, 80];
+    if quick_mode() {
+        depths.truncate(2);
+    }
+    let ladder = SearchSpace::fig13_ladder();
+    let base_space = ladder[0].clone();
+    let mut rows = Vec::new();
+    for flash in [true, false] {
+        println!("## FlashAttention {}\n", if flash { "on" } else { "off" });
+        println!("| layers | Mist | {} | speedup |", base_space.name);
+        println!("|---|---|---|---|");
+        for &layers in &depths {
+            let attn = if flash {
+                AttentionImpl::Flash
+            } else {
+                AttentionImpl::Standard
+            };
+            let w = Workload {
+                model: gpt3_with_layers(ModelSize::B22, layers, 2048, attn),
+                platform: Platform::GcpL4,
+                gpus: 32,
+                global_batch: 256,
+            };
+            let mist = run_system(&System::Mist, &w, 256);
+            let base = run_system(&System::Space(base_space.clone()), &w, 256);
+            let speedup = match (mist.throughput, base.throughput) {
+                (Some(a), Some(b)) => format!("{:.2}x", a / b),
+                _ => "–".into(),
+            };
+            println!(
+                "| {layers} | {} | {} | {speedup} |",
+                mist.throughput.map_or("OOM".into(), |t| format!("{t:.2}")),
+                base.throughput.map_or("OOM".into(), |t| format!("{t:.2}")),
+            );
+            rows.push(Row {
+                layers,
+                flash,
+                system: "Mist".into(),
+                throughput: mist.throughput,
+            });
+            rows.push(Row {
+                layers,
+                flash,
+                system: base_space.name.clone(),
+                throughput: base.throughput,
+            });
+        }
+        println!();
+    }
+    write_json("fig14_layers", &rows);
+}

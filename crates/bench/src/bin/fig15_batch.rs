@@ -1,0 +1,54 @@
+//! Figure 15: robustness across global batch sizes — GPT-3 22B on 32 L4
+//! GPUs, batch 32…512.
+//!
+//! Compares the Megatron-style base space, Mist without imbalance
+//! awareness, and full Mist. Paper claim: Mist is always best and
+//! imbalance-aware inter-stage tuning contributes ~1.13x on average.
+
+use mist::presets::{gpt3, AttentionImpl, ModelSize};
+use mist::{Platform, SearchSpace};
+use mist_bench::{
+    print_throughput_table, quick_mode, run_system, speedup_stats, write_json, System, Workload,
+};
+
+fn main() {
+    println!("# Figure 15: global-batch sweep (GPT-3 22B, 32xL4)\n");
+    let mut batches = vec![32u64, 64, 128, 256, 512];
+    if quick_mode() {
+        batches.truncate(2);
+    }
+    let ladder = SearchSpace::fig13_ladder();
+    let base = ladder[0].clone();
+    let no_imbalance = SearchSpace {
+        name: "mist w/o imbalance awareness".into(),
+        ..ladder[3].clone()
+    };
+    let systems = vec![
+        System::Space(base),
+        System::Space(no_imbalance),
+        System::Mist,
+    ];
+    let mut rows = Vec::new();
+    for &b in &batches {
+        let w = Workload {
+            model: gpt3(ModelSize::B22, 2048, AttentionImpl::Flash),
+            platform: Platform::GcpL4,
+            gpus: 32,
+            global_batch: b,
+        };
+        for sys in &systems {
+            let m = run_system(sys, &w, 256);
+            eprintln!(
+                "  [{}] B={b} -> {}",
+                m.system,
+                m.throughput.map_or("OOM".into(), |t| format!("{t:.2}"))
+            );
+            rows.push(m);
+        }
+    }
+    print_throughput_table("Figure 15", &rows, Some(("Mist", "megatron-space")));
+    if let Some((g, m)) = speedup_stats(&rows, "Mist", "mist w/o imbalance awareness") {
+        println!("\nimbalance-awareness gain: geomean {g:.2}x, max {m:.2}x (paper: ~1.13x avg)");
+    }
+    write_json("fig15_batch", &rows);
+}

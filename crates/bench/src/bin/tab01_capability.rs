@@ -1,0 +1,41 @@
+//! Table 1: capability matrix of distributed-training systems, as
+//! implemented by this reproduction's search-space presets.
+
+use mist::{Baseline, SearchSpace};
+
+fn main() {
+    println!("# Table 1: system capability matrix\n");
+    println!("| system | DP/TP/PP | ckpt | offloading (W/G/O/A) | ZeRO-2/3 | auto-tuning |");
+    println!("|---|---|---|---|---|---|");
+    let describe = |name: &str, s: &SearchSpace, auto: &str| {
+        let ckpt = match s.ckpt {
+            mist::CkptMode::None => "–",
+            mist::CkptMode::Full => "full only",
+            mist::CkptMode::Tuned => "per-stage tuned",
+        };
+        let off: String = ["W", "G", "O", "A"]
+            .iter()
+            .zip(s.offload_enabled)
+            .map(|(n, e)| if e { n.to_string() } else { "–".into() })
+            .collect::<Vec<_>>()
+            .join("/");
+        let zero = if s.zero_levels.contains(&2) || s.zero_levels.contains(&3) {
+            "yes"
+        } else {
+            "no"
+        };
+        println!("| {name} | yes | {ckpt} | {off} | {zero} | {auto} |");
+    };
+    for b in Baseline::all() {
+        let auto = match b {
+            Baseline::MegatronLM | Baseline::DeepSpeed => "manual (grid-searched)",
+            _ => "automatic",
+        };
+        describe(b.name(), &b.space(), auto);
+    }
+    describe(
+        "Mist (this work)",
+        &SearchSpace::mist(),
+        "automatic, all knobs",
+    );
+}

@@ -1,0 +1,64 @@
+//! §6.6: prediction accuracy of the symbolic analyzer vs the
+//! (simulated) measurements. Paper: mean runtime error 1.79%, mean
+//! memory error 2.10%.
+
+use mist::presets::{gpt3, llama, AttentionImpl, ModelSize};
+use mist::{MistSession, Platform};
+use mist_bench::{quick_mode, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    batch: u64,
+    time_err_pct: f64,
+    mem_err_pct: f64,
+}
+
+fn main() {
+    println!("# §6.6: symbolic-analyzer prediction accuracy\n");
+    let mut cases = vec![
+        (gpt3(ModelSize::B1_3, 2048, AttentionImpl::Flash), 2u32),
+        (gpt3(ModelSize::B2_6, 2048, AttentionImpl::Flash), 4),
+        (llama(ModelSize::B2_6, 2048, AttentionImpl::Flash), 4),
+        (gpt3(ModelSize::B6_7, 2048, AttentionImpl::Flash), 8),
+    ];
+    if quick_mode() {
+        cases.truncate(2);
+    }
+    let batches: &[u64] = if quick_mode() { &[16] } else { &[16, 64, 128] };
+    println!("| workload | batch | runtime error | memory error |");
+    println!("|---|---|---|---|");
+    let mut rows = Vec::new();
+    let mut time_errs = Vec::new();
+    let mut mem_errs = Vec::new();
+    for (model, gpus) in cases {
+        let name = model.name.clone();
+        let session = MistSession::builder(model, Platform::GcpL4, gpus).build();
+        let report = session.accuracy_report(batches);
+        for s in &report.samples {
+            println!(
+                "| {} ({gpus} GPUs) | {} | {:.2}% | {:.2}% |",
+                name,
+                s.global_batch,
+                s.time_error() * 100.0,
+                s.mem_error() * 100.0
+            );
+            time_errs.push(s.time_error());
+            mem_errs.push(s.mem_error());
+            rows.push(Row {
+                workload: format!("{name}/{gpus}GPU"),
+                batch: s.global_batch,
+                time_err_pct: s.time_error() * 100.0,
+                mem_err_pct: s.mem_error() * 100.0,
+            });
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64 * 100.0;
+    println!(
+        "\nmean runtime error: {:.2}% (paper: 1.79%)",
+        mean(&time_errs)
+    );
+    println!("mean memory  error: {:.2}% (paper: 2.10%)", mean(&mem_errs));
+    write_json("tab_accuracy", &rows);
+}

@@ -1,0 +1,90 @@
+//! Prediction-accuracy reporting (paper §6.6).
+
+use serde::{Deserialize, Serialize};
+
+/// One predicted-vs-measured data point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracySample {
+    /// Global batch size of the tuned plan.
+    pub global_batch: u64,
+    /// Analyzer-predicted iteration time (seconds).
+    pub predicted_time: f64,
+    /// Simulator-measured iteration time (seconds).
+    pub measured_time: f64,
+    /// Analyzer-predicted peak memory (bytes, max over stages).
+    pub predicted_mem: f64,
+    /// Simulator-measured peak memory (bytes, max over stages).
+    pub measured_mem: f64,
+}
+
+impl AccuracySample {
+    /// Relative runtime error.
+    pub fn time_error(&self) -> f64 {
+        (self.predicted_time - self.measured_time).abs() / self.measured_time
+    }
+
+    /// Relative memory error.
+    pub fn mem_error(&self) -> f64 {
+        (self.predicted_mem - self.measured_mem).abs() / self.measured_mem
+    }
+}
+
+/// Aggregated prediction-accuracy results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// Individual samples.
+    pub samples: Vec<AccuracySample>,
+    /// Mean relative runtime error.
+    pub mean_time_error: f64,
+    /// Mean relative memory error.
+    pub mean_mem_error: f64,
+}
+
+impl AccuracyReport {
+    /// Aggregates samples into a report (empty input gives zero errors).
+    pub fn from_samples(samples: Vec<AccuracySample>) -> Self {
+        let n = samples.len().max(1) as f64;
+        let mean_time_error = samples.iter().map(|s| s.time_error()).sum::<f64>() / n;
+        let mean_mem_error = samples.iter().map(|s| s.mem_error()).sum::<f64>() / n;
+        AccuracyReport {
+            samples,
+            mean_time_error,
+            mean_mem_error,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_aggregate_correctly() {
+        let samples = vec![
+            AccuracySample {
+                global_batch: 8,
+                predicted_time: 1.0,
+                measured_time: 1.25,
+                predicted_mem: 10.0,
+                measured_mem: 10.0,
+            },
+            AccuracySample {
+                global_batch: 16,
+                predicted_time: 2.0,
+                measured_time: 2.0,
+                predicted_mem: 9.0,
+                measured_mem: 10.0,
+            },
+        ];
+        let r = AccuracyReport::from_samples(samples);
+        assert!((r.mean_time_error - 0.1).abs() < 1e-12);
+        assert!((r.mean_mem_error - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = AccuracyReport::from_samples(vec![]);
+        assert_eq!(r.mean_time_error, 0.0);
+        assert_eq!(r.mean_mem_error, 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Liveness analysis over traced layers.
+//!
+//! The paper tracks live tensors on the symbolic computational graph to
+//! find the peak memory at any execution point, running an intra-layer
+//! pass (this module) and an inter-layer pass (`analyze`) that combines
+//! per-layer statistics into stage-wise expressions (§5.2.1).
+//!
+//! The intra-layer pass walks the op chain with a producer/consumer
+//! liveness window: an op's output stays live until its consumer finishes,
+//! and the residual stream stays live across the whole layer. The backward
+//! pass is analyzed on the *fake backward graph* — ops in reverse order,
+//! with gradient tensors mirroring the forward outputs.
+
+use mist_hardware::{all_reduce_time, LinkSpec, OpCostDb};
+use serde::{Deserialize, Serialize};
+
+use crate::op::TracedOpKind;
+use crate::trace::TracedLayer;
+
+/// Aggregated per-layer statistics consumed by the stage analyzer.
+///
+/// All byte quantities are per GPU (TP-sharded); all times are seconds for
+/// one micro-batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Forward compute time (sum of kernel times).
+    pub fwd_compute: f64,
+    /// Backward compute time (kernels × their backward factors).
+    pub bwd_compute: f64,
+    /// TP collective time in the forward pass.
+    pub tp_comm_fwd: f64,
+    /// TP collective time in the backward pass.
+    pub tp_comm_bwd: f64,
+    /// Bytes stashed for backward when the layer is not checkpointed.
+    pub saved_act_bytes: f64,
+    /// Bytes kept by a checkpointed layer (its input boundary).
+    pub boundary_bytes: f64,
+    /// Transient liveness high-water mark inside the forward pass
+    /// (working tensors, not the stash).
+    pub transient_fwd_bytes: f64,
+    /// Transient high-water mark inside the backward pass (gradient
+    /// working set mirrors forward outputs).
+    pub transient_bwd_bytes: f64,
+    /// Parameter count per GPU.
+    pub params_per_gpu: f64,
+}
+
+/// Runs intra-layer liveness + cost aggregation for one traced layer.
+///
+/// `tp_link` is the link the layer's TP collectives run over; `tp` their
+/// group size.
+pub fn profile_layer(layer: &TracedLayer, db: &OpCostDb, tp_link: LinkSpec) -> LayerProfile {
+    let tp = layer.tp as u32;
+    let mut fwd_compute = 0.0;
+    let mut bwd_compute = 0.0;
+    let mut tp_comm_fwd = 0.0;
+    let mut tp_comm_bwd = 0.0;
+    let mut saved = 0.0;
+
+    for op in &layer.ops {
+        match &op.kind {
+            TracedOpKind::Compute { query, bwd_factor } => {
+                let t = db.query(*query);
+                fwd_compute += t;
+                bwd_compute += t * bwd_factor;
+            }
+            TracedOpKind::TpComm {
+                fwd_bytes,
+                bwd_bytes,
+            } => {
+                tp_comm_fwd += all_reduce_time(*fwd_bytes, tp, tp_link);
+                tp_comm_bwd += all_reduce_time(*bwd_bytes, tp, tp_link);
+            }
+            TracedOpKind::Free => {}
+        }
+        saved += op.saved_bytes;
+    }
+
+    // Forward liveness window: the residual stream (layer input) is live
+    // throughout; at any op, its output and its predecessor's output are
+    // both live (chain consumption).
+    let residual = layer.boundary_bytes;
+    let mut transient_fwd: f64 = 0.0;
+    let mut prev_out = 0.0;
+    for op in &layer.ops {
+        let here = residual + prev_out + op.out_bytes;
+        transient_fwd = transient_fwd.max(here);
+        if op.out_bytes > 0.0 {
+            prev_out = op.out_bytes;
+        }
+    }
+
+    // Fake backward graph: reverse walk; at each op, the incoming gradient
+    // (same size as the op output) and the produced input-gradient (same
+    // size as predecessor output) are live, plus the gradient of the
+    // residual stream.
+    let mut transient_bwd: f64 = 0.0;
+    let mut grad_in = 0.0;
+    for op in layer.ops.iter().rev() {
+        let grad_out = op.out_bytes;
+        let here = residual + grad_in + grad_out;
+        transient_bwd = transient_bwd.max(here);
+        if grad_out > 0.0 {
+            grad_in = grad_out;
+        }
+    }
+
+    LayerProfile {
+        fwd_compute,
+        bwd_compute,
+        tp_comm_fwd,
+        tp_comm_bwd,
+        saved_act_bytes: saved,
+        boundary_bytes: layer.boundary_bytes,
+        transient_fwd_bytes: transient_fwd,
+        transient_bwd_bytes: transient_bwd,
+        params_per_gpu: layer.params_per_gpu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{trace_head, trace_layer};
+    use mist_hardware::{GpuSpec, OpCostDb};
+    use mist_models::{gpt3, AttentionImpl, ModelSize, ModelStats};
+
+    fn link() -> LinkSpec {
+        LinkSpec::new(20e9, 8e-6)
+    }
+
+    #[test]
+    fn backward_costs_more_than_forward() {
+        let spec = gpt3(ModelSize::B2_6, 2048, AttentionImpl::Flash);
+        let db = OpCostDb::new(GpuSpec::l4());
+        let p = profile_layer(&trace_layer(&spec, 2, 1), &db, link());
+        assert!(p.bwd_compute > 1.5 * p.fwd_compute);
+        assert!(p.bwd_compute < 3.0 * p.fwd_compute);
+    }
+
+    #[test]
+    fn tp_halves_compute_but_adds_comm() {
+        let spec = gpt3(ModelSize::B6_7, 2048, AttentionImpl::Flash);
+        let db = OpCostDb::new(GpuSpec::l4());
+        let p1 = profile_layer(&trace_layer(&spec, 2, 1), &db, link());
+        let p2 = profile_layer(&trace_layer(&spec, 2, 2), &db, link());
+        assert!(p2.fwd_compute < p1.fwd_compute);
+        assert_eq!(p1.tp_comm_fwd, 0.0);
+        assert!(p2.tp_comm_fwd > 0.0);
+    }
+
+    #[test]
+    fn traced_saved_bytes_agree_with_closed_form() {
+        // The tracer and the ModelStats reference formula must agree to
+        // within 35% (they make slightly different double-count choices).
+        for size in [ModelSize::B1_3, ModelSize::B6_7] {
+            for attn in [AttentionImpl::Flash, AttentionImpl::Standard] {
+                let spec = gpt3(size, 2048, attn);
+                let db = OpCostDb::new(GpuSpec::l4());
+                for tp in [1u64, 2, 4] {
+                    let p = profile_layer(&trace_layer(&spec, 2, tp), &db, link());
+                    let want = ModelStats::new(&spec).layer_saved_activation_bytes(2, tp);
+                    let rel = (p.saved_act_bytes - want).abs() / want;
+                    assert!(
+                        rel < 0.35,
+                        "{} tp={tp} {:?}: traced {:.3e} vs closed-form {want:.3e}",
+                        spec.name,
+                        attn,
+                        p.saved_act_bytes
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transients_are_bounded_and_positive() {
+        let spec = gpt3(ModelSize::B2_6, 2048, AttentionImpl::Flash);
+        let db = OpCostDb::new(GpuSpec::l4());
+        let p = profile_layer(&trace_layer(&spec, 2, 1), &db, link());
+        assert!(p.transient_fwd_bytes > p.boundary_bytes);
+        assert!(p.transient_fwd_bytes < p.saved_act_bytes);
+        assert!(p.transient_bwd_bytes > 0.0);
+    }
+
+    #[test]
+    fn head_transient_includes_logits() {
+        let spec = gpt3(ModelSize::B1_3, 2048, AttentionImpl::Flash);
+        let db = OpCostDb::new(GpuSpec::l4());
+        let p = profile_layer(&trace_head(&spec, 2, 1), &db, link());
+        // Logits: 2·2048·50304·2 bytes ≈ 0.4 GiB.
+        assert!(
+            p.transient_fwd_bytes > 0.3e9,
+            "{:.3e}",
+            p.transient_fwd_bytes
+        );
+    }
+}

@@ -1,0 +1,338 @@
+//! Shape-resolving tracer: model structure → traced op graph.
+//!
+//! This is the substitute for the paper's symbolic `torch.fx` tracing with
+//! fake tensors (§5.2.1): the model definition is walked once per concrete
+//! `(micro-batch, TP)` pair and every kernel's shapes, output bytes and
+//! activation stash are materialized. Custom kernels (FlashAttention) map
+//! to their own cost-database entries exactly as the paper registers them.
+
+use mist_hardware::{OpKind, OpQuery};
+use mist_models::{AttentionImpl, LayerOpKind, ModelSpec, Shard};
+use serde::{Deserialize, Serialize};
+
+use crate::op::{TracedOp, TracedOpKind};
+
+/// A traced transformer layer (or embedding/head block) with concrete
+/// shapes for one `(micro-batch, TP)` choice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracedLayer {
+    /// Ops in execution order.
+    pub ops: Vec<TracedOp>,
+    /// Parameter *count* held per GPU (already TP-sharded).
+    pub params_per_gpu: f64,
+    /// Micro-batch size the trace was resolved for.
+    pub micro_batch: u64,
+    /// TP degree the trace was resolved for.
+    pub tp: u64,
+    /// Bytes of the layer's input boundary activation (what a
+    /// checkpointed layer keeps), per GPU.
+    pub boundary_bytes: f64,
+}
+
+const FP16: f64 = 2.0;
+
+/// Traces one transformer layer of `spec` for micro-batch `b` and tensor
+/// parallelism `tp`.
+///
+/// # Panics
+///
+/// Panics if `tp` does not divide the head count / hidden size, or if
+/// `b == 0` — the tuner only emits valid candidates.
+pub fn trace_layer(spec: &ModelSpec, b: u64, tp: u64) -> TracedLayer {
+    assert!(b >= 1, "micro-batch must be positive");
+    assert!(
+        spec.heads.is_multiple_of(tp) && spec.hidden.is_multiple_of(tp),
+        "tp={tp} must divide heads={} and hidden={}",
+        spec.heads,
+        spec.hidden
+    );
+    let s = spec.seq_len;
+    let h = spec.hidden;
+    let heads = spec.heads;
+    let tokens = b * s;
+    let bsh = (tokens * h) as f64 * FP16;
+
+    let mut ops: Vec<TracedOp> = Vec::new();
+    for op in spec.layer_ops() {
+        let traced = match op.kind {
+            LayerOpKind::Linear {
+                in_dim,
+                out_dim,
+                shard,
+            } => {
+                let (in_local, out_local) = match shard {
+                    Shard::Column => (in_dim, out_dim / tp),
+                    Shard::Row => (in_dim / tp, out_dim),
+                    Shard::Replicated => (in_dim, out_dim),
+                };
+                TracedOp {
+                    name: op.name.to_owned(),
+                    kind: TracedOpKind::Compute {
+                        query: OpQuery::new(OpKind::MatMul, [1, tokens, out_local, in_local]),
+                        bwd_factor: 2.0,
+                    },
+                    out_bytes: (tokens * out_local) as f64 * FP16,
+                    // The GEMM input is stashed for the weight gradient.
+                    saved_bytes: (tokens * in_local) as f64 * FP16,
+                }
+            }
+            LayerOpKind::Attention => {
+                let h_local = h / tp;
+                let heads_local = heads / tp;
+                let (kind, bwd_factor, extra_saved) = match spec.attention {
+                    AttentionImpl::Flash => (
+                        OpKind::FlashAttn,
+                        2.5,
+                        // Softmax log-sum-exp statistics (fp32).
+                        4.0 * (b * heads_local * s) as f64,
+                    ),
+                    AttentionImpl::Standard => (
+                        OpKind::StdAttn,
+                        2.0,
+                        // Softmax probabilities, b·heads·s² in fp16.
+                        (b * heads_local * s * s) as f64 * FP16,
+                    ),
+                };
+                TracedOp {
+                    name: op.name.to_owned(),
+                    kind: TracedOpKind::Compute {
+                        query: OpQuery::new(kind, [b, s, h_local, heads_local]),
+                        bwd_factor,
+                    },
+                    out_bytes: (tokens * h_local) as f64 * FP16,
+                    // Q, K, V inputs plus the variant-specific stash.
+                    saved_bytes: 3.0 * (tokens * h_local) as f64 * FP16 + extra_saved,
+                }
+            }
+            LayerOpKind::Norm => {
+                let kind = match spec.family {
+                    mist_models::Family::Gpt3 => OpKind::LayerNorm,
+                    _ => OpKind::RmsNorm,
+                };
+                TracedOp {
+                    name: op.name.to_owned(),
+                    kind: TracedOpKind::Compute {
+                        query: OpQuery::new(kind, [b, s, h, 0]),
+                        bwd_factor: 2.0,
+                    },
+                    out_bytes: bsh,
+                    saved_bytes: bsh, // Norm input (replicated across TP).
+                }
+            }
+            LayerOpKind::Elementwise {
+                elems_per_token,
+                saves_input,
+            } => {
+                let local = elems_per_token / tp;
+                let bytes = (tokens * local) as f64 * FP16;
+                TracedOp {
+                    name: op.name.to_owned(),
+                    kind: TracedOpKind::Compute {
+                        query: OpQuery::new(OpKind::Elementwise, [(2.0 * bytes) as u64, 0, 0, 0]),
+                        bwd_factor: 1.0,
+                    },
+                    out_bytes: bytes / 2.0
+                        * if elems_per_token >= spec.ffn_hidden {
+                            1.0
+                        } else {
+                            2.0
+                        },
+                    saved_bytes: if saves_input { bytes } else { 0.0 },
+                }
+            }
+            LayerOpKind::Residual => TracedOp {
+                name: op.name.to_owned(),
+                kind: TracedOpKind::Free,
+                out_bytes: bsh,
+                saved_bytes: 0.0,
+            },
+            LayerOpKind::TpAllReduce => TracedOp {
+                name: op.name.to_owned(),
+                kind: TracedOpKind::TpComm {
+                    fwd_bytes: bsh,
+                    bwd_bytes: bsh,
+                },
+                out_bytes: 0.0,
+                saved_bytes: 0.0,
+            },
+        };
+        ops.push(traced);
+    }
+
+    TracedLayer {
+        ops,
+        params_per_gpu: spec.params_per_layer() as f64 / tp as f64,
+        micro_batch: b,
+        tp,
+        boundary_bytes: bsh,
+    }
+}
+
+/// Traces the input-embedding block (first pipeline stage only).
+pub fn trace_embedding(spec: &ModelSpec, b: u64, tp: u64) -> TracedLayer {
+    let tokens = b * spec.seq_len;
+    let bsh = (tokens * spec.hidden) as f64 * FP16;
+    let ops = vec![TracedOp {
+        name: "embed.lookup".to_owned(),
+        kind: TracedOpKind::Compute {
+            query: OpQuery::new(
+                OpKind::Embedding,
+                [b, spec.seq_len, spec.hidden, spec.vocab],
+            ),
+            bwd_factor: 1.0,
+        },
+        out_bytes: bsh,
+        saved_bytes: 0.0, // Indices are negligible.
+    }];
+    TracedLayer {
+        ops,
+        params_per_gpu: spec.embedding_params() as f64 / tp as f64,
+        micro_batch: b,
+        tp,
+        boundary_bytes: bsh,
+    }
+}
+
+/// Traces the LM-head block: final norm, vocab-parallel projection and
+/// fused cross-entropy (last pipeline stage only).
+pub fn trace_head(spec: &ModelSpec, b: u64, tp: u64) -> TracedLayer {
+    let s = spec.seq_len;
+    let h = spec.hidden;
+    let tokens = b * s;
+    let bsh = (tokens * h) as f64 * FP16;
+    let vocab_local = spec.vocab.div_ceil(tp);
+    let norm_kind = match spec.family {
+        mist_models::Family::Gpt3 => OpKind::LayerNorm,
+        _ => OpKind::RmsNorm,
+    };
+    let ops = vec![
+        TracedOp {
+            name: "head.final_norm".to_owned(),
+            kind: TracedOpKind::Compute {
+                query: OpQuery::new(norm_kind, [b, s, h, 0]),
+                bwd_factor: 2.0,
+            },
+            out_bytes: bsh,
+            saved_bytes: bsh,
+        },
+        TracedOp {
+            name: "head.lm_proj".to_owned(),
+            kind: TracedOpKind::Compute {
+                query: OpQuery::new(OpKind::MatMul, [1, tokens, vocab_local, h]),
+                bwd_factor: 2.0,
+            },
+            // Logits are the transient memory hot spot of the last stage.
+            out_bytes: (tokens * vocab_local) as f64 * FP16,
+            saved_bytes: bsh,
+        },
+        TracedOp {
+            name: "head.cross_entropy".to_owned(),
+            kind: TracedOpKind::Compute {
+                query: OpQuery::new(OpKind::CrossEntropy, [b, s, vocab_local, 0]),
+                bwd_factor: 1.0,
+            },
+            out_bytes: 4.0 * tokens as f64,
+            saved_bytes: 4.0 * tokens as f64,
+        },
+        // Vocab-parallel CE exchanges per-token partial max/sum.
+        TracedOp {
+            name: "head.ce_allreduce".to_owned(),
+            kind: TracedOpKind::TpComm {
+                fwd_bytes: 8.0 * tokens as f64,
+                bwd_bytes: 0.0,
+            },
+            out_bytes: 0.0,
+            saved_bytes: 0.0,
+        },
+    ];
+    TracedLayer {
+        ops,
+        // Head shares (ties) the embedding weight; the memory lives on the
+        // first stage, so the head holds no extra parameters here.
+        params_per_gpu: (spec.vocab * h) as f64 / tp as f64,
+        micro_batch: b,
+        tp,
+        boundary_bytes: bsh,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mist_models::{gpt3, llama, AttentionImpl, ModelSize};
+
+    #[test]
+    fn trace_shapes_shard_with_tp() {
+        let spec = gpt3(ModelSize::B2_6, 2048, AttentionImpl::Flash);
+        let t1 = trace_layer(&spec, 2, 1);
+        let t4 = trace_layer(&spec, 2, 4);
+        assert_eq!(t1.params_per_gpu, 4.0 * t4.params_per_gpu);
+        // QKV GEMM output dims shrink by tp.
+        let qkv = |t: &TracedLayer| {
+            t.ops
+                .iter()
+                .find(|o| o.name == "attn.qkv_proj")
+                .unwrap()
+                .out_bytes
+        };
+        assert_eq!(qkv(&t1), 4.0 * qkv(&t4));
+    }
+
+    #[test]
+    fn std_attention_stashes_s_squared() {
+        let mut spec = gpt3(ModelSize::B2_6, 4096, AttentionImpl::Standard);
+        let std_saved: f64 = trace_layer(&spec, 1, 1)
+            .ops
+            .iter()
+            .map(|o| o.saved_bytes)
+            .sum();
+        spec.attention = AttentionImpl::Flash;
+        let flash_saved: f64 = trace_layer(&spec, 1, 1)
+            .ops
+            .iter()
+            .map(|o| o.saved_bytes)
+            .sum();
+        assert!(
+            std_saved > 3.0 * flash_saved,
+            "{std_saved:.3e} vs {flash_saved:.3e}"
+        );
+    }
+
+    #[test]
+    fn llama_trace_contains_gated_mlp() {
+        let spec = llama(ModelSize::B1_3, 2048, AttentionImpl::Flash);
+        let t = trace_layer(&spec, 2, 2);
+        assert!(t.ops.iter().any(|o| o.name == "mlp.gate_proj"));
+        assert!(t.ops.iter().any(|o| o.name == "mlp.swiglu"));
+    }
+
+    #[test]
+    fn head_logits_dominate_transients() {
+        let spec = gpt3(ModelSize::B1_3, 2048, AttentionImpl::Flash);
+        let head = trace_head(&spec, 2, 1);
+        let logits = head.ops.iter().find(|o| o.name == "head.lm_proj").unwrap();
+        let max_other = head
+            .ops
+            .iter()
+            .filter(|o| o.name != "head.lm_proj")
+            .map(|o| o.out_bytes)
+            .fold(0.0, f64::max);
+        assert!(logits.out_bytes > 10.0 * max_other);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn invalid_tp_rejected() {
+        let spec = gpt3(ModelSize::B1_3, 2048, AttentionImpl::Flash);
+        trace_layer(&spec, 1, 3);
+    }
+
+    #[test]
+    fn embedding_block_has_params_but_no_stash() {
+        let spec = gpt3(ModelSize::B1_3, 2048, AttentionImpl::Flash);
+        let e = trace_embedding(&spec, 2, 2);
+        assert!(e.params_per_gpu > 0.0);
+        let saved: f64 = e.ops.iter().map(|o| o.saved_bytes).sum();
+        assert_eq!(saved, 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Analytic cost model for NCCL-style collectives.
+//!
+//! Standard ring-algorithm formulas: an all-reduce over `g` ranks moves
+//! `2·(g−1)/g · V` bytes through the slowest link; all-gather and
+//! reduce-scatter move half that. These are the same first-order models
+//! used by the paper's communication analysis ("communication is modeled
+//! symbolically by dividing communicated bytes by the bandwidth", §5.2.1);
+//! per-step latency terms keep tiny messages from looking free.
+
+use crate::cluster::LinkSpec;
+
+/// Ring all-reduce time for `bytes` over `group` ranks on `link`.
+///
+/// `group == 1` is free (no communication needed).
+pub fn all_reduce_time(bytes: f64, group: u32, link: LinkSpec) -> f64 {
+    assert!(bytes >= 0.0 && group >= 1);
+    if group == 1 || bytes == 0.0 {
+        return 0.0;
+    }
+    let g = group as f64;
+    2.0 * (g - 1.0) / g * bytes / link.bandwidth + 2.0 * (g - 1.0) * link.latency
+}
+
+/// Ring all-gather time: each rank ends with the full `bytes` buffer.
+///
+/// `bytes` is the size of the *gathered result* (the full buffer).
+pub fn all_gather_time(bytes: f64, group: u32, link: LinkSpec) -> f64 {
+    assert!(bytes >= 0.0 && group >= 1);
+    if group == 1 || bytes == 0.0 {
+        return 0.0;
+    }
+    let g = group as f64;
+    (g - 1.0) / g * bytes / link.bandwidth + (g - 1.0) * link.latency
+}
+
+/// Ring reduce-scatter time; `bytes` is the size of the *input* buffer.
+pub fn reduce_scatter_time(bytes: f64, group: u32, link: LinkSpec) -> f64 {
+    // Symmetric to all-gather.
+    all_gather_time(bytes, group, link)
+}
+
+/// Point-to-point send of `bytes` (pipeline stage boundary).
+pub fn p2p_time(bytes: f64, link: LinkSpec) -> f64 {
+    assert!(bytes >= 0.0);
+    if bytes == 0.0 {
+        return 0.0;
+    }
+    link.transfer_time(bytes)
+}
+
+/// Binomial-tree broadcast of `bytes` to `group` ranks.
+pub fn broadcast_time(bytes: f64, group: u32, link: LinkSpec) -> f64 {
+    assert!(bytes >= 0.0 && group >= 1);
+    if group == 1 || bytes == 0.0 {
+        return 0.0;
+    }
+    let steps = (group as f64).log2().ceil();
+    steps * link.transfer_time(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> LinkSpec {
+        LinkSpec::new(10e9, 1e-5)
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        assert_eq!(all_reduce_time(1e9, 1, link()), 0.0);
+        assert_eq!(all_gather_time(1e9, 1, link()), 0.0);
+        assert_eq!(reduce_scatter_time(1e9, 1, link()), 0.0);
+        assert_eq!(broadcast_time(1e9, 1, link()), 0.0);
+    }
+
+    #[test]
+    fn all_reduce_is_twice_all_gather_in_bandwidth_term() {
+        // With zero latency the ratio is exactly 2.
+        let l = LinkSpec::new(10e9, 0.0);
+        let ar = all_reduce_time(1e9, 8, l);
+        let ag = all_gather_time(1e9, 8, l);
+        assert!((ar / ag - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_reduce_bandwidth_term_saturates_with_group_size() {
+        let l = LinkSpec::new(10e9, 0.0);
+        // (g-1)/g grows toward 1, so time grows but is bounded by 2V/B.
+        let t8 = all_reduce_time(1e9, 8, l);
+        let t64 = all_reduce_time(1e9, 64, l);
+        assert!(t64 > t8);
+        assert!(t64 < 2.0 * 1e9 / 10e9 + 1e-9);
+    }
+
+    #[test]
+    fn p2p_and_broadcast_scale_with_bytes() {
+        assert!(p2p_time(2e9, link()) > p2p_time(1e9, link()));
+        assert!(broadcast_time(1e9, 8, link()) > p2p_time(1e9, link()));
+        assert_eq!(p2p_time(0.0, link()), 0.0);
+    }
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let t = all_reduce_time(8.0, 32, link());
+        // 62 latency hops of 10 us each ≈ 620 us >> bandwidth term.
+        assert!(t > 6e-4 && t < 7e-4, "got {t}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn collectives_monotone_in_bytes(
+            b1 in 1.0f64..1e10,
+            factor in 1.01f64..10.0,
+            group in 2u32..64,
+        ) {
+            let l = LinkSpec::new(12e9, 1e-5);
+            let b2 = b1 * factor;
+            prop_assert!(all_reduce_time(b2, group, l) > all_reduce_time(b1, group, l));
+            prop_assert!(all_gather_time(b2, group, l) > all_gather_time(b1, group, l));
+            prop_assert!(p2p_time(b2, l) > p2p_time(b1, l));
+        }
+
+        #[test]
+        fn all_reduce_equals_ag_plus_rs(bytes in 1.0f64..1e10, group in 2u32..64) {
+            // Ring all-reduce = reduce-scatter + all-gather, exactly.
+            let l = LinkSpec::new(12e9, 2e-5);
+            let ar = all_reduce_time(bytes, group, l);
+            let sum = reduce_scatter_time(bytes, group, l) + all_gather_time(bytes, group, l);
+            prop_assert!((ar - sum).abs() < 1e-12 * ar.max(1.0));
+        }
+
+        #[test]
+        fn faster_links_are_never_slower(
+            bytes in 1.0f64..1e10,
+            group in 2u32..32,
+            bw in 1e9f64..100e9,
+        ) {
+            let slow = LinkSpec::new(bw, 1e-5);
+            let fast = LinkSpec::new(bw * 2.0, 1e-5);
+            prop_assert!(all_reduce_time(bytes, group, fast) <= all_reduce_time(bytes, group, slow));
+        }
+    }
+}

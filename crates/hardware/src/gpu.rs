@@ -1,0 +1,143 @@
+//! GPU device specifications.
+
+use serde::{Deserialize, Serialize};
+
+use crate::GIB;
+
+/// Static description of one GPU model.
+///
+/// The two concrete constructors match the paper's testbeds (Table 3):
+/// [`GpuSpec::l4`] (GCP, PCIe-only, 24 GB) and [`GpuSpec::a100_40g`]
+/// (AWS p4d, NVLink, 40 GB). Numbers are public datasheet values with
+/// achievable-efficiency knobs chosen so the qualitative trade-offs of the
+/// paper hold (L4: memory- and bandwidth-starved; A100: compute-rich,
+/// fast interconnect).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"NVIDIA L4"`.
+    pub name: String,
+    /// Usable device memory in bytes (total minus framework reserve).
+    pub memory_bytes: f64,
+    /// Dense half-precision tensor-core peak, in FLOP/s.
+    pub peak_half_flops: f64,
+    /// Device memory bandwidth in bytes/s (bounds memory-bound kernels).
+    pub hbm_bandwidth: f64,
+    /// Host link (PCIe) bandwidth per direction in bytes/s, as achieved by
+    /// pinned-memory cudaMemcpy (offloading uses this).
+    pub pcie_bandwidth: f64,
+    /// Fixed per-kernel launch overhead in seconds.
+    pub kernel_overhead: f64,
+    /// Peak fraction of `peak_half_flops` large GEMMs actually achieve.
+    pub matmul_max_efficiency: f64,
+    /// FLOP count at which GEMM efficiency reaches half of its maximum;
+    /// smaller kernels run proportionally less efficiently (tile quantization,
+    /// launch latency). This is what makes larger micro-batches faster per
+    /// sample — a key effect the paper exploits (§3.1 "kernel efficiency").
+    pub matmul_half_efficiency_flops: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA L4 (Ada, 24 GB, PCIe Gen4).
+    ///
+    /// 121 TFLOPS dense FP16/BF16, ~300 GB/s GDDR6, PCIe Gen4 x16
+    /// (~24 GB/s achievable). ~2 GiB reserved for context/framework.
+    pub fn l4() -> Self {
+        GpuSpec {
+            name: "NVIDIA L4".to_owned(),
+            memory_bytes: 22.0 * GIB,
+            peak_half_flops: 121e12,
+            hbm_bandwidth: 300e9,
+            pcie_bandwidth: 24e9,
+            kernel_overhead: 6e-6,
+            matmul_max_efficiency: 0.62,
+            matmul_half_efficiency_flops: 3.0e10,
+        }
+    }
+
+    /// NVIDIA A100-SXM4-40GB (Ampere, NVLink3).
+    ///
+    /// 312 TFLOPS dense FP16/BF16, 1555 GB/s HBM2e, PCIe Gen4 x16.
+    pub fn a100_40g() -> Self {
+        GpuSpec {
+            name: "NVIDIA A100 40GB".to_owned(),
+            memory_bytes: 38.0 * GIB,
+            peak_half_flops: 312e12,
+            hbm_bandwidth: 1555e9,
+            pcie_bandwidth: 24e9,
+            kernel_overhead: 5e-6,
+            matmul_max_efficiency: 0.70,
+            matmul_half_efficiency_flops: 8.0e10,
+        }
+    }
+
+    /// Efficiency of a GEMM with the given FLOP count, in `(0, max]`.
+    ///
+    /// Uses a saturating curve `max · f / (f + f_half)`: tiny kernels waste
+    /// most of the machine, large kernels approach `matmul_max_efficiency`.
+    pub fn matmul_efficiency(&self, flops: f64) -> f64 {
+        assert!(flops > 0.0, "matmul with non-positive flops");
+        self.matmul_max_efficiency * flops / (flops + self.matmul_half_efficiency_flops)
+    }
+
+    /// Wall-clock seconds for a dense GEMM of `flops` FLOPs.
+    pub fn matmul_time(&self, flops: f64) -> f64 {
+        flops / (self.peak_half_flops * self.matmul_efficiency(flops)) + self.kernel_overhead
+    }
+
+    /// Wall-clock seconds for a memory-bound kernel moving `bytes` bytes.
+    pub fn membound_time(&self, bytes: f64) -> f64 {
+        assert!(bytes >= 0.0);
+        bytes / self.hbm_bandwidth + self.kernel_overhead
+    }
+
+    /// Host transfer time for `bytes` over PCIe (one direction).
+    pub fn host_transfer_time(&self, bytes: f64) -> f64 {
+        assert!(bytes >= 0.0);
+        bytes / self.pcie_bandwidth + 10e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l4_and_a100_differ_in_the_right_direction() {
+        let l4 = GpuSpec::l4();
+        let a100 = GpuSpec::a100_40g();
+        assert!(a100.memory_bytes > l4.memory_bytes);
+        assert!(a100.peak_half_flops > l4.peak_half_flops);
+        assert!(a100.hbm_bandwidth > l4.hbm_bandwidth);
+    }
+
+    #[test]
+    fn efficiency_is_monotonic_and_bounded() {
+        let gpu = GpuSpec::l4();
+        let mut prev = 0.0;
+        for exp in 6..15 {
+            let eff = gpu.matmul_efficiency(10f64.powi(exp));
+            assert!(eff > prev, "efficiency must increase with size");
+            assert!(eff <= gpu.matmul_max_efficiency);
+            prev = eff;
+        }
+    }
+
+    #[test]
+    fn larger_gemms_have_better_throughput() {
+        let gpu = GpuSpec::l4();
+        let small = gpu.matmul_time(1e9);
+        let large = gpu.matmul_time(1e12);
+        // Throughput = flops/time must improve with size.
+        assert!(1e12 / large > 1e9 / small);
+    }
+
+    #[test]
+    fn times_are_positive_and_scale() {
+        let gpu = GpuSpec::a100_40g();
+        assert!(gpu.membound_time(1e9) > 0.0);
+        assert!(gpu.host_transfer_time(2e9) > gpu.host_transfer_time(1e9));
+        // 1 GB over ~24 GB/s PCIe is about 42 ms.
+        let t = gpu.host_transfer_time(1e9);
+        assert!(t > 0.03 && t < 0.06, "got {t}");
+    }
+}

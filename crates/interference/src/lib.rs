@@ -1,0 +1,18 @@
+//! Interference model for concurrently running kernel classes
+//! (paper §5.2.2, Algorithm 1).
+//!
+//! When computation, NCCL (GPU↔GPU), D2H and H2D copies run at the same
+//! time they slow each other down — on the PCIe-only L4 boxes, NCCL and
+//! host copies literally share the bus. Mist assigns every combination of
+//! co-running kernel classes a set of *slowdown factors* and resolves a
+//! 4-tuple of per-stream busy times into a wall-clock prediction by
+//! progressively consuming the overlap (Algorithm 1). A data-driven pass
+//! fits the factors against measured samples — here produced by the
+//! `mist-sim` discrete-event simulator, which hides its own ground-truth
+//! law (see DESIGN.md).
+
+mod fit;
+mod model;
+
+pub use fit::{fit, FitReport};
+pub use model::{InterferenceModel, StreamKind, NUM_STREAMS};

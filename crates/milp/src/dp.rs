@@ -1,0 +1,121 @@
+//! Exact dynamic programming for ordered partitions.
+//!
+//! Pipeline-stage problems have a special structure: `L` identical layers
+//! are split into `S` contiguous groups and each group's cost depends only
+//! on its own size (plus which resource slice it gets). This DP solves the
+//! min–max version exactly and is used as an independent cross-check of
+//! the branch-and-bound MILP results in the inter-stage tuner tests.
+
+/// Splits `total_items` into exactly `num_groups` contiguous non-empty
+/// groups minimizing the *maximum* group cost.
+///
+/// `cost(group_index, items_in_group)` returns the group's cost, or
+/// `f64::INFINITY` when that size is infeasible for the group.
+///
+/// Returns `(sizes, max_cost)` or `None` when no feasible split exists.
+///
+/// # Example
+///
+/// ```
+/// use mist_milp::partition_min_max;
+///
+/// // 10 layers over 3 equal stages: best max is ceil(10/3) = 4.
+/// let (sizes, cost) = partition_min_max(10, 3, |_, n| n as f64).unwrap();
+/// assert_eq!(cost, 4.0);
+/// assert_eq!(sizes.iter().sum::<u32>(), 10);
+/// ```
+pub fn partition_min_max(
+    total_items: u32,
+    num_groups: u32,
+    cost: impl Fn(u32, u32) -> f64,
+) -> Option<(Vec<u32>, f64)> {
+    if num_groups == 0 || total_items < num_groups {
+        return None;
+    }
+    let l = total_items as usize;
+    let s = num_groups as usize;
+    // best[g][n] = minimal max-cost using groups 0..=g over n items.
+    let mut best = vec![vec![f64::INFINITY; l + 1]; s];
+    let mut choice = vec![vec![0u32; l + 1]; s];
+    for n in 1..=l {
+        best[0][n] = cost(0, n as u32);
+    }
+    for g in 1..s {
+        for n in (g + 1)..=l {
+            for take in 1..=(n - g) {
+                let c = cost(g as u32, take as u32);
+                let prev = best[g - 1][n - take];
+                let m = c.max(prev);
+                if m < best[g][n] {
+                    best[g][n] = m;
+                    choice[g][n] = take as u32;
+                }
+            }
+        }
+    }
+    if !best[s - 1][l].is_finite() {
+        return None;
+    }
+    // Reconstruct.
+    let mut sizes = vec![0u32; s];
+    let mut n = l;
+    for g in (1..s).rev() {
+        let take = choice[g][n];
+        sizes[g] = take;
+        n -= take as usize;
+    }
+    sizes[0] = n as u32;
+    Some((sizes, best[s - 1][l]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_is_optimal_for_linear_costs() {
+        let (sizes, cost) = partition_min_max(16, 4, |_, n| n as f64).unwrap();
+        assert_eq!(sizes, vec![4, 4, 4, 4]);
+        assert_eq!(cost, 4.0);
+    }
+
+    #[test]
+    fn heterogeneous_group_speeds() {
+        // Group 0 runs 2× faster: it should take more items.
+        let (sizes, _) =
+            partition_min_max(12, 2, |g, n| if g == 0 { n as f64 * 0.5 } else { n as f64 })
+                .unwrap();
+        assert!(sizes[0] > sizes[1], "{sizes:?}");
+        assert_eq!(sizes.iter().sum::<u32>(), 12);
+    }
+
+    #[test]
+    fn infeasible_sizes_are_avoided() {
+        // Groups cannot take more than 3 items.
+        let (sizes, _) =
+            partition_min_max(9, 3, |_, n| if n > 3 { f64::INFINITY } else { n as f64 }).unwrap();
+        assert_eq!(sizes, vec![3, 3, 3]);
+        // 10 items cannot fit 3 groups of ≤ 3.
+        assert!(
+            partition_min_max(10, 3, |_, n| if n > 3 { f64::INFINITY } else { n as f64 }).is_none()
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(partition_min_max(3, 4, |_, n| n as f64).is_none());
+        assert!(partition_min_max(5, 0, |_, n| n as f64).is_none());
+        let (sizes, cost) = partition_min_max(5, 1, |_, n| n as f64 * 2.0).unwrap();
+        assert_eq!(sizes, vec![5]);
+        assert_eq!(cost, 10.0);
+    }
+
+    #[test]
+    fn nonmonotonic_costs_still_exact() {
+        // Cost favours size exactly 2.
+        let f = |_: u32, n: u32| if n == 2 { 1.0 } else { 10.0 + n as f64 };
+        let (sizes, cost) = partition_min_max(8, 4, f).unwrap();
+        assert_eq!(sizes, vec![2, 2, 2, 2]);
+        assert_eq!(cost, 1.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! A small Mixed-Integer Linear Programming toolkit.
+//!
+//! The paper reformulates inter-stage tuning (Eq. 2) as an MILP and hands
+//! it to the off-the-shelf CBC solver [28]. CBC does not exist in this
+//! offline Rust environment, so this crate is the substitute substrate:
+//!
+//! * [`Lp`] / [`solve_lp`] — dense two-phase primal simplex with Bland's
+//!   anti-cycling rule, variable bounds, and ≤/≥/= constraints.
+//! * [`Milp`] / [`solve_milp`] — best-first branch-and-bound on the LP
+//!   relaxation with most-fractional branching and incumbent pruning.
+//! * [`partition_min_max`] — an exact dynamic program for the ordered
+//!   partition structure of pipeline-stage problems, used by the tuner as
+//!   an independent cross-check of the MILP solutions.
+//!
+//! Problem sizes in Mist are modest (thousands of binaries, dozens of
+//! rows), well within reach of a textbook implementation.
+
+mod branch_bound;
+mod dp;
+mod lp;
+mod simplex;
+
+pub use branch_bound::{solve_milp, Milp, MilpOptions, MilpOutcome};
+pub use dp::partition_min_max;
+pub use lp::{Constraint, ConstraintOp, Lp, LpOutcome};
+pub use simplex::solve_lp;

@@ -1,0 +1,141 @@
+//! Linear-program model types.
+
+use serde::{Deserialize, Serialize};
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintOp {
+    /// `lhs ≤ rhs`.
+    Le,
+    /// `lhs ≥ rhs`.
+    Ge,
+    /// `lhs = rhs`.
+    Eq,
+}
+
+/// One linear constraint `Σ coeffs·x (op) rhs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Sparse `(variable index, coefficient)` list.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Sense.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program: minimize `objective · x` subject to constraints and
+/// per-variable bounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lp {
+    /// Number of decision variables.
+    pub num_vars: usize,
+    /// Objective coefficients (minimization).
+    pub objective: Vec<f64>,
+    /// Linear constraints.
+    pub constraints: Vec<Constraint>,
+    /// Inclusive `[lower, upper]` bounds per variable. Use
+    /// `f64::NEG_INFINITY` / `f64::INFINITY` for free variables.
+    pub bounds: Vec<(f64, f64)>,
+}
+
+impl Lp {
+    /// Creates an LP with all variables bounded to `[0, +inf)`.
+    pub fn new(num_vars: usize, objective: Vec<f64>) -> Self {
+        assert_eq!(objective.len(), num_vars);
+        Lp {
+            num_vars,
+            objective,
+            constraints: Vec::new(),
+            bounds: vec![(0.0, f64::INFINITY); num_vars],
+        }
+    }
+
+    /// Adds a constraint (builder style).
+    pub fn constrain(
+        &mut self,
+        coeffs: Vec<(usize, f64)>,
+        op: ConstraintOp,
+        rhs: f64,
+    ) -> &mut Self {
+        for &(i, _) in &coeffs {
+            assert!(i < self.num_vars, "constraint references variable {i}");
+        }
+        self.constraints.push(Constraint { coeffs, op, rhs });
+        self
+    }
+
+    /// Sets a variable's bounds.
+    pub fn set_bounds(&mut self, var: usize, lo: f64, hi: f64) -> &mut Self {
+        assert!(lo <= hi, "empty bound interval for variable {var}");
+        self.bounds[var] = (lo, hi);
+        self
+    }
+
+    /// Evaluates the objective at a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Checks a point against all constraints and bounds (tolerance `tol`).
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars {
+            return false;
+        }
+        for (i, &(lo, hi)) in self.bounds.iter().enumerate() {
+            if x[i] < lo - tol || x[i] > hi + tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.coeffs.iter().map(|&(i, a)| a * x[i]).sum();
+            let ok = match c.op {
+                ConstraintOp::Le => lhs <= c.rhs + tol,
+                ConstraintOp::Ge => lhs >= c.rhs - tol,
+                ConstraintOp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LpOutcome {
+    /// Optimal solution found.
+    Optimal {
+        /// Variable values.
+        x: Vec<f64>,
+        /// Objective value.
+        objective: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// Objective unbounded below.
+    Unbounded,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasibility_checker_works() {
+        let mut lp = Lp::new(2, vec![1.0, 1.0]);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Le, 3.0);
+        lp.set_bounds(1, 0.0, 1.0);
+        assert!(lp.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!lp.is_feasible(&[3.0, 1.0], 1e-9));
+        assert!(!lp.is_feasible(&[0.0, 2.0], 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "references variable")]
+    fn out_of_range_constraint_panics() {
+        let mut lp = Lp::new(1, vec![1.0]);
+        lp.constrain(vec![(5, 1.0)], ConstraintOp::Le, 1.0);
+    }
+}

@@ -1,0 +1,408 @@
+//! Architectural description of one transformer model.
+
+use serde::{Deserialize, Serialize};
+
+/// Model family, selecting the layer structure (paper §6.1):
+///
+/// * GPT-3 — classic pre-LN decoder (LayerNorm, GeLU MLP, learned
+///   positional embeddings).
+/// * LLaMa — pre-RMSNorm, rotary embeddings, gated (SwiGLU) MLP.
+/// * Falcon — *parallel* attention + MLP sharing one residual, which cuts
+///   the per-layer tensor-parallel all-reduces from two to one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// GPT-3 style decoder.
+    Gpt3,
+    /// LLaMa style decoder.
+    Llama,
+    /// Falcon style decoder with parallel attention/MLP.
+    Falcon,
+}
+
+impl Family {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Gpt3 => "GPT-3",
+            Family::Llama => "LLaMa",
+            Family::Falcon => "Falcon",
+        }
+    }
+}
+
+/// Which attention kernel the model runs (paper §6.1: FlashAttention is
+/// the "real-world" default; Fig. 12 disables it for Aceso comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttentionImpl {
+    /// Unfused attention materializing the s×s score tensor.
+    Standard,
+    /// Fused FlashAttention: no s² activations, better efficiency.
+    Flash,
+}
+
+/// Megatron-style tensor-parallel sharding of a linear layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Shard {
+    /// Column-parallel: output dimension sharded, input replicated.
+    Column,
+    /// Row-parallel: input dimension sharded, output needs an all-reduce.
+    Row,
+    /// Replicated on every TP rank (norms, embeddings in our model).
+    Replicated,
+}
+
+/// One operator in the traced layer structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerOp {
+    /// Stable name for rendering and debugging (e.g. `"attn.qkv_proj"`).
+    pub name: &'static str,
+    /// What the op is, with its intrinsic dimensions.
+    pub kind: LayerOpKind,
+}
+
+/// Operator kinds appearing in a transformer layer.
+///
+/// Dimensions are *logical* (unsharded); the analyzer divides by the TP
+/// size according to the `Shard` annotation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerOpKind {
+    /// Dense linear `in_dim → out_dim` over every token.
+    Linear {
+        /// Input feature dimension.
+        in_dim: u64,
+        /// Output feature dimension.
+        out_dim: u64,
+        /// TP sharding pattern.
+        shard: Shard,
+    },
+    /// Self-attention core (QKᵀ, softmax, PV); heads are TP-sharded.
+    Attention,
+    /// LayerNorm or RMSNorm over the hidden dimension (family-dependent).
+    Norm,
+    /// Elementwise activation/gating over `elems_per_token · b · s` values
+    /// (GeLU: ffn; SwiGLU gate-mul: ffn; rotary: h).
+    Elementwise {
+        /// Number of elements per token this op touches.
+        elems_per_token: u64,
+        /// Whether the input must be stashed for the backward pass.
+        saves_input: bool,
+    },
+    /// Residual add (no saved activations; backward is a pass-through).
+    Residual,
+    /// Tensor-parallel all-reduce over the activations (b·s·h·2 bytes).
+    /// Appears after row-parallel linears; this is GPU↔GPU (NCCL) time,
+    /// not compute.
+    TpAllReduce,
+}
+
+/// Complete static description of a model instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Family selecting the layer structure.
+    pub family: Family,
+    /// Human-readable name, e.g. `"GPT-3 2.6B"`.
+    pub name: String,
+    /// Number of transformer layers.
+    pub num_layers: u32,
+    /// Hidden dimension `h`.
+    pub hidden: u64,
+    /// Attention head count (divides `hidden`).
+    pub heads: u64,
+    /// MLP inner dimension (4h for GPT/Falcon; SwiGLU-rounded ~8h/3 for LLaMa).
+    pub ffn_hidden: u64,
+    /// Vocabulary size.
+    pub vocab: u64,
+    /// Sequence length of the training workload.
+    pub seq_len: u64,
+    /// Attention kernel.
+    pub attention: AttentionImpl,
+}
+
+impl ModelSpec {
+    /// Parameter count of one transformer layer (no biases, per §6.1).
+    pub fn params_per_layer(&self) -> u64 {
+        let h = self.hidden;
+        let f = self.ffn_hidden;
+        let attn = 4 * h * h; // Q, K, V, O projections.
+        let mlp = match self.family {
+            Family::Llama => 3 * h * f, // Gate, up, down.
+            Family::Gpt3 | Family::Falcon => 2 * h * f,
+        };
+        let norms = match self.family {
+            Family::Falcon => h, // Single shared pre-norm.
+            _ => 2 * h,
+        };
+        attn + mlp + norms
+    }
+
+    /// Parameters outside the transformer stack (embeddings, final norm,
+    /// untied LM head counted once — we model tied embeddings).
+    pub fn embedding_params(&self) -> u64 {
+        let pos = match self.family {
+            Family::Gpt3 => self.seq_len * self.hidden, // Learned positions.
+            _ => 0,                                     // Rotary.
+        };
+        self.vocab * self.hidden + pos + self.hidden
+    }
+
+    /// Total parameter count.
+    pub fn total_params(&self) -> u64 {
+        self.params_per_layer() * self.num_layers as u64 + self.embedding_params()
+    }
+
+    /// The number of TP all-reduces per layer and direction (Falcon's
+    /// parallel attention/MLP halves it — paper §6.1).
+    pub fn tp_allreduces_per_layer(&self) -> u32 {
+        match self.family {
+            Family::Falcon => 1,
+            _ => 2,
+        }
+    }
+
+    /// The traced op structure of one transformer layer, in execution
+    /// order. This is what the symbolic analyzer walks (paper Fig. 9).
+    pub fn layer_ops(&self) -> Vec<LayerOp> {
+        let h = self.hidden;
+        let f = self.ffn_hidden;
+        let mut ops = Vec::new();
+        let push = |ops: &mut Vec<LayerOp>, name: &'static str, kind: LayerOpKind| {
+            ops.push(LayerOp { name, kind });
+        };
+        match self.family {
+            Family::Gpt3 => {
+                push(&mut ops, "ln_1", LayerOpKind::Norm);
+                push(
+                    &mut ops,
+                    "attn.qkv_proj",
+                    LayerOpKind::Linear {
+                        in_dim: h,
+                        out_dim: 3 * h,
+                        shard: Shard::Column,
+                    },
+                );
+                push(&mut ops, "attn.core", LayerOpKind::Attention);
+                push(
+                    &mut ops,
+                    "attn.out_proj",
+                    LayerOpKind::Linear {
+                        in_dim: h,
+                        out_dim: h,
+                        shard: Shard::Row,
+                    },
+                );
+                push(&mut ops, "attn.allreduce", LayerOpKind::TpAllReduce);
+                push(&mut ops, "residual_1", LayerOpKind::Residual);
+                push(&mut ops, "ln_2", LayerOpKind::Norm);
+                push(
+                    &mut ops,
+                    "mlp.fc_in",
+                    LayerOpKind::Linear {
+                        in_dim: h,
+                        out_dim: f,
+                        shard: Shard::Column,
+                    },
+                );
+                push(
+                    &mut ops,
+                    "mlp.gelu",
+                    LayerOpKind::Elementwise {
+                        elems_per_token: f,
+                        saves_input: true,
+                    },
+                );
+                push(
+                    &mut ops,
+                    "mlp.fc_out",
+                    LayerOpKind::Linear {
+                        in_dim: f,
+                        out_dim: h,
+                        shard: Shard::Row,
+                    },
+                );
+                push(&mut ops, "mlp.allreduce", LayerOpKind::TpAllReduce);
+                push(&mut ops, "residual_2", LayerOpKind::Residual);
+            }
+            Family::Llama => {
+                push(&mut ops, "rms_1", LayerOpKind::Norm);
+                push(
+                    &mut ops,
+                    "attn.qkv_proj",
+                    LayerOpKind::Linear {
+                        in_dim: h,
+                        out_dim: 3 * h,
+                        shard: Shard::Column,
+                    },
+                );
+                push(
+                    &mut ops,
+                    "attn.rotary",
+                    LayerOpKind::Elementwise {
+                        elems_per_token: 2 * h,
+                        saves_input: false,
+                    },
+                );
+                push(&mut ops, "attn.core", LayerOpKind::Attention);
+                push(
+                    &mut ops,
+                    "attn.out_proj",
+                    LayerOpKind::Linear {
+                        in_dim: h,
+                        out_dim: h,
+                        shard: Shard::Row,
+                    },
+                );
+                push(&mut ops, "attn.allreduce", LayerOpKind::TpAllReduce);
+                push(&mut ops, "residual_1", LayerOpKind::Residual);
+                push(&mut ops, "rms_2", LayerOpKind::Norm);
+                push(
+                    &mut ops,
+                    "mlp.gate_proj",
+                    LayerOpKind::Linear {
+                        in_dim: h,
+                        out_dim: f,
+                        shard: Shard::Column,
+                    },
+                );
+                push(
+                    &mut ops,
+                    "mlp.up_proj",
+                    LayerOpKind::Linear {
+                        in_dim: h,
+                        out_dim: f,
+                        shard: Shard::Column,
+                    },
+                );
+                push(
+                    &mut ops,
+                    "mlp.swiglu",
+                    LayerOpKind::Elementwise {
+                        elems_per_token: 2 * f,
+                        saves_input: true,
+                    },
+                );
+                push(
+                    &mut ops,
+                    "mlp.down_proj",
+                    LayerOpKind::Linear {
+                        in_dim: f,
+                        out_dim: h,
+                        shard: Shard::Row,
+                    },
+                );
+                push(&mut ops, "mlp.allreduce", LayerOpKind::TpAllReduce);
+                push(&mut ops, "residual_2", LayerOpKind::Residual);
+            }
+            Family::Falcon => {
+                push(&mut ops, "ln", LayerOpKind::Norm);
+                push(
+                    &mut ops,
+                    "attn.qkv_proj",
+                    LayerOpKind::Linear {
+                        in_dim: h,
+                        out_dim: 3 * h,
+                        shard: Shard::Column,
+                    },
+                );
+                push(
+                    &mut ops,
+                    "attn.rotary",
+                    LayerOpKind::Elementwise {
+                        elems_per_token: 2 * h,
+                        saves_input: false,
+                    },
+                );
+                push(&mut ops, "attn.core", LayerOpKind::Attention);
+                push(
+                    &mut ops,
+                    "attn.out_proj",
+                    LayerOpKind::Linear {
+                        in_dim: h,
+                        out_dim: h,
+                        shard: Shard::Row,
+                    },
+                );
+                push(
+                    &mut ops,
+                    "mlp.fc_in",
+                    LayerOpKind::Linear {
+                        in_dim: h,
+                        out_dim: f,
+                        shard: Shard::Column,
+                    },
+                );
+                push(
+                    &mut ops,
+                    "mlp.gelu",
+                    LayerOpKind::Elementwise {
+                        elems_per_token: f,
+                        saves_input: true,
+                    },
+                );
+                push(
+                    &mut ops,
+                    "mlp.fc_out",
+                    LayerOpKind::Linear {
+                        in_dim: f,
+                        out_dim: h,
+                        shard: Shard::Row,
+                    },
+                );
+                // Parallel paths share one all-reduce and one residual.
+                push(&mut ops, "allreduce", LayerOpKind::TpAllReduce);
+                push(&mut ops, "residual", LayerOpKind::Residual);
+            }
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{falcon, gpt3, llama, ModelSize};
+
+    #[test]
+    fn layer_structure_has_expected_allreduce_count() {
+        for (spec, want) in [
+            (gpt3(ModelSize::B2_6, 2048, AttentionImpl::Flash), 2u32),
+            (llama(ModelSize::B2_6, 2048, AttentionImpl::Flash), 2),
+            (falcon(ModelSize::B2_6, 2048, AttentionImpl::Flash), 1),
+        ] {
+            let count = spec
+                .layer_ops()
+                .iter()
+                .filter(|op| matches!(op.kind, LayerOpKind::TpAllReduce))
+                .count() as u32;
+            assert_eq!(count, want, "{}", spec.name);
+            assert_eq!(spec.tp_allreduces_per_layer(), want);
+        }
+    }
+
+    #[test]
+    fn llama_has_three_mlp_linears_gpt_two() {
+        let count_linears = |spec: &ModelSpec| {
+            spec.layer_ops()
+                .iter()
+                .filter(|op| matches!(op.kind, LayerOpKind::Linear { .. }))
+                .count()
+        };
+        let g = gpt3(ModelSize::B1_3, 2048, AttentionImpl::Flash);
+        let l = llama(ModelSize::B1_3, 2048, AttentionImpl::Flash);
+        assert_eq!(count_linears(&g), 4); // qkv, out, fc_in, fc_out.
+        assert_eq!(count_linears(&l), 5); // + gate.
+    }
+
+    #[test]
+    fn params_per_layer_close_to_12h2() {
+        for spec in [
+            gpt3(ModelSize::B6_7, 2048, AttentionImpl::Flash),
+            llama(ModelSize::B6_7, 2048, AttentionImpl::Flash),
+            falcon(ModelSize::B6_7, 2048, AttentionImpl::Flash),
+        ] {
+            let got = spec.params_per_layer() as f64;
+            let want = 12.0 * (spec.hidden * spec.hidden) as f64;
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.05, "{}: {got} vs {want}", spec.name);
+        }
+    }
+}

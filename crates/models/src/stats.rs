@@ -1,0 +1,142 @@
+//! Closed-form reference statistics for a model.
+//!
+//! These formulas are the textbook estimates (Megatron/Korthikanti-style);
+//! the symbolic tracer in `mist-graph` derives the same quantities from the
+//! op list, and integration tests assert both agree. Higher layers use the
+//! closed forms for quick sanity checks and documentation dumps.
+
+use crate::arch::{AttentionImpl, ModelSpec};
+
+/// Reference statistics calculator for one model.
+#[derive(Debug, Clone)]
+pub struct ModelStats<'m> {
+    spec: &'m ModelSpec,
+}
+
+impl<'m> ModelStats<'m> {
+    /// Wraps a model spec.
+    pub fn new(spec: &'m ModelSpec) -> Self {
+        ModelStats { spec }
+    }
+
+    /// Forward FLOPs of one transformer layer for micro-batch `b`
+    /// (per-GPU FLOPs are this divided by the TP size).
+    ///
+    /// `2·tokens·params` for the GEMMs plus `4·b·s²·h` for attention.
+    pub fn layer_fwd_flops(&self, b: u64) -> f64 {
+        let s = self.spec.seq_len;
+        let tokens = (b * s) as f64;
+        let gemm_params = (self.spec.params_per_layer()
+            - match self.spec.family {
+                crate::arch::Family::Falcon => self.spec.hidden,
+                _ => 2 * self.spec.hidden,
+            }) as f64;
+        let attn = 4.0 * b as f64 * (s * s) as f64 * self.spec.hidden as f64;
+        2.0 * tokens * gemm_params + attn
+    }
+
+    /// Bytes of fp16 activations stashed per layer per micro-batch when the
+    /// layer is *not* checkpointed, for TP degree `tp`.
+    ///
+    /// Without FlashAttention the s² score tensor dominates at long
+    /// sequence lengths — the effect motivating Fig. 12's memory pressure.
+    pub fn layer_saved_activation_bytes(&self, b: u64, tp: u64) -> f64 {
+        let s = self.spec.seq_len as f64;
+        let h = self.spec.hidden as f64;
+        let f = self.spec.ffn_hidden as f64;
+        let heads = self.spec.heads as f64;
+        let bf = b as f64;
+        let tpf = tp as f64;
+        // Replicated saves: norm inputs + residual streams.
+        let replicated = 2.0 * bf * s * h * self.norm_count();
+        // Sharded saves: qkv (3h), attn out (h), proj input (h), MLP
+        // intermediates (about 2f for GPT, 3f for gated LLaMa).
+        let mlp_elems = match self.spec.family {
+            crate::arch::Family::Llama => 3.0 * f,
+            _ => 2.0 * f,
+        };
+        let sharded = 2.0 * bf * s * (3.0 * h + 2.0 * h + mlp_elems) / tpf;
+        let attention = match self.spec.attention {
+            AttentionImpl::Flash => 4.0 * bf * heads * s / tpf, // Softmax LSE stats (fp32).
+            AttentionImpl::Standard => 2.0 * bf * heads * s * s / tpf * 1.5, // Scores + probs (amortized).
+        };
+        replicated + sharded + attention
+    }
+
+    /// Bytes of the single boundary activation a checkpointed layer keeps.
+    pub fn layer_boundary_bytes(&self, b: u64) -> f64 {
+        2.0 * (b * self.spec.seq_len * self.spec.hidden) as f64
+    }
+
+    fn norm_count(&self) -> f64 {
+        match self.spec.family {
+            crate::arch::Family::Falcon => 1.0,
+            _ => 2.0,
+        }
+    }
+
+    /// Mixed-precision model-state bytes per layer (unsharded): fp16
+    /// params (2/param) + fp16 grads (2) + fp32 master params, momentum,
+    /// variance (12) — the standard 16 bytes/param of ZeRO's analysis.
+    pub fn layer_state_bytes(&self) -> f64 {
+        16.0 * self.spec.params_per_layer() as f64
+    }
+
+    /// Breakdown of the 16 bytes/param: `(param16, grad16, optimizer32)`.
+    pub fn state_breakdown_per_param(&self) -> (f64, f64, f64) {
+        (2.0, 2.0, 12.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{gpt3, llama, ModelSize};
+
+    #[test]
+    fn flops_scale_linearly_with_microbatch_up_to_attention() {
+        let spec = gpt3(ModelSize::B2_6, 2048, AttentionImpl::Flash);
+        let st = ModelStats::new(&spec);
+        let f1 = st.layer_fwd_flops(1);
+        let f4 = st.layer_fwd_flops(4);
+        assert!((f4 / f1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standard_attention_saves_far_more_than_flash() {
+        let mut spec = gpt3(ModelSize::B2_6, 4096, AttentionImpl::Flash);
+        let flash = ModelStats::new(&spec).layer_saved_activation_bytes(1, 1);
+        spec.attention = AttentionImpl::Standard;
+        let std = ModelStats::new(&spec).layer_saved_activation_bytes(1, 1);
+        assert!(std > 2.0 * flash, "std {std:.3e} flash {flash:.3e}");
+    }
+
+    #[test]
+    fn tp_shards_most_of_the_activations() {
+        let spec = gpt3(ModelSize::B6_7, 2048, AttentionImpl::Flash);
+        let st = ModelStats::new(&spec);
+        let tp1 = st.layer_saved_activation_bytes(2, 1);
+        let tp4 = st.layer_saved_activation_bytes(2, 4);
+        assert!(tp4 < tp1);
+        assert!(tp4 > tp1 / 4.0, "replicated part must remain");
+    }
+
+    #[test]
+    fn boundary_is_much_smaller_than_full_activations() {
+        let spec = llama(ModelSize::B6_7, 2048, AttentionImpl::Flash);
+        let st = ModelStats::new(&spec);
+        assert!(st.layer_boundary_bytes(2) * 4.0 < st.layer_saved_activation_bytes(2, 1));
+    }
+
+    #[test]
+    fn state_bytes_are_16x_params() {
+        let spec = gpt3(ModelSize::B1_3, 2048, AttentionImpl::Flash);
+        let st = ModelStats::new(&spec);
+        assert_eq!(
+            st.layer_state_bytes(),
+            16.0 * spec.params_per_layer() as f64
+        );
+        let (p, g, o) = st.state_breakdown_per_param();
+        assert_eq!(p + g + o, 16.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Pipeline iteration-time objectives.
+//!
+//! [`mist_objective`] is the paper's Eq. 1: imbalance-aware, with the
+//! bottleneck term, the pipeline fill/drain term, and the third term that
+//! both charges first/last-microbatch extras *and* credits the overlap of
+//! stage-independent communication into pipeline bubbles (Fig. 10).
+//! The naive objectives used by prior systems are provided for ablation.
+
+use crate::phases::StageStreams;
+
+/// Eq. 1: `(G−1)·max_i t_i + Σ_i t_i + max_i (d_i − Σ_{j<i} t_j)`.
+///
+/// `stages[i]` carries `(t_i, d_i)`; `g` is the gradient-accumulation
+/// step count.
+///
+/// # Panics
+///
+/// Panics on an empty stage list or `g == 0`.
+pub fn mist_objective(stages: &[StageStreams], g: u32) -> f64 {
+    assert!(!stages.is_empty() && g >= 1);
+    let max_t = stages.iter().map(|s| s.t).fold(0.0, f64::max);
+    let sum_t: f64 = stages.iter().map(|s| s.t).sum();
+    let mut third = f64::NEG_INFINITY;
+    let mut prefix = 0.0;
+    for s in stages {
+        third = third.max(s.d - prefix);
+        prefix += s.t;
+    }
+    (g as f64 - 1.0) * max_t + sum_t + third.max(0.0)
+}
+
+/// The "averaged microbatch" objective used by prior auto-planners
+/// (paper Shortcoming #3): spread each stage's delta uniformly over all
+/// microbatches and ignore where it lands.
+pub fn averaged_objective(stages: &[StageStreams], g: u32) -> f64 {
+    assert!(!stages.is_empty() && g >= 1);
+    let avg: Vec<f64> = stages.iter().map(|s| s.t + s.d / g as f64).collect();
+    let max_t = avg.iter().cloned().fold(0.0, f64::max);
+    let sum_t: f64 = avg.iter().sum();
+    (g as f64 - 1.0) * max_t + sum_t
+}
+
+/// The "stable microbatch only" objective: ignore the deltas entirely.
+pub fn stable_only_objective(stages: &[StageStreams], g: u32) -> f64 {
+    assert!(!stages.is_empty() && g >= 1);
+    let max_t = stages.iter().map(|s| s.t).fold(0.0, f64::max);
+    let sum_t: f64 = stages.iter().map(|s| s.t).sum();
+    (g as f64 - 1.0) * max_t + sum_t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(t: f64, d: f64) -> StageStreams {
+        StageStreams { t, d }
+    }
+
+    #[test]
+    fn single_stage_no_delta_is_g_times_t() {
+        let s = [st(2.0, 0.0)];
+        assert_eq!(mist_objective(&s, 5), 5.0 * 2.0);
+        assert_eq!(averaged_objective(&s, 5), 10.0);
+        assert_eq!(stable_only_objective(&s, 5), 10.0);
+    }
+
+    #[test]
+    fn single_stage_delta_adds_once() {
+        let s = [st(2.0, 0.7)];
+        assert_eq!(mist_objective(&s, 4), 4.0 * 2.0 + 0.7);
+    }
+
+    #[test]
+    fn balanced_pipeline_fill_and_drain() {
+        // Classic 1F1B: S stages of t each → (G−1)·t + S·t.
+        let s = [st(1.0, 0.0), st(1.0, 0.0), st(1.0, 0.0), st(1.0, 0.0)];
+        assert_eq!(mist_objective(&s, 8), 7.0 + 4.0);
+    }
+
+    #[test]
+    fn later_stage_delta_hides_in_bubbles() {
+        // Stage 1's delta (0.8) is smaller than the fill time before it
+        // (t_0 = 1.0), so it is fully hidden; stage 0's delta is not.
+        let hidden = [st(1.0, 0.0), st(1.0, 0.8)];
+        let exposed = [st(1.0, 0.8), st(1.0, 0.0)];
+        let base = mist_objective(&[st(1.0, 0.0), st(1.0, 0.0)], 4);
+        assert_eq!(mist_objective(&hidden, 4), base);
+        assert_eq!(mist_objective(&exposed, 4), base + 0.8);
+    }
+
+    #[test]
+    fn averaged_objective_underestimates_front_loaded_delta() {
+        // Exactly the bottleneck-drifting failure mode of Shortcoming #3.
+        let s = [st(1.0, 2.0), st(1.2, 0.0)];
+        let real = mist_objective(&s, 16);
+        let avg = averaged_objective(&s, 16);
+        assert!(avg < real, "avg {avg} must underestimate {real}");
+        let stable = stable_only_objective(&s, 16);
+        assert!(stable < real);
+    }
+
+    #[test]
+    fn bottleneck_stage_dominates_large_g() {
+        let s = [st(1.0, 0.0), st(3.0, 0.0)];
+        let g = 100;
+        let got = mist_objective(&s, g);
+        assert!((got - (99.0 * 3.0 + 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_stage_list_panics() {
+        mist_objective(&[], 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Training-plan and event-schedule types.
+
+use mist_graph::{StageCandidate, StageConfigValues, StagePoint, StageTapes};
+use serde::{Deserialize, Serialize};
+
+/// The fully resolved configuration of one pipeline stage: which devices
+/// it runs on, how it parallelizes, and every memory-optimization knob
+/// (Table 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StagePlan {
+    /// Parallelism candidate (mesh, dp, tp, micro-batch, role).
+    pub candidate: StageCandidate,
+    /// Memory-optimization configuration (L, ckpt, ZeRO, offload ratios).
+    pub config: StageConfigValues,
+}
+
+/// A complete training plan for one model on one cluster — the tuner's
+/// output (paper §5.3: `G`, layer partitions, and per-stage tuples).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingPlan {
+    /// Gradient-accumulation steps `G` (microbatches per iteration).
+    pub grad_accum: u32,
+    /// Per-stage plans, in pipeline order.
+    pub stages: Vec<StagePlan>,
+    /// Global batch size this plan realises
+    /// (`micro_batch · dp · grad_accum`, equal across stages).
+    pub global_batch: u64,
+}
+
+impl TrainingPlan {
+    /// Number of pipeline stages `S`.
+    pub fn num_stages(&self) -> u32 {
+        self.stages.len() as u32
+    }
+
+    /// Total layers across stages.
+    pub fn total_layers(&self) -> u32 {
+        self.stages.iter().map(|s| s.config.layers).sum()
+    }
+
+    /// Total GPUs used.
+    pub fn total_gpus(&self) -> u32 {
+        self.stages.iter().map(|s| s.candidate.mesh.total()).sum()
+    }
+
+    /// Checks internal consistency (batch arithmetic, in-flight counts).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stages.is_empty() {
+            return Err("plan has no stages".into());
+        }
+        let s = self.num_stages();
+        for (i, st) in self.stages.iter().enumerate() {
+            let got = st.candidate.micro_batch * st.candidate.dp as u64 * self.grad_accum as u64;
+            if got != self.global_batch {
+                return Err(format!(
+                    "stage {i}: b·dp·G = {got} but global batch is {}",
+                    self.global_batch
+                ));
+            }
+            let expect_inflight = self.grad_accum.min(s - i as u32);
+            if st.config.inflight != expect_inflight {
+                return Err(format!(
+                    "stage {i}: inflight {} but 1F1B expects {expect_inflight}",
+                    st.config.inflight
+                ));
+            }
+            if st.config.ckpt > st.config.layers {
+                return Err(format!("stage {i}: ckpt exceeds layers"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-stream busy seconds of one task, ordered
+/// `[compute, nccl, d2h, h2d]`.
+pub type StreamSeconds = [f64; 4];
+
+/// One schedulable unit of pipeline work for the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageTask {
+    /// Forward-phase stream seconds of a stable microbatch.
+    pub fwd: StreamSeconds,
+    /// Backward-phase stream seconds of a stable microbatch.
+    pub bwd: StreamSeconds,
+    /// Extra stream seconds folded into the *first* microbatch's forward.
+    pub first_extra: StreamSeconds,
+    /// Extra stream seconds folded into the *last* microbatch's backward.
+    pub last_extra: StreamSeconds,
+    /// Memory shape of the stage, for the simulator's event-level ledger.
+    pub mem: StageMemory,
+}
+
+/// Per-stage memory decomposition consumed by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageMemory {
+    /// Bytes resident across the whole iteration (model states after
+    /// sharding/offloading, working sets, staging buffers).
+    pub resident: f64,
+    /// Activation bytes stashed per in-flight microbatch.
+    pub act_per_mb: f64,
+    /// Transient bytes while a forward task runs.
+    pub transient_fwd: f64,
+    /// Transient bytes while a backward task runs.
+    pub transient_bwd: f64,
+}
+
+/// The event-level lowering of a [`TrainingPlan`]: per-stage task shapes
+/// plus the microbatch count, ready for discrete-event execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationSchedule {
+    /// Microbatches per iteration (`G`).
+    pub grad_accum: u32,
+    /// One task template per stage, pipeline order.
+    pub stages: Vec<StageTask>,
+}
+
+impl IterationSchedule {
+    /// Lowers evaluated stage points into an executable schedule.
+    pub fn from_points(grad_accum: u32, points: &[StagePoint]) -> Self {
+        assert!(grad_accum >= 1 && !points.is_empty());
+        IterationSchedule {
+            grad_accum,
+            stages: points
+                .iter()
+                .map(|p| StageTask {
+                    fwd: p.fwd,
+                    bwd: p.bwd,
+                    first_extra: p.first_extra,
+                    last_extra: p.last_extra,
+                    mem: StageMemory {
+                        resident: p.mem_resident,
+                        act_per_mb: p.mem_act_per_mb,
+                        transient_fwd: p.mem_transient_fwd,
+                        transient_bwd: p.mem_transient_bwd,
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Lowers a plan by evaluating each stage's tapes at its configuration.
+    ///
+    /// `tapes[i]` must be the analysis of `plan.stages[i].candidate`.
+    pub fn from_plan(plan: &TrainingPlan, tapes: &[StageTapes]) -> Self {
+        assert_eq!(plan.stages.len(), tapes.len());
+        let points: Vec<StagePoint> = plan
+            .stages
+            .iter()
+            .zip(tapes)
+            .map(|(st, tp)| tp.eval_point(&st.config))
+            .collect();
+        Self::from_points(plan.grad_accum, &points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mist_graph::StageRole;
+    use mist_hardware::DeviceMesh;
+
+    fn plan(g: u32, stages: u32) -> TrainingPlan {
+        let per_stage: Vec<StagePlan> = (0..stages)
+            .map(|i| {
+                let mut cfg = StageConfigValues::plain(8, g.min(stages - i));
+                cfg.zero = 1;
+                StagePlan {
+                    candidate: StageCandidate {
+                        mesh: DeviceMesh::new(1, 2),
+                        dp: 2,
+                        tp: 1,
+                        micro_batch: 1,
+                        role: StageRole::of(i, stages),
+                    },
+                    config: cfg,
+                }
+            })
+            .collect();
+        TrainingPlan {
+            grad_accum: g,
+            stages: per_stage,
+            global_batch: 2 * g as u64,
+        }
+    }
+
+    #[test]
+    fn valid_plan_passes_validation() {
+        assert_eq!(plan(4, 2).validate(), Ok(()));
+    }
+
+    #[test]
+    fn batch_mismatch_is_caught() {
+        let mut p = plan(4, 2);
+        p.global_batch = 999;
+        assert!(p.validate().unwrap_err().contains("global batch"));
+    }
+
+    #[test]
+    fn wrong_inflight_is_caught() {
+        let mut p = plan(4, 2);
+        p.stages[1].config.inflight = 7;
+        assert!(p.validate().unwrap_err().contains("1F1B"));
+    }
+
+    #[test]
+    fn ckpt_overflow_is_caught() {
+        let mut p = plan(2, 1);
+        p.stages[0].config.ckpt = 100;
+        assert!(p.validate().unwrap_err().contains("ckpt"));
+    }
+
+    #[test]
+    fn schedule_from_points_copies_streams() {
+        let p = StagePoint {
+            mem_fwd: 1.0,
+            mem_bwd: 2.0,
+            mem_resident: 0.5,
+            mem_act_per_mb: 0.25,
+            mem_transient_fwd: 0.1,
+            mem_transient_bwd: 0.2,
+            fwd: [1.0, 0.1, 0.0, 0.0],
+            bwd: [2.0, 0.2, 0.0, 0.0],
+            first_extra: [0.5, 0.0, 0.0, 0.0],
+            last_extra: [0.0, 0.3, 0.0, 0.0],
+        };
+        let sched = IterationSchedule::from_points(3, &[p]);
+        assert_eq!(sched.grad_accum, 3);
+        assert_eq!(sched.stages[0].fwd[0], 1.0);
+        assert_eq!(sched.stages[0].last_extra[1], 0.3);
+    }
+}

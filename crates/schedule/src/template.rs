@@ -1,0 +1,252 @@
+//! The overlapped schedule template (paper Fig. 7).
+//!
+//! The template answers, for every layer slot of a microbatch's forward
+//! and backward passes, *what runs concurrently on each hardware engine*:
+//!
+//! * Forward of layer `k` overlaps the activation swap-out of layer `k−1`
+//!   and the parameter swap-in + all-gather of layer `k+1`.
+//! * Backward of layer `k` overlaps the gradient reduction / swap-out of
+//!   layer `k+1` and the parameter/gradient/activation swap-in +
+//!   all-gather of layer `k−1`.
+//!
+//! The structure is what guarantees layer `k`'s compute never waits for
+//! its own data movement (everything it needs was staged one slot ahead),
+//! and it is checked by the invariants tested below. The simulator's task
+//! shapes and the analyzer's assumption that transfers overlap
+//! phase-local compute both derive from this template.
+
+use serde::{Deserialize, Serialize};
+
+/// Which pass a slot belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TemplatePhase {
+    /// Forward pass.
+    Forward,
+    /// Backward pass.
+    Backward,
+}
+
+/// One operation placed on an engine inside a slot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlotOp {
+    /// Forward or backward compute of layer `k`.
+    Compute {
+        /// Layer index.
+        layer: i64,
+    },
+    /// Activation swap-out (D2H) of layer `k`.
+    ActSwapOut {
+        /// Layer index.
+        layer: i64,
+    },
+    /// Activation swap-in (H2D) of layer `k` for its backward.
+    ActSwapIn {
+        /// Layer index.
+        layer: i64,
+    },
+    /// Parameter swap-in (H2D) of layer `k`.
+    ParamSwapIn {
+        /// Layer index.
+        layer: i64,
+    },
+    /// ZeRO-3 parameter all-gather (NCCL) of layer `k`.
+    ParamAllGather {
+        /// Layer index.
+        layer: i64,
+    },
+    /// Gradient reduction (NCCL) of layer `k`.
+    GradReduce {
+        /// Layer index.
+        layer: i64,
+    },
+    /// Gradient swap-out (D2H) of layer `k`.
+    GradSwapOut {
+        /// Layer index.
+        layer: i64,
+    },
+}
+
+impl SlotOp {
+    /// The layer the op concerns.
+    pub fn layer(&self) -> i64 {
+        match self {
+            SlotOp::Compute { layer }
+            | SlotOp::ActSwapOut { layer }
+            | SlotOp::ActSwapIn { layer }
+            | SlotOp::ParamSwapIn { layer }
+            | SlotOp::ParamAllGather { layer }
+            | SlotOp::GradReduce { layer }
+            | SlotOp::GradSwapOut { layer } => *layer,
+        }
+    }
+}
+
+/// One slot of the template: everything co-scheduled while one layer
+/// computes. Ops outside the `0..num_layers` range are boundary no-ops
+/// and are filtered out.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverlapSlot {
+    /// Pass this slot belongs to.
+    pub phase: TemplatePhase,
+    /// The op on the compute engine.
+    pub compute: SlotOp,
+    /// Ops on the NCCL engine.
+    pub nccl: Vec<SlotOp>,
+    /// Ops on the D2H copy engine.
+    pub d2h: Vec<SlotOp>,
+    /// Ops on the H2D copy engine.
+    pub h2d: Vec<SlotOp>,
+}
+
+/// Builds the Fig. 7 template for a stage of `num_layers` layers.
+///
+/// Flags select which data movements exist: `zero3` (parameter
+/// all-gathers), `weight_offload`, `act_offload`, `grad_offload`.
+pub fn overlap_template(
+    num_layers: u32,
+    zero3: bool,
+    weight_offload: bool,
+    act_offload: bool,
+    grad_offload: bool,
+) -> Vec<OverlapSlot> {
+    assert!(num_layers >= 1);
+    let n = num_layers as i64;
+    let keep = |ops: Vec<SlotOp>| -> Vec<SlotOp> {
+        ops.into_iter()
+            .filter(|op| (0..n).contains(&op.layer()))
+            .collect()
+    };
+    let mut slots = Vec::new();
+    // Forward: compute k ∥ act-out k−1 ∥ prefetch k+1.
+    for k in 0..n {
+        let mut nccl = Vec::new();
+        let mut d2h = Vec::new();
+        let mut h2d = Vec::new();
+        if zero3 {
+            nccl.push(SlotOp::ParamAllGather { layer: k + 1 });
+        }
+        if act_offload {
+            d2h.push(SlotOp::ActSwapOut { layer: k - 1 });
+        }
+        if weight_offload {
+            h2d.push(SlotOp::ParamSwapIn { layer: k + 1 });
+        }
+        slots.push(OverlapSlot {
+            phase: TemplatePhase::Forward,
+            compute: SlotOp::Compute { layer: k },
+            nccl: keep(nccl),
+            d2h: keep(d2h),
+            h2d: keep(h2d),
+        });
+    }
+    // Backward: compute k ∥ grad-reduce/swap-out k+1 ∥ prefetch k−1.
+    for k in (0..n).rev() {
+        let mut nccl = vec![SlotOp::GradReduce { layer: k + 1 }];
+        let mut d2h = Vec::new();
+        let mut h2d = Vec::new();
+        if zero3 {
+            nccl.push(SlotOp::ParamAllGather { layer: k - 1 });
+        }
+        if grad_offload {
+            d2h.push(SlotOp::GradSwapOut { layer: k + 1 });
+        }
+        if act_offload {
+            h2d.push(SlotOp::ActSwapIn { layer: k - 1 });
+        }
+        if weight_offload {
+            h2d.push(SlotOp::ParamSwapIn { layer: k - 1 });
+        }
+        slots.push(OverlapSlot {
+            phase: TemplatePhase::Backward,
+            compute: SlotOp::Compute { layer: k },
+            nccl: keep(nccl),
+            d2h: keep(d2h),
+            h2d: keep(h2d),
+        });
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_has_two_slots_per_layer() {
+        let t = overlap_template(8, true, true, true, true);
+        assert_eq!(t.len(), 16);
+        assert_eq!(
+            t.iter()
+                .filter(|s| s.phase == TemplatePhase::Forward)
+                .count(),
+            8
+        );
+    }
+
+    /// The defining invariant of the overlap schedule: a layer's own data
+    /// movement is never co-scheduled with its own compute — it was staged
+    /// in an earlier slot.
+    #[test]
+    fn no_self_dependency_inside_a_slot() {
+        let t = overlap_template(8, true, true, true, true);
+        for slot in &t {
+            let k = slot.compute.layer();
+            for op in slot.nccl.iter().chain(&slot.d2h).chain(&slot.h2d) {
+                // Gradient ops concern the *previous* backward layer and
+                // are produced, not consumed — allowed to be adjacent but
+                // never the same layer's prefetch.
+                assert_ne!(
+                    op.layer(),
+                    k,
+                    "layer {k} compute overlaps its own transfer {op:?}"
+                );
+            }
+        }
+    }
+
+    /// Every layer's parameters are staged before its compute slot when
+    /// offloading/ZeRO-3 is on.
+    #[test]
+    fn prefetch_precedes_compute() {
+        let t = overlap_template(6, true, true, false, false);
+        let fwd: Vec<&OverlapSlot> = t
+            .iter()
+            .filter(|s| s.phase == TemplatePhase::Forward)
+            .collect();
+        for (idx, slot) in fwd.iter().enumerate() {
+            let k = slot.compute.layer();
+            if k == 0 {
+                continue; // Layer 0 is staged during the previous iteration.
+            }
+            let staged_earlier = fwd[..idx].iter().any(|s| {
+                s.h2d
+                    .iter()
+                    .any(|op| matches!(op, SlotOp::ParamSwapIn { layer } if *layer == k))
+            });
+            assert!(staged_earlier, "layer {k} params not prefetched");
+        }
+    }
+
+    #[test]
+    fn flags_gate_engine_usage() {
+        let bare = overlap_template(4, false, false, false, false);
+        assert!(bare.iter().all(|s| s.d2h.is_empty() && s.h2d.is_empty()));
+        // Gradient reduction exists even without offloading.
+        assert!(bare
+            .iter()
+            .filter(|s| s.phase == TemplatePhase::Backward)
+            .any(|s| !s.nccl.is_empty()));
+        let with_ao = overlap_template(4, false, false, true, false);
+        assert!(with_ao.iter().any(|s| !s.d2h.is_empty()));
+    }
+
+    #[test]
+    fn boundary_ops_are_filtered() {
+        let t = overlap_template(2, true, true, true, true);
+        for slot in &t {
+            for op in slot.nccl.iter().chain(&slot.d2h).chain(&slot.h2d) {
+                assert!((0..2).contains(&op.layer()));
+            }
+        }
+    }
+}

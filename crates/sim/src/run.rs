@@ -1,0 +1,502 @@
+//! The 1F1B discrete-event executor.
+//!
+//! Executes an [`IterationSchedule`] under the classic one-forward-
+//! one-backward pipeline schedule: stage `s` runs `min(G, S−s)` warmup
+//! forwards, then alternates backward/forward, then drains. Cross-stage
+//! dependencies (activations flow down, gradients flow up) and per-stage
+//! serial execution are enforced event by event; task durations come from
+//! the hidden [`GroundTruth`] law.
+
+use mist_schedule::{IterationSchedule, StageTask};
+use serde::{Deserialize, Serialize};
+
+use crate::ledger::MemoryLedger;
+use crate::truth::GroundTruth;
+
+/// Kind of a scheduled stage task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// The first-microbatch extras: the decoupled optimizer step
+    /// repositioned before the first forward, state swap-ins and the
+    /// updated-parameter all-gather (paper §5.1). Independent of upstream
+    /// stages, so it runs inside the pipeline-fill bubble — the overlap
+    /// credited by Eq. 1's third term.
+    FirstExtra,
+    /// Forward pass of one microbatch.
+    Forward,
+    /// Backward pass of one microbatch.
+    Backward,
+}
+
+/// One executed task, for traces and Gantt-style dumps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Pipeline stage.
+    pub stage: u32,
+    /// Microbatch index.
+    pub microbatch: u32,
+    /// Forward or backward.
+    pub kind: TaskKind,
+    /// Start time (seconds from iteration start).
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+}
+
+/// Result of simulating one training iteration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Measured wall-clock iteration time (seconds).
+    pub iteration_time: f64,
+    /// Measured peak memory per stage (bytes, includes allocator
+    /// overhead).
+    pub stage_peak_mem: Vec<f64>,
+    /// Per-stage busy fraction (Σ task durations / iteration time).
+    pub stage_utilization: Vec<f64>,
+    /// Full task trace in execution order.
+    pub records: Vec<TaskRecord>,
+}
+
+impl SimReport {
+    /// Throughput in samples/second for a given global batch.
+    pub fn throughput(&self, global_batch: u64) -> f64 {
+        global_batch as f64 / self.iteration_time
+    }
+
+    /// Total bubble (idle) fraction across stages.
+    pub fn bubble_fraction(&self) -> f64 {
+        let s = self.stage_utilization.len() as f64;
+        1.0 - self.stage_utilization.iter().sum::<f64>() / s
+    }
+}
+
+/// Builds stage `s`'s 1F1B task order for `g` microbatches in an
+/// `s_total`-stage pipeline.
+fn one_f_one_b_order(stage: u32, s_total: u32, g: u32) -> Vec<(TaskKind, u32)> {
+    let warmup = g.min(s_total - stage);
+    let mut order = Vec::with_capacity(2 * g as usize + 1);
+    order.push((TaskKind::FirstExtra, 0));
+    for m in 0..warmup {
+        order.push((TaskKind::Forward, m));
+    }
+    let mut next_f = warmup;
+    let mut next_b = 0;
+    while next_f < g {
+        order.push((TaskKind::Backward, next_b));
+        next_b += 1;
+        order.push((TaskKind::Forward, next_f));
+        next_f += 1;
+    }
+    while next_b < g {
+        order.push((TaskKind::Backward, next_b));
+        next_b += 1;
+    }
+    order
+}
+
+fn add4(a: [f64; 4], b: [f64; 4]) -> [f64; 4] {
+    [a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]]
+}
+
+fn task_streams(task: &StageTask, kind: TaskKind, mb: u32, g: u32) -> [f64; 4] {
+    match kind {
+        TaskKind::FirstExtra => task.first_extra,
+        TaskKind::Forward => task.fwd,
+        TaskKind::Backward if mb + 1 == g => add4(task.bwd, task.last_extra),
+        TaskKind::Backward => task.bwd,
+    }
+}
+
+/// Simulates one training iteration of `schedule` on the `truth` law.
+///
+/// # Panics
+///
+/// Panics on an internally inconsistent schedule (a scheduling deadlock
+/// or stash underflow) — these indicate bugs, not user errors.
+pub fn simulate(schedule: &IterationSchedule, truth: &GroundTruth) -> SimReport {
+    let s_total = schedule.stages.len() as u32;
+    let g = schedule.grad_accum;
+    assert!(s_total >= 1 && g >= 1);
+
+    let orders: Vec<Vec<(TaskKind, u32)>> = (0..s_total)
+        .map(|s| one_f_one_b_order(s, s_total, g))
+        .collect();
+    let mut next_idx = vec![0usize; s_total as usize];
+    let mut free_at = vec![0.0f64; s_total as usize];
+    let mut busy = vec![0.0f64; s_total as usize];
+    let mut fwd_done = vec![vec![f64::NAN; g as usize]; s_total as usize];
+    let mut bwd_done = vec![vec![f64::NAN; g as usize]; s_total as usize];
+    let mut ledgers: Vec<MemoryLedger> = schedule
+        .stages
+        .iter()
+        .map(|t| MemoryLedger::new(t.mem.resident, t.mem.act_per_mb))
+        .collect();
+    let mut records = Vec::with_capacity(2 * (g as usize) * s_total as usize);
+
+    let total_tasks: usize = orders.iter().map(|o| o.len()).sum();
+    let mut done = 0usize;
+    while done < total_tasks {
+        // Pick the schedulable task with the earliest start time.
+        let mut best: Option<(u32, f64)> = None; // (stage, start)
+        for s in 0..s_total as usize {
+            if next_idx[s] >= orders[s].len() {
+                continue;
+            }
+            let (kind, mb) = orders[s][next_idx[s]];
+            let dep = match kind {
+                TaskKind::FirstExtra => 0.0,
+                TaskKind::Forward => {
+                    if s == 0 {
+                        0.0
+                    } else {
+                        fwd_done[s - 1][mb as usize]
+                    }
+                }
+                TaskKind::Backward => {
+                    if s + 1 == s_total as usize {
+                        fwd_done[s][mb as usize]
+                    } else {
+                        bwd_done[s + 1][mb as usize]
+                    }
+                }
+            };
+            if dep.is_nan() {
+                continue; // Dependency not yet scheduled.
+            }
+            let start = free_at[s].max(dep);
+            if best.is_none_or(|(_, bs)| start < bs) {
+                best = Some((s as u32, start));
+            }
+        }
+        let (s, start) = best.expect("pipeline schedule deadlocked");
+        let si = s as usize;
+        let (kind, mb) = orders[si][next_idx[si]];
+        next_idx[si] += 1;
+
+        let streams = task_streams(&schedule.stages[si], kind, mb, g);
+        // Under the overlap-centric schedule (Fig. 7), the first
+        // microbatch's extras co-run with the first forward on separate
+        // engines; their cost is the *marginal* wall-clock they add under
+        // this simulator's own interference law, and the task is
+        // schedulable inside the pipeline-fill bubble.
+        let duration = if kind == TaskKind::FirstExtra {
+            let fwd = truth.task_time(schedule.stages[si].fwd, s, mb, false);
+            let merged = add4(schedule.stages[si].fwd, streams);
+            (truth.task_time(merged, s, mb, false) - fwd).max(0.0)
+        } else {
+            truth.task_time(streams, s, mb, kind == TaskKind::Backward)
+        };
+        let end = start + duration;
+
+        let transient = match kind {
+            TaskKind::FirstExtra => 0.0,
+            TaskKind::Forward => schedule.stages[si].mem.transient_fwd,
+            TaskKind::Backward => schedule.stages[si].mem.transient_bwd,
+        };
+        ledgers[si].task_started(transient);
+        match kind {
+            TaskKind::FirstExtra => {}
+            TaskKind::Forward => {
+                ledgers[si].forward_done();
+                fwd_done[si][mb as usize] = end;
+            }
+            TaskKind::Backward => {
+                ledgers[si].backward_done();
+                bwd_done[si][mb as usize] = end;
+            }
+        }
+        free_at[si] = end;
+        busy[si] += duration;
+        records.push(TaskRecord {
+            stage: s,
+            microbatch: mb,
+            kind,
+            start,
+            end,
+        });
+        done += 1;
+    }
+
+    let iteration_time = free_at.iter().cloned().fold(0.0, f64::max);
+    for l in &ledgers {
+        assert_eq!(l.outstanding(), 0, "stash leaked across the iteration");
+    }
+    SimReport {
+        iteration_time,
+        stage_peak_mem: ledgers
+            .iter()
+            .map(|l| l.peak() * truth.allocator_overhead())
+            .collect(),
+        stage_utilization: busy.iter().map(|b| b / iteration_time).collect(),
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mist_hardware::Platform;
+    use mist_schedule::{StageMemory, StageTask};
+
+    fn task(fwd_c: f64, bwd_c: f64) -> StageTask {
+        StageTask {
+            fwd: [fwd_c, 0.0, 0.0, 0.0],
+            bwd: [bwd_c, 0.0, 0.0, 0.0],
+            first_extra: [0.0; 4],
+            last_extra: [0.0; 4],
+            mem: StageMemory {
+                resident: 100.0,
+                act_per_mb: 10.0,
+                transient_fwd: 1.0,
+                transient_bwd: 2.0,
+            },
+        }
+    }
+
+    fn truth() -> GroundTruth {
+        GroundTruth::noiseless(Platform::GcpL4)
+    }
+
+    #[test]
+    fn order_is_one_f_one_b() {
+        let o = one_f_one_b_order(0, 4, 6);
+        // Extras, warmup 4, then B0 F4 B1 F5, then drain B2..B5.
+        assert_eq!(o.len(), 13);
+        assert_eq!(o[0], (TaskKind::FirstExtra, 0));
+        assert_eq!(o[1], (TaskKind::Forward, 0));
+        assert_eq!(o[4], (TaskKind::Forward, 3));
+        assert_eq!(o[5], (TaskKind::Backward, 0));
+        assert_eq!(o[6], (TaskKind::Forward, 4));
+        assert_eq!(o[12], (TaskKind::Backward, 5));
+        // Last stage has warmup 1.
+        let o = one_f_one_b_order(3, 4, 6);
+        assert_eq!(o[1], (TaskKind::Forward, 0));
+        assert_eq!(o[2], (TaskKind::Backward, 0));
+    }
+
+    #[test]
+    fn single_stage_time_is_sum_of_tasks() {
+        let sched = IterationSchedule {
+            grad_accum: 4,
+            stages: vec![task(1.0, 2.0)],
+        };
+        let rep = simulate(&sched, &truth());
+        assert!((rep.iteration_time - 4.0 * 3.0).abs() < 1e-9);
+        assert!((rep.stage_utilization[0] - 1.0).abs() < 1e-9);
+        assert_eq!(rep.records.len(), 9);
+    }
+
+    #[test]
+    fn balanced_pipeline_matches_eq1() {
+        // S equal stages, no deltas: (G−1)·(f+b) + S·(f+b).
+        let s = 4;
+        let g = 8;
+        let sched = IterationSchedule {
+            grad_accum: g,
+            stages: (0..s).map(|_| task(1.0, 2.0)).collect(),
+        };
+        let rep = simulate(&sched, &truth());
+        let want = (g - 1) as f64 * 3.0 + s as f64 * 3.0;
+        assert!(
+            (rep.iteration_time - want).abs() < 1e-9,
+            "sim {} vs eq1 {want}",
+            rep.iteration_time
+        );
+    }
+
+    #[test]
+    fn peak_memory_tracks_inflight_microbatches() {
+        // Stage 0 of a 4-stage pipeline keeps 4 stashes in flight.
+        let s = 4u32;
+        let sched = IterationSchedule {
+            grad_accum: 8,
+            stages: (0..s).map(|_| task(1.0, 2.0)).collect(),
+        };
+        let rep = simulate(&sched, &truth());
+        let overhead = truth().allocator_overhead();
+        // Stage 0: resident 100 + 4 stashes + bwd transient 2.
+        let want0 = (100.0 + 4.0 * 10.0 + 2.0) * overhead;
+        assert!(
+            (rep.stage_peak_mem[0] - want0).abs() < 1e-6,
+            "stage0 {} want {want0}",
+            rep.stage_peak_mem[0]
+        );
+        // Last stage keeps only 1 stash + its transient.
+        let want3 = (100.0 + 10.0 + 2.0) * overhead;
+        assert!((rep.stage_peak_mem[3] - want3).abs() < 1e-6);
+        // Monotone: earlier stages hold more.
+        for w in rep.stage_peak_mem.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn first_and_last_extras_appear_once() {
+        let mut t = task(1.0, 1.0);
+        t.first_extra = [0.5, 0.0, 0.0, 0.0];
+        t.last_extra = [0.25, 0.0, 0.0, 0.0];
+        let sched = IterationSchedule {
+            grad_accum: 4,
+            stages: vec![t],
+        };
+        let rep = simulate(&sched, &truth());
+        assert!((rep.iteration_time - (8.0 + 0.5 + 0.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_stage_sets_the_pace() {
+        let sched = IterationSchedule {
+            grad_accum: 16,
+            stages: vec![task(1.0, 2.0), task(2.0, 4.0), task(1.0, 2.0)],
+        };
+        let rep = simulate(&sched, &truth());
+        // Slow middle stage: iteration ≳ G · 6.
+        assert!(rep.iteration_time >= 16.0 * 6.0);
+        let u = &rep.stage_utilization;
+        assert!(u[1] > u[0] && u[1] > u[2], "bottleneck busiest: {u:?}");
+    }
+
+    #[test]
+    fn records_respect_dependencies() {
+        let sched = IterationSchedule {
+            grad_accum: 4,
+            stages: (0..3).map(|_| task(1.0, 2.0)).collect(),
+        };
+        let rep = simulate(&sched, &truth());
+        let find = |stage, kind, mb| {
+            rep.records
+                .iter()
+                .find(|r| r.stage == stage && r.kind == kind && r.microbatch == mb)
+                .unwrap()
+        };
+        for mb in 0..4 {
+            for s in 1..3 {
+                assert!(
+                    find(s, TaskKind::Forward, mb).start
+                        >= find(s - 1, TaskKind::Forward, mb).end - 1e-12
+                );
+            }
+            for s in 0..2 {
+                assert!(
+                    find(s, TaskKind::Backward, mb).start
+                        >= find(s + 1, TaskKind::Backward, mb).end - 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interference_shows_up_in_measured_time() {
+        let mut t = task(1.0, 2.0);
+        t.fwd = [1.0, 0.8, 0.0, 0.0]; // NCCL overlapping compute.
+        let sched = IterationSchedule {
+            grad_accum: 2,
+            stages: vec![t],
+        };
+        let rep = simulate(&sched, &truth());
+        // Wall-clock per fwd must exceed max(1.0, 0.8) but stay below sum.
+        let fwd = rep
+            .records
+            .iter()
+            .find(|r| r.kind == TaskKind::Forward)
+            .unwrap();
+        let dur = fwd.end - fwd.start;
+        assert!(dur > 1.0 && dur < 1.8, "dur {dur}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mist_hardware::Platform;
+    use mist_schedule::{StageMemory, StageTask};
+    use proptest::prelude::*;
+
+    fn task(fwd: f64, bwd: f64, extra: f64) -> StageTask {
+        StageTask {
+            fwd: [fwd, 0.0, 0.0, 0.0],
+            bwd: [bwd, 0.0, 0.0, 0.0],
+            first_extra: [extra, 0.0, 0.0, 0.0],
+            last_extra: [extra / 2.0, 0.0, 0.0, 0.0],
+            mem: StageMemory {
+                resident: 10.0,
+                act_per_mb: 1.0,
+                transient_fwd: 0.5,
+                transient_bwd: 0.7,
+            },
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Structural invariants of any simulation.
+        #[test]
+        fn simulation_invariants(
+            s in 1usize..6,
+            g in 1u32..10,
+            fwd in 0.2f64..2.0,
+            extra in 0.0f64..1.0,
+        ) {
+            let sched = IterationSchedule {
+                grad_accum: g,
+                stages: (0..s).map(|_| task(fwd, 2.0 * fwd, extra)).collect(),
+            };
+            let rep = simulate(&sched, &GroundTruth::noiseless(Platform::GcpL4));
+            // One FirstExtra + G forwards + G backwards per stage.
+            prop_assert_eq!(rep.records.len(), s * (2 * g as usize + 1));
+            // Utilization bounded.
+            for &u in &rep.stage_utilization {
+                prop_assert!(u > 0.0 && u <= 1.0 + 1e-9, "utilization {u}");
+            }
+            // Tasks on one stage never overlap.
+            for stage in 0..s as u32 {
+                let mut spans: Vec<(f64, f64)> = rep
+                    .records
+                    .iter()
+                    .filter(|r| r.stage == stage)
+                    .map(|r| (r.start, r.end))
+                    .collect();
+                spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+                for w in spans.windows(2) {
+                    prop_assert!(w[0].1 <= w[1].0 + 1e-12, "overlap on stage {stage}");
+                }
+            }
+            // Peak memory at least resident, at most resident + all
+            // stashes + worst transient (with allocator overhead).
+            let t0 = &sched.stages[0];
+            for &m in &rep.stage_peak_mem {
+                prop_assert!(m >= t0.mem.resident);
+                let cap = (t0.mem.resident
+                    + g as f64 * t0.mem.act_per_mb
+                    + t0.mem.transient_bwd.max(t0.mem.transient_fwd))
+                    * 1.015
+                    + 1e-9;
+                prop_assert!(m <= cap, "peak {m} cap {cap}");
+            }
+        }
+
+        /// Throughput decreases monotonically as stages slow down, and
+        /// memory peaks are unaffected by timing.
+        #[test]
+        fn slower_is_never_faster(
+            g in 1u32..8,
+            f1 in 0.2f64..2.0,
+            scale in 1.05f64..3.0,
+        ) {
+            let truth = GroundTruth::noiseless(Platform::GcpL4);
+            let fast = IterationSchedule {
+                grad_accum: g,
+                stages: vec![task(f1, 2.0 * f1, 0.1)],
+            };
+            let slow = IterationSchedule {
+                grad_accum: g,
+                stages: vec![task(f1 * scale, 2.0 * f1 * scale, 0.1)],
+            };
+            let rf = simulate(&fast, &truth);
+            let rs = simulate(&slow, &truth);
+            prop_assert!(rs.iteration_time > rf.iteration_time);
+            prop_assert_eq!(rs.stage_peak_mem[0], rf.stage_peak_mem[0]);
+        }
+    }
+}

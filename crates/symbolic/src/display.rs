@@ -1,0 +1,111 @@
+//! Human-readable rendering of expression DAGs.
+//!
+//! Rendering is only used for debugging and for the "educational" symbolic
+//! dumps (paper §A.5), so it favours readability over minimal parentheses.
+
+use crate::node::{CmpOp, ExprId, Node};
+
+/// Renders expression `root` over the given node arena.
+pub(crate) fn render(nodes: &[Node], symbols: &[String], root: ExprId) -> String {
+    let mut out = String::new();
+    render_into(nodes, symbols, root, &mut out);
+    out
+}
+
+fn render_into(nodes: &[Node], symbols: &[String], id: ExprId, out: &mut String) {
+    match &nodes[id.0 as usize] {
+        Node::Const(c) => {
+            let v = c.to_f64();
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                out.push_str(&format!("{}", v as i64));
+            } else {
+                out.push_str(&format!("{v}"));
+            }
+        }
+        Node::Sym(s) => out.push_str(&symbols[s.0 as usize]),
+        Node::Add(v) => render_nary(nodes, symbols, v, " + ", out),
+        Node::Mul(v) => render_nary(nodes, symbols, v, "*", out),
+        Node::Div(a, b) => {
+            out.push('(');
+            render_into(nodes, symbols, *a, out);
+            out.push_str(" / ");
+            render_into(nodes, symbols, *b, out);
+            out.push(')');
+        }
+        Node::Min(v) => render_call(nodes, symbols, "min", v, out),
+        Node::Max(v) => render_call(nodes, symbols, "max", v, out),
+        Node::Floor(a) => render_call(nodes, symbols, "floor", &[*a], out),
+        Node::Ceil(a) => render_call(nodes, symbols, "ceil", &[*a], out),
+        Node::Cmp(op, a, b) => {
+            let sym = match op {
+                CmpOp::Le => "<=",
+                CmpOp::Lt => "<",
+                CmpOp::Ge => ">=",
+                CmpOp::Gt => ">",
+                CmpOp::Eq => "==",
+            };
+            out.push('(');
+            render_into(nodes, symbols, *a, out);
+            out.push_str(&format!(" {sym} "));
+            render_into(nodes, symbols, *b, out);
+            out.push(')');
+        }
+        Node::Select(c, a, b) => {
+            out.push_str("select(");
+            render_into(nodes, symbols, *c, out);
+            out.push_str(", ");
+            render_into(nodes, symbols, *a, out);
+            out.push_str(", ");
+            render_into(nodes, symbols, *b, out);
+            out.push(')');
+        }
+    }
+}
+
+fn render_nary(nodes: &[Node], symbols: &[String], ops: &[ExprId], sep: &str, out: &mut String) {
+    out.push('(');
+    for (i, op) in ops.iter().enumerate() {
+        if i > 0 {
+            out.push_str(sep);
+        }
+        render_into(nodes, symbols, *op, out);
+    }
+    out.push(')');
+}
+
+fn render_call(nodes: &[Node], symbols: &[String], name: &str, ops: &[ExprId], out: &mut String) {
+    out.push_str(name);
+    out.push('(');
+    for (i, op) in ops.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        render_into(nodes, symbols, *op, out);
+    }
+    out.push(')');
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Context;
+
+    #[test]
+    fn renders_basic_shapes() {
+        let ctx = Context::new();
+        let b = ctx.symbol("b");
+        let h = ctx.symbol("h");
+        let e = (b * h + 1.0).max(ctx.constant(0.0));
+        let s = ctx.render(e);
+        assert!(s.contains("max("), "got: {s}");
+        assert!(s.contains('b') && s.contains('h'), "got: {s}");
+    }
+
+    #[test]
+    fn renders_integral_constants_without_fraction() {
+        let ctx = Context::new();
+        let e = ctx.constant(4096.0);
+        assert_eq!(ctx.render(e), "4096");
+        let e = ctx.constant(0.5);
+        assert_eq!(ctx.render(e), "0.5");
+    }
+}

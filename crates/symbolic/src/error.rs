@@ -1,0 +1,33 @@
+//! Error types for symbolic evaluation.
+
+/// Errors produced when evaluating or compiling symbolic expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SymbolicError {
+    /// A symbol appearing in the expression had no binding.
+    UnboundSymbol(String),
+    /// Evaluation produced a non-finite value (NaN or infinity).
+    NonFinite { detail: String },
+    /// A batched evaluation received columns of mismatched lengths.
+    BatchLengthMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for SymbolicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SymbolicError::UnboundSymbol(name) => {
+                write!(f, "unbound symbol `{name}` during evaluation")
+            }
+            SymbolicError::NonFinite { detail } => {
+                write!(f, "evaluation produced a non-finite value: {detail}")
+            }
+            SymbolicError::BatchLengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "batch column length mismatch: expected {expected}, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SymbolicError {}

@@ -1,0 +1,48 @@
+//! Symbolic expression engine for Mist.
+//!
+//! This crate implements the substrate behind Mist's *symbolic-based
+//! efficient performance analysis* (paper §5.2): instead of re-simulating a
+//! model for every candidate optimization configuration, Mist traces the
+//! model once into expressions over *symbols* (micro-batch size, TP size,
+//! offloading ratios, …) and then evaluates thousands of candidate
+//! configurations by substituting values into those expressions.
+//!
+//! The engine is built around three pieces:
+//!
+//! * [`Context`] — a hash-consing arena. Structurally identical
+//!   sub-expressions are interned once, so the expression DAGs produced by
+//!   tracing a 96-layer transformer stay small.
+//! * [`Expr`] — a lightweight copyable handle with operator overloading.
+//!   Construction performs aggressive local simplification (constant
+//!   folding, `x + 0`, `x * 1`, `min`/`max` collapsing, …).
+//! * [`Tape`] — a compiled flat postfix program for an expression. A tape
+//!   is plain `Send + Sync` data and supports *batched* evaluation: each
+//!   symbol is bound to a column of `f64` values and the whole batch is
+//!   evaluated in one pass. This is what makes the paper's "batched value
+//!   substitution" fast (see the `symbolic_eval` Criterion bench).
+//!
+//! # Example
+//!
+//! ```
+//! use mist_symbolic::Context;
+//!
+//! let ctx = Context::new();
+//! let b = ctx.symbol("b");            // micro-batch size
+//! let tp = ctx.symbol("tp");          // tensor-parallel degree
+//! let bytes = b * 4096.0 * 2.0 / tp;  // activation bytes per layer
+//!
+//! let tape = ctx.compile(bytes);
+//! let got = tape.eval(&[("b", 4.0), ("tp", 2.0)]).unwrap();
+//! assert_eq!(got, 4.0 * 4096.0 * 2.0 / 2.0);
+//! ```
+
+mod context;
+mod display;
+mod error;
+mod node;
+mod tape;
+
+pub use context::{Context, Expr};
+pub use error::SymbolicError;
+pub use node::{CmpOp, ExprId, Node, SymbolId};
+pub use tape::{BatchBindings, Tape};

@@ -1,0 +1,154 @@
+//! Expression node definitions.
+//!
+//! Nodes are stored in a [`crate::Context`] arena and referenced by
+//! [`ExprId`]. N-ary operators (`Add`, `Mul`, `Min`, `Max`) keep their
+//! operands sorted so that hash-consing canonicalizes `a + b` and `b + a`
+//! to the same node.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of an interned symbol inside a [`crate::Context`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SymbolId(pub u32);
+
+/// Index of an interned expression node inside a [`crate::Context`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ExprId(pub u32);
+
+/// Comparison operator used by [`Node::Cmp`].
+///
+/// A comparison evaluates to `1.0` when it holds and `0.0` otherwise, so it
+/// can feed a [`Node::Select`] guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `lhs <= rhs`.
+    Le,
+    /// `lhs < rhs`.
+    Lt,
+    /// `lhs >= rhs`.
+    Ge,
+    /// `lhs > rhs`.
+    Gt,
+    /// `lhs == rhs` (exact `f64` equality; operands are integral in practice).
+    Eq,
+}
+
+impl CmpOp {
+    /// Applies the comparison to concrete values, returning `1.0` or `0.0`.
+    #[inline]
+    pub fn apply(self, lhs: f64, rhs: f64) -> f64 {
+        let holds = match self {
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Eq => lhs == rhs,
+        };
+        if holds {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Bit pattern wrapper making `f64` constants hashable.
+///
+/// `NaN` constants are rejected at construction time by the context, so two
+/// equal constants always share a bit pattern (`-0.0` is normalized to
+/// `0.0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConstBits(pub u64);
+
+impl ConstBits {
+    /// Encodes a finite `f64` (normalizing `-0.0`).
+    #[inline]
+    pub fn from_f64(v: f64) -> Self {
+        let v = if v == 0.0 { 0.0 } else { v };
+        ConstBits(v.to_bits())
+    }
+
+    /// Decodes back to `f64`.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+}
+
+/// An expression node.
+///
+/// The variant set is deliberately small: everything Mist's analyzer emits
+/// (runtime, bytes, peak memory, feasibility guards) is expressible with
+/// arithmetic, `min`/`max`, floor/ceil and guarded selection.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// A finite constant.
+    Const(ConstBits),
+    /// A free symbol (bound at evaluation time).
+    Sym(SymbolId),
+    /// N-ary sum (operands sorted, len >= 2).
+    Add(Vec<ExprId>),
+    /// N-ary product (operands sorted, len >= 2).
+    Mul(Vec<ExprId>),
+    /// `lhs / rhs`.
+    Div(ExprId, ExprId),
+    /// N-ary minimum (operands sorted, len >= 2).
+    Min(Vec<ExprId>),
+    /// N-ary maximum (operands sorted, len >= 2).
+    Max(Vec<ExprId>),
+    /// `floor(x)`.
+    Floor(ExprId),
+    /// `ceil(x)`.
+    Ceil(ExprId),
+    /// Comparison producing `0.0` / `1.0`.
+    Cmp(CmpOp, ExprId, ExprId),
+    /// `if cond != 0 { then } else { other }`.
+    Select(ExprId, ExprId, ExprId),
+}
+
+impl Node {
+    /// Returns the child expression ids of this node, in evaluation order.
+    pub fn children(&self) -> Vec<ExprId> {
+        match self {
+            Node::Const(_) | Node::Sym(_) => Vec::new(),
+            Node::Add(v) | Node::Mul(v) | Node::Min(v) | Node::Max(v) => v.clone(),
+            Node::Div(a, b) | Node::Cmp(_, a, b) => vec![*a, *b],
+            Node::Floor(a) | Node::Ceil(a) => vec![*a],
+            Node::Select(c, a, b) => vec![*c, *a, *b],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert_eq!(CmpOp::Le.apply(1.0, 1.0), 1.0);
+        assert_eq!(CmpOp::Lt.apply(1.0, 1.0), 0.0);
+        assert_eq!(CmpOp::Ge.apply(2.0, 1.0), 1.0);
+        assert_eq!(CmpOp::Gt.apply(1.0, 2.0), 0.0);
+        assert_eq!(CmpOp::Eq.apply(3.0, 3.0), 1.0);
+        assert_eq!(CmpOp::Eq.apply(3.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn const_bits_normalizes_negative_zero() {
+        assert_eq!(ConstBits::from_f64(-0.0), ConstBits::from_f64(0.0));
+        assert_eq!(ConstBits::from_f64(1.5).to_f64(), 1.5);
+    }
+
+    #[test]
+    fn children_cover_all_variants() {
+        let a = ExprId(0);
+        let b = ExprId(1);
+        let c = ExprId(2);
+        assert!(Node::Const(ConstBits::from_f64(1.0)).children().is_empty());
+        assert!(Node::Sym(SymbolId(0)).children().is_empty());
+        assert_eq!(Node::Add(vec![a, b]).children(), vec![a, b]);
+        assert_eq!(Node::Div(a, b).children(), vec![a, b]);
+        assert_eq!(Node::Floor(a).children(), vec![a]);
+        assert_eq!(Node::Select(c, a, b).children(), vec![c, a, b]);
+    }
+}

@@ -1,0 +1,482 @@
+//! Compiled evaluation tapes with scalar and batched execution.
+//!
+//! A [`Tape`] linearizes an expression DAG into SSA form: every unique
+//! sub-expression is computed exactly once into a slot, and later
+//! instructions reference earlier slots. Tapes are plain data (`Send +
+//! Sync`), so the tuner compiles once on the tracing thread and fans
+//! evaluation out across worker threads.
+//!
+//! Batched evaluation is the core of Mist's "single symbolic pass, many
+//! value substitutions" idea: symbols are bound to *columns* and each
+//! instruction processes the whole column, amortizing interpretation
+//! overhead across the batch.
+
+use std::collections::HashMap;
+
+use crate::error::SymbolicError;
+use crate::node::{CmpOp, ExprId, Node, SymbolId};
+
+/// A single SSA instruction. The output slot is the instruction's index.
+#[derive(Debug, Clone)]
+enum Instr {
+    Const(f64),
+    /// Reads input column `usize` (index into [`Tape::symbols`]).
+    Sym(usize),
+    Add(Vec<usize>),
+    Mul(Vec<usize>),
+    Min(Vec<usize>),
+    Max(Vec<usize>),
+    Div(usize, usize),
+    Floor(usize),
+    Ceil(usize),
+    Cmp(CmpOp, usize, usize),
+    Select(usize, usize, usize),
+}
+
+/// A compiled, immutable evaluation program for one expression.
+#[derive(Debug, Clone)]
+pub struct Tape {
+    instrs: Vec<Instr>,
+    /// Names of the symbols this tape reads, in input-slot order.
+    symbols: Vec<String>,
+}
+
+impl Tape {
+    /// Builds a tape from the arena (called by `Context::compile`).
+    pub(crate) fn build(nodes: &[Node], symbol_names: &[String], root: ExprId) -> Tape {
+        let mut slot_of: HashMap<ExprId, usize> = HashMap::new();
+        let mut sym_slot: HashMap<SymbolId, usize> = HashMap::new();
+        let mut symbols: Vec<String> = Vec::new();
+        let mut instrs: Vec<Instr> = Vec::new();
+
+        // Iterative post-order DFS over the DAG.
+        enum Frame {
+            Visit(ExprId),
+            Emit(ExprId),
+        }
+        let mut stack = vec![Frame::Visit(root)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Visit(id) => {
+                    if slot_of.contains_key(&id) {
+                        continue;
+                    }
+                    stack.push(Frame::Emit(id));
+                    for child in nodes[id.0 as usize].children() {
+                        stack.push(Frame::Visit(child));
+                    }
+                }
+                Frame::Emit(id) => {
+                    if slot_of.contains_key(&id) {
+                        continue;
+                    }
+                    let s = |eid: ExprId| slot_of[&eid];
+                    let instr = match &nodes[id.0 as usize] {
+                        Node::Const(c) => Instr::Const(c.to_f64()),
+                        Node::Sym(sid) => {
+                            let slot = *sym_slot.entry(*sid).or_insert_with(|| {
+                                symbols.push(symbol_names[sid.0 as usize].clone());
+                                symbols.len() - 1
+                            });
+                            Instr::Sym(slot)
+                        }
+                        Node::Add(v) => Instr::Add(v.iter().map(|e| s(*e)).collect()),
+                        Node::Mul(v) => Instr::Mul(v.iter().map(|e| s(*e)).collect()),
+                        Node::Min(v) => Instr::Min(v.iter().map(|e| s(*e)).collect()),
+                        Node::Max(v) => Instr::Max(v.iter().map(|e| s(*e)).collect()),
+                        Node::Div(a, b) => Instr::Div(s(*a), s(*b)),
+                        Node::Floor(a) => Instr::Floor(s(*a)),
+                        Node::Ceil(a) => Instr::Ceil(s(*a)),
+                        Node::Cmp(op, a, b) => Instr::Cmp(*op, s(*a), s(*b)),
+                        Node::Select(c, a, b) => Instr::Select(s(*c), s(*a), s(*b)),
+                    };
+                    slot_of.insert(id, instrs.len());
+                    instrs.push(instr);
+                }
+            }
+        }
+
+        Tape { instrs, symbols }
+    }
+
+    /// Names of the free symbols read by this tape.
+    pub fn symbols(&self) -> &[String] {
+        &self.symbols
+    }
+
+    /// Number of SSA instructions (a proxy for evaluation cost).
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the tape is a bare constant.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Evaluates the tape against scalar `(name, value)` bindings.
+    ///
+    /// # Errors
+    ///
+    /// See [`SymbolicError`].
+    pub fn eval(&self, bindings: &[(&str, f64)]) -> Result<f64, SymbolicError> {
+        let inputs = self.resolve_scalar_bindings(bindings)?;
+        self.eval_slots(&inputs)
+    }
+
+    /// Evaluates with inputs already resolved to tape slot order.
+    ///
+    /// `inputs[i]` is the value of `self.symbols()[i]`. This is the fastest
+    /// scalar entry point for hot loops that bind the same symbols
+    /// repeatedly.
+    pub fn eval_slots(&self, inputs: &[f64]) -> Result<f64, SymbolicError> {
+        debug_assert_eq!(inputs.len(), self.symbols.len());
+        let mut slots: Vec<f64> = Vec::with_capacity(self.instrs.len());
+        for instr in &self.instrs {
+            let v = match instr {
+                Instr::Const(c) => *c,
+                Instr::Sym(i) => inputs[*i],
+                Instr::Add(args) => args.iter().map(|&a| slots[a]).sum(),
+                Instr::Mul(args) => args.iter().map(|&a| slots[a]).product(),
+                Instr::Min(args) => args.iter().map(|&a| slots[a]).fold(f64::INFINITY, f64::min),
+                Instr::Max(args) => args
+                    .iter()
+                    .map(|&a| slots[a])
+                    .fold(f64::NEG_INFINITY, f64::max),
+                Instr::Div(a, b) => slots[*a] / slots[*b],
+                Instr::Floor(a) => slots[*a].floor(),
+                Instr::Ceil(a) => slots[*a].ceil(),
+                Instr::Cmp(op, a, b) => op.apply(slots[*a], slots[*b]),
+                Instr::Select(c, a, b) => {
+                    if slots[*c] != 0.0 {
+                        slots[*a]
+                    } else {
+                        slots[*b]
+                    }
+                }
+            };
+            slots.push(v);
+        }
+        let out = *slots.last().expect("tape has at least one instruction");
+        if !out.is_finite() {
+            return Err(SymbolicError::NonFinite {
+                detail: "tape evaluation result".to_owned(),
+            });
+        }
+        Ok(out)
+    }
+
+    fn resolve_scalar_bindings(&self, bindings: &[(&str, f64)]) -> Result<Vec<f64>, SymbolicError> {
+        let mut inputs = vec![f64::NAN; self.symbols.len()];
+        for (i, name) in self.symbols.iter().enumerate() {
+            let mut found = false;
+            for (bname, v) in bindings {
+                if bname == name {
+                    inputs[i] = *v;
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                return Err(SymbolicError::UnboundSymbol(name.clone()));
+            }
+        }
+        Ok(inputs)
+    }
+
+    /// Evaluates the tape over a whole batch of configurations at once.
+    ///
+    /// Returns one output per batch row. Rows whose evaluation is non-finite
+    /// (e.g. a guard divided by zero) are returned as `f64::INFINITY` rather
+    /// than failing the whole batch — the tuner treats them as infeasible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SymbolicError::UnboundSymbol`] if a tape symbol is missing
+    /// from `bindings`, or [`SymbolicError::BatchLengthMismatch`] if a
+    /// column's length differs from the batch length.
+    pub fn eval_batch(&self, bindings: &BatchBindings) -> Result<Vec<f64>, SymbolicError> {
+        let n = bindings.len();
+        // Resolve each tape symbol to its column.
+        let mut columns: Vec<&Column> = Vec::with_capacity(self.symbols.len());
+        for name in &self.symbols {
+            let col = bindings
+                .columns
+                .get(name)
+                .ok_or_else(|| SymbolicError::UnboundSymbol(name.clone()))?;
+            if let Column::Values(v) = col {
+                if v.len() != n {
+                    return Err(SymbolicError::BatchLengthMismatch {
+                        expected: n,
+                        got: v.len(),
+                    });
+                }
+            }
+            columns.push(col);
+        }
+
+        let mut slots: Vec<Vec<f64>> = Vec::with_capacity(self.instrs.len());
+        let mut buf = vec![0.0f64; n];
+        for instr in &self.instrs {
+            match instr {
+                Instr::Const(c) => {
+                    for x in buf.iter_mut() {
+                        *x = *c;
+                    }
+                }
+                Instr::Sym(i) => match columns[*i] {
+                    Column::Scalar(v) => {
+                        for x in buf.iter_mut() {
+                            *x = *v;
+                        }
+                    }
+                    Column::Values(vals) => buf.copy_from_slice(vals),
+                },
+                Instr::Add(args) => {
+                    buf.copy_from_slice(&slots[args[0]]);
+                    for &a in &args[1..] {
+                        let col = &slots[a];
+                        for (x, y) in buf.iter_mut().zip(col) {
+                            *x += *y;
+                        }
+                    }
+                }
+                Instr::Mul(args) => {
+                    buf.copy_from_slice(&slots[args[0]]);
+                    for &a in &args[1..] {
+                        let col = &slots[a];
+                        for (x, y) in buf.iter_mut().zip(col) {
+                            *x *= *y;
+                        }
+                    }
+                }
+                Instr::Min(args) => {
+                    buf.copy_from_slice(&slots[args[0]]);
+                    for &a in &args[1..] {
+                        let col = &slots[a];
+                        for (x, y) in buf.iter_mut().zip(col) {
+                            *x = x.min(*y);
+                        }
+                    }
+                }
+                Instr::Max(args) => {
+                    buf.copy_from_slice(&slots[args[0]]);
+                    for &a in &args[1..] {
+                        let col = &slots[a];
+                        for (x, y) in buf.iter_mut().zip(col) {
+                            *x = x.max(*y);
+                        }
+                    }
+                }
+                Instr::Div(a, b) => {
+                    let (ca, cb) = (&slots[*a], &slots[*b]);
+                    for ((x, p), q) in buf.iter_mut().zip(ca).zip(cb) {
+                        *x = *p / *q;
+                    }
+                }
+                Instr::Floor(a) => {
+                    let ca = &slots[*a];
+                    for (x, p) in buf.iter_mut().zip(ca) {
+                        *x = p.floor();
+                    }
+                }
+                Instr::Ceil(a) => {
+                    let ca = &slots[*a];
+                    for (x, p) in buf.iter_mut().zip(ca) {
+                        *x = p.ceil();
+                    }
+                }
+                Instr::Cmp(op, a, b) => {
+                    let (ca, cb) = (&slots[*a], &slots[*b]);
+                    for ((x, p), q) in buf.iter_mut().zip(ca).zip(cb) {
+                        *x = op.apply(*p, *q);
+                    }
+                }
+                Instr::Select(c, a, b) => {
+                    let (cc, ca, cb) = (&slots[*c], &slots[*a], &slots[*b]);
+                    for (i, x) in buf.iter_mut().enumerate() {
+                        *x = if cc[i] != 0.0 { ca[i] } else { cb[i] };
+                    }
+                }
+            }
+            slots.push(buf.clone());
+        }
+
+        let mut out = slots.pop().expect("tape has at least one instruction");
+        for v in out.iter_mut() {
+            if !v.is_finite() {
+                *v = f64::INFINITY;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A bound column in a batched evaluation.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// The symbol has the same value in every row (broadcast).
+    Scalar(f64),
+    /// One value per row.
+    Values(Vec<f64>),
+}
+
+/// Symbol bindings for [`Tape::eval_batch`].
+///
+/// # Example
+///
+/// ```
+/// use mist_symbolic::{BatchBindings, Context};
+///
+/// let ctx = Context::new();
+/// let b = ctx.symbol("b");
+/// let tp = ctx.symbol("tp");
+/// let tape = ctx.compile(b * 100.0 / tp);
+///
+/// let mut batch = BatchBindings::new(3);
+/// batch.set_values("b", vec![1.0, 2.0, 4.0]);
+/// batch.set_scalar("tp", 2.0);
+/// assert_eq!(tape.eval_batch(&batch).unwrap(), vec![50.0, 100.0, 200.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchBindings {
+    len: usize,
+    columns: HashMap<String, Column>,
+}
+
+impl BatchBindings {
+    /// Creates bindings for a batch of `len` rows.
+    pub fn new(len: usize) -> Self {
+        BatchBindings {
+            len,
+            columns: HashMap::new(),
+        }
+    }
+
+    /// Batch length (number of rows).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the batch has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Binds a symbol to a per-row column of values.
+    pub fn set_values(&mut self, name: &str, values: Vec<f64>) -> &mut Self {
+        self.columns.insert(name.to_owned(), Column::Values(values));
+        self
+    }
+
+    /// Binds a symbol to a broadcast scalar.
+    pub fn set_scalar(&mut self, name: &str, value: f64) -> &mut Self {
+        self.columns.insert(name.to_owned(), Column::Scalar(value));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Context;
+
+    #[test]
+    fn scalar_and_batch_agree() {
+        let ctx = Context::new();
+        let x = ctx.symbol("x");
+        let y = ctx.symbol("y");
+        let e = (x * y + 3.0).max(x / y).min(ctx.constant(1e9));
+        let tape = ctx.compile(e);
+
+        let xs = [1.0, 2.5, 7.0, 0.0];
+        let ys = [2.0, 0.5, 3.0, 1.0];
+        let mut batch = BatchBindings::new(xs.len());
+        batch.set_values("x", xs.to_vec());
+        batch.set_values("y", ys.to_vec());
+        let got = tape.eval_batch(&batch).unwrap();
+        for i in 0..xs.len() {
+            let want = tape.eval(&[("x", xs[i]), ("y", ys[i])]).unwrap();
+            assert_eq!(got[i], want, "row {i}");
+        }
+    }
+
+    #[test]
+    fn batch_nonfinite_rows_become_infinity() {
+        let ctx = Context::new();
+        let x = ctx.symbol("x");
+        let e = 1.0 / x;
+        let tape = ctx.compile(e);
+        let mut batch = BatchBindings::new(2);
+        batch.set_values("x", vec![0.0, 2.0]);
+        let got = tape.eval_batch(&batch).unwrap();
+        assert_eq!(got[0], f64::INFINITY);
+        assert_eq!(got[1], 0.5);
+    }
+
+    #[test]
+    fn batch_length_mismatch_is_rejected() {
+        let ctx = Context::new();
+        let x = ctx.symbol("x");
+        let tape = ctx.compile(x + 1.0);
+        let mut batch = BatchBindings::new(3);
+        batch.set_values("x", vec![1.0, 2.0]);
+        assert!(matches!(
+            tape.eval_batch(&batch),
+            Err(SymbolicError::BatchLengthMismatch {
+                expected: 3,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn missing_column_is_rejected() {
+        let ctx = Context::new();
+        let x = ctx.symbol("x");
+        let tape = ctx.compile(x + 1.0);
+        let batch = BatchBindings::new(1);
+        assert!(matches!(
+            tape.eval_batch(&batch),
+            Err(SymbolicError::UnboundSymbol(_))
+        ));
+    }
+
+    #[test]
+    fn shared_subexpression_computed_once() {
+        let ctx = Context::new();
+        let x = ctx.symbol("x");
+        let shared = (x + 1.0) * (x + 2.0);
+        let e = shared.max(shared * 2.0);
+        let tape = ctx.compile(e);
+        // x, 1, x+1, 2, x+2, mul, 2(shared const), mul2, max — the shared
+        // product must not be duplicated.
+        let muls = tape
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Mul(_)))
+            .count();
+        assert_eq!(muls, 2, "shared product duplicated: {:?}", tape.instrs);
+    }
+
+    #[test]
+    fn tape_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tape>();
+    }
+
+    #[test]
+    fn select_in_batch() {
+        let ctx = Context::new();
+        let z = ctx.symbol("zero_level");
+        let cond = ctx.cmp(crate::CmpOp::Ge, z, ctx.constant(2.0));
+        let e = ctx.select(cond, ctx.constant(10.0), ctx.constant(20.0));
+        let tape = ctx.compile(e);
+        let mut batch = BatchBindings::new(4);
+        batch.set_values("zero_level", vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(
+            tape.eval_batch(&batch).unwrap(),
+            vec![20.0, 20.0, 10.0, 10.0]
+        );
+    }
+}

@@ -1,0 +1,423 @@
+//! The top-level tuning driver.
+//!
+//! Enumerates the outer loop the paper describes in §5.3 — gradient
+//! accumulation steps `G` and pipeline shapes `(S, device assignment)` —
+//! and for each runs intra-stage tuning (Pareto frontiers per layer
+//! count) followed by inter-stage MILP selection. The best plan under the
+//! space's own selector metric wins; its *true* Eq. 1 objective is
+//! reported.
+//!
+//! Uniform-stage spaces (Megatron-LM, DeepSpeed, the Yuan-et-al.
+//! heuristic of §3.3) bypass the MILP: every stage is forced to the same
+//! layer count and optimization knobs, and the driver enumerates those
+//! directly.
+
+use std::time::Instant;
+
+use mist_graph::{StageCandidate, StageConfigValues, StagePoint, StageRole};
+use mist_hardware::{ClusterSpec, DeviceMesh, OpCostDb};
+use mist_interference::InterferenceModel;
+use mist_models::ModelSpec;
+use mist_schedule::{mist_objective, StagePlan, StageStreams, TrainingPlan};
+use serde::{Deserialize, Serialize};
+
+use crate::inter::solve_inter_stage_with_cutoff;
+use crate::intra::{FrontierKey, IntraStageTuner, ParetoPoint};
+use crate::space::{CkptMode, SearchSpace};
+
+/// Tuning statistics (Fig. 16's tuning-time study).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct TuneStats {
+    /// Configurations evaluated through the symbolic tapes.
+    pub configs_evaluated: f64,
+    /// Inter-stage MILP solves.
+    pub milp_solves: u32,
+    /// `(G, S)` outer-loop candidates examined.
+    pub outer_candidates: u32,
+    /// Wall-clock tuning seconds.
+    pub elapsed_secs: f64,
+}
+
+/// The tuner's output: a plan plus its predicted performance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuneOutcome {
+    /// The chosen training plan.
+    pub plan: TrainingPlan,
+    /// Predicted iteration time under Eq. 1 (seconds).
+    pub predicted_iteration: f64,
+    /// Predicted throughput (samples/second).
+    pub predicted_throughput: f64,
+    /// Evaluated stream/memory decomposition per stage (for lowering to
+    /// the simulator without re-analysis).
+    pub stage_points: Vec<StagePoint>,
+    /// Statistics of the tuning run.
+    pub stats: TuneStats,
+}
+
+/// Top-level auto-tuner for one `(model, cluster, search space)`.
+pub struct Tuner<'a> {
+    model: &'a ModelSpec,
+    cluster: &'a ClusterSpec,
+    db: &'a OpCostDb,
+    space: &'a SearchSpace,
+    interference: &'a InterferenceModel,
+    max_grad_accum: u32,
+}
+
+impl<'a> Tuner<'a> {
+    /// Creates a tuner.
+    pub fn new(
+        model: &'a ModelSpec,
+        cluster: &'a ClusterSpec,
+        db: &'a OpCostDb,
+        space: &'a SearchSpace,
+        interference: &'a InterferenceModel,
+    ) -> Self {
+        Tuner {
+            model,
+            cluster,
+            db,
+            space,
+            interference,
+            max_grad_accum: 256,
+        }
+    }
+
+    /// Caps the gradient-accumulation sweep (tuning-time experiments).
+    pub fn with_max_grad_accum(mut self, cap: u32) -> Self {
+        self.max_grad_accum = cap;
+        self
+    }
+
+    /// Gradient-accumulation candidates: divisors of the global batch.
+    fn grad_accum_candidates(&self, global_batch: u64) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut g = 1u64;
+        while g <= global_batch && g <= self.max_grad_accum as u64 {
+            if global_batch.is_multiple_of(g) {
+                out.push(g as u32);
+            }
+            g *= 2;
+        }
+        // Include non-power-of-two divisors for odd batch sizes.
+        if !global_batch.is_power_of_two() {
+            let mut d = 3u64;
+            while d * d <= global_batch && d <= self.max_grad_accum as u64 {
+                if global_batch.is_multiple_of(d) {
+                    out.push(d as u32);
+                }
+                d += 2;
+            }
+            out.sort_unstable();
+            out.dedup();
+        }
+        out
+    }
+
+    /// Pipeline shapes: `S` equal sub-meshes covering the cluster.
+    fn pipeline_shapes(&self) -> Vec<(u32, DeviceMesh)> {
+        let total = self.cluster.total_gpus();
+        let m = self.cluster.gpus_per_node;
+        let mut out = Vec::new();
+        for s in 1..=total.min(self.model.num_layers).min(64) {
+            if !total.is_multiple_of(s) {
+                continue;
+            }
+            let per = total / s;
+            let mesh = if per >= m {
+                if !per.is_multiple_of(m) {
+                    continue;
+                }
+                DeviceMesh::new(per / m, m)
+            } else {
+                if !m.is_multiple_of(per) {
+                    continue;
+                }
+                DeviceMesh::new(1, per)
+            };
+            out.push((s, mesh));
+        }
+        out
+    }
+
+    /// Runs the full hierarchical tuning loop.
+    ///
+    /// Returns `None` when no feasible plan exists in the space (the
+    /// "all OOM" outcome of Fig. 2a).
+    pub fn tune(&self, global_batch: u64) -> Option<TuneOutcome> {
+        assert!(global_batch >= 1);
+        let start = Instant::now();
+        let intra = IntraStageTuner::new(
+            self.model,
+            self.cluster,
+            self.db,
+            self.space,
+            self.interference,
+            global_batch,
+        );
+        let mut stats = TuneStats::default();
+        let mut best: Option<(f64, Vec<ParetoPoint>, u32)> = None; // (selector, points, G)
+
+        for g in self.grad_accum_candidates(global_batch) {
+            for (s, mesh) in self.pipeline_shapes() {
+                stats.outer_candidates += 1;
+                let solution = if self.space.uniform_stages {
+                    self.solve_uniform(&intra, g, s, mesh, global_batch)
+                } else {
+                    let l = self.model.num_layers;
+                    let max_layers = l - (s - 1);
+                    let frontier_handles: Vec<_> = (0..s)
+                        .map(|i| {
+                            intra.frontiers(
+                                FrontierKey {
+                                    mesh,
+                                    role: StageRole::of(i, s),
+                                    inflight: g.min(s - i),
+                                    grad_accum: g,
+                                },
+                                max_layers,
+                            )
+                        })
+                        .collect();
+                    let refs: Vec<&Vec<Vec<ParetoPoint>>> =
+                        frontier_handles.iter().map(|h| h.as_ref()).collect();
+                    stats.milp_solves += 1;
+                    let cutoff = best.as_ref().map_or(f64::INFINITY, |(b, _, _)| *b);
+                    solve_inter_stage_with_cutoff(&refs, l, g, self.space, cutoff).map(|sol| {
+                        (
+                            sol.selector_objective,
+                            sol.choices.into_iter().map(|c| c.point).collect::<Vec<_>>(),
+                        )
+                    })
+                };
+                if let Some((selector, points)) = solution {
+                    if best.as_ref().is_none_or(|(b, _, _)| selector < *b) {
+                        best = Some((selector, points, g));
+                    }
+                }
+            }
+        }
+
+        stats.configs_evaluated = intra.configs_evaluated();
+        stats.elapsed_secs = start.elapsed().as_secs_f64();
+        let (_, points, g) = best?;
+
+        let streams: Vec<StageStreams> = points
+            .iter()
+            .map(|p| StageStreams { t: p.t, d: p.d })
+            .collect();
+        let predicted = mist_objective(&streams, g);
+        let plan = TrainingPlan {
+            grad_accum: g,
+            stages: points
+                .iter()
+                .map(|p| StagePlan {
+                    candidate: p.candidate,
+                    config: p.config,
+                })
+                .collect(),
+            global_batch,
+        };
+        debug_assert_eq!(plan.validate(), Ok(()));
+        Some(TuneOutcome {
+            predicted_iteration: predicted,
+            predicted_throughput: global_batch as f64 / predicted,
+            stage_points: points.iter().map(|p| p.point).collect(),
+            stats,
+            plan,
+        })
+    }
+
+    /// Uniform-stages solver: same layer count and same optimization
+    /// knobs on every stage (§3.3's heuristic and the manual baselines).
+    fn solve_uniform(
+        &self,
+        intra: &IntraStageTuner<'_>,
+        g: u32,
+        s: u32,
+        mesh: DeviceMesh,
+        _global_batch: u64,
+    ) -> Option<(f64, Vec<ParetoPoint>)> {
+        let l_total = self.model.num_layers;
+        if !l_total.is_multiple_of(s) {
+            return None;
+        }
+        let l = l_total / s;
+        let mut best: Option<(f64, Vec<ParetoPoint>)> = None;
+        for (dp, tp, b) in intra.parallelism_options(mesh, g) {
+            for &zero in self.space.zero_levels() {
+                for off in self.space.offload_combos() {
+                    // Uniform checkpoint count: smallest that fits every
+                    // stage (or the mode's fixed value).
+                    let ckpt_candidates: Vec<u32> = match self.space.ckpt {
+                        CkptMode::None => vec![0],
+                        CkptMode::Full => vec![l],
+                        CkptMode::Tuned => (0..=l).collect(),
+                    };
+                    'ckpt: for ckpt in ckpt_candidates {
+                        let mut points = Vec::with_capacity(s as usize);
+                        for i in 0..s {
+                            let cand = StageCandidate {
+                                mesh,
+                                dp,
+                                tp,
+                                micro_batch: b,
+                                role: StageRole::of(i, s),
+                            };
+                            let cfg = StageConfigValues {
+                                layers: l,
+                                ckpt,
+                                zero,
+                                wo: off[0],
+                                go: off[1],
+                                oo: off[2],
+                                ao: off[3],
+                                inflight: g.min(s - i),
+                            };
+                            let p = intra.evaluate_config(&cand, &cfg);
+                            if p.mem_peak > intra.budget() {
+                                continue 'ckpt; // Try more recomputation.
+                            }
+                            points.push(p);
+                        }
+                        let streams: Vec<StageStreams> = points
+                            .iter()
+                            .map(|p| StageStreams { t: p.t, d: p.d })
+                            .collect();
+                        let selector = if self.space.imbalance_aware {
+                            mist_objective(&streams, g)
+                        } else {
+                            let blended: Vec<StageStreams> = streams
+                                .iter()
+                                .map(|st| StageStreams {
+                                    t: st.t + st.d / g as f64,
+                                    d: 0.0,
+                                })
+                                .collect();
+                            mist_objective(&blended, g)
+                        };
+                        if best.as_ref().is_none_or(|(bsel, _)| selector < *bsel) {
+                            best = Some((selector, points));
+                        }
+                        break; // Minimal feasible ckpt found for this combo.
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mist_hardware::{GpuSpec, Platform};
+    use mist_models::{gpt3, AttentionImpl, ModelSize};
+
+    fn setup(gpus: u32) -> (ModelSpec, ClusterSpec, OpCostDb, InterferenceModel) {
+        (
+            gpt3(ModelSize::B1_3, 2048, AttentionImpl::Flash),
+            ClusterSpec::for_gpu_count(Platform::GcpL4, gpus),
+            OpCostDb::new(GpuSpec::l4()),
+            InterferenceModel::pcie_defaults(),
+        )
+    }
+
+    #[test]
+    fn tune_produces_valid_plan() {
+        let (model, cluster, db, intf) = setup(2);
+        let space = SearchSpace::mist();
+        let tuner = Tuner::new(&model, &cluster, &db, &space, &intf).with_max_grad_accum(8);
+        let out = tuner.tune(8).expect("1.3B on 2 GPUs must be tunable");
+        assert_eq!(out.plan.validate(), Ok(()));
+        assert_eq!(out.plan.global_batch, 8);
+        assert_eq!(out.plan.total_layers(), model.num_layers);
+        assert!(out.predicted_iteration > 0.0);
+        assert!(out.stats.configs_evaluated > 0.0);
+    }
+
+    #[test]
+    fn mist_space_beats_restricted_spaces() {
+        let (model, cluster, db, intf) = setup(4);
+        let intf2 = intf.clone();
+        let mist_space = SearchSpace::mist();
+        let mega_space = SearchSpace::megatron();
+        let mist = Tuner::new(&model, &cluster, &db, &mist_space, &intf)
+            .with_max_grad_accum(8)
+            .tune(16)
+            .expect("mist plan");
+        let mega = Tuner::new(&model, &cluster, &db, &mega_space, &intf2)
+            .with_max_grad_accum(8)
+            .tune(16)
+            .expect("megatron plan");
+        assert!(
+            mist.predicted_iteration <= mega.predicted_iteration * 1.001,
+            "mist {} vs megatron {}",
+            mist.predicted_iteration,
+            mega.predicted_iteration
+        );
+    }
+
+    #[test]
+    fn grad_accum_candidates_divide_batch() {
+        let (model, cluster, db, intf) = setup(2);
+        let space = SearchSpace::mist();
+        let tuner = Tuner::new(&model, &cluster, &db, &space, &intf);
+        for b in [8u64, 48, 96] {
+            for g in tuner.grad_accum_candidates(b) {
+                assert_eq!(b % g as u64, 0, "G={g} must divide B={b}");
+            }
+        }
+        assert!(tuner.grad_accum_candidates(48).contains(&3));
+    }
+
+    #[test]
+    fn pipeline_shapes_cover_cluster() {
+        let (model, cluster, db, intf) = setup(8);
+        let space = SearchSpace::mist();
+        let tuner = Tuner::new(&model, &cluster, &db, &space, &intf);
+        let shapes = tuner.pipeline_shapes();
+        assert!(shapes.iter().any(|&(s, _)| s == 1));
+        assert!(shapes.iter().any(|&(s, _)| s == 8));
+        for (s, mesh) in shapes {
+            assert_eq!(s * mesh.total(), 8);
+        }
+    }
+
+    #[test]
+    fn uniform_space_still_finds_plans() {
+        let (model, cluster, db, intf) = setup(4);
+        let space = SearchSpace::deepspeed();
+        let out = Tuner::new(&model, &cluster, &db, &space, &intf)
+            .with_max_grad_accum(8)
+            .tune(8)
+            .expect("deepspeed-style plan");
+        assert_eq!(out.plan.validate(), Ok(()));
+        // Uniform: all stages share layers/zero/offload.
+        let first = &out.plan.stages[0].config;
+        for st in &out.plan.stages {
+            assert_eq!(st.config.layers, first.layers);
+            assert_eq!(st.config.zero, first.zero);
+        }
+    }
+
+    #[test]
+    fn infeasible_workload_returns_none() {
+        // 2.6B with no memory optimizations at all on one tiny-budget GPU.
+        let model = gpt3(ModelSize::B2_6, 4096, AttentionImpl::Flash);
+        let cluster = ClusterSpec::for_gpu_count(Platform::GcpL4, 2);
+        let db = OpCostDb::new(GpuSpec::l4());
+        let intf = InterferenceModel::pcie_defaults();
+        let space = SearchSpace {
+            ckpt: CkptMode::None,
+            zero_levels: vec![0],
+            offload_grid: vec![],
+            offload_enabled: [false; 4],
+            ..SearchSpace::mist()
+        };
+        let out = Tuner::new(&model, &cluster, &db, &space, &intf)
+            .with_max_grad_accum(2)
+            .tune(4);
+        assert!(out.is_none(), "parallelism-only must OOM (Fig. 2a)");
+    }
+}

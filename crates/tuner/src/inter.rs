@@ -1,0 +1,722 @@
+//! Inter-stage tuning: layer partitioning + Pareto-point selection as an
+//! MILP (paper §5.3, Eq. 2).
+//!
+//! Given per-stage-index Pareto frontiers (one family per layer count),
+//! choose one `(l_i, f_i)` per stage such that `Σ l_i = L` and the
+//! imbalance-aware pipeline objective (Eq. 1) is minimal. The objective's
+//! two `max` terms linearize with standard MILP tricks:
+//!
+//! * `T ≥ Σ_c t_c · x_{i,c}` for every stage `i` (pipeline bottleneck),
+//! * `U ≥ Σ_c d_c · x_{i,c} − Σ_{j<i} Σ_c t_c · x_{j,c}` (the delta of
+//!   stage `i` minus the fill time before it — deltas hide in bubbles).
+//!
+//! objective `= (G−1)·T + Σ t + U`.
+//!
+//! When the space is *not* imbalance-aware (prior systems), candidate
+//! times are pre-blended to `t + d/G` and the `U` machinery is dropped —
+//! exactly the "averaged microbatch" approximation of Shortcoming #3.
+//! An exhaustive enumerator cross-checks the MILP on small instances.
+
+use mist_milp::{solve_milp, ConstraintOp, Lp, Milp, MilpOptions, MilpOutcome};
+use mist_schedule::{mist_objective, StageStreams};
+use serde::{Deserialize, Serialize};
+
+use crate::intra::ParetoPoint;
+use crate::space::SearchSpace;
+
+/// One stage's chosen candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageChoice {
+    /// The chosen Pareto point (carries layers, config, streams).
+    pub point: ParetoPoint,
+}
+
+/// Result of inter-stage tuning for one `(G, S, device assignment)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterStageSolution {
+    /// Per-stage choices, pipeline order.
+    pub choices: Vec<StageChoice>,
+    /// The true Eq. 1 objective of the chosen plan (seconds/iteration).
+    pub objective: f64,
+    /// The objective *as the space's own predictor sees it* — equals
+    /// `objective` for imbalance-aware spaces, the blended `t + d/G`
+    /// approximation otherwise. Cross-candidate selection must use this
+    /// (a flawed predictor picks by its own flawed metric).
+    pub selector_objective: f64,
+}
+
+fn true_objective(choices: &[&ParetoPoint], g: u32) -> f64 {
+    let streams: Vec<StageStreams> = choices
+        .iter()
+        .map(|p| StageStreams { t: p.t, d: p.d })
+        .collect();
+    mist_objective(&streams, g)
+}
+
+/// The objective as a (possibly imbalance-unaware) predictor sees it.
+fn selector_objective(choices: &[&ParetoPoint], g: u32, imbalance_aware: bool) -> f64 {
+    if imbalance_aware {
+        return true_objective(choices, g);
+    }
+    let blended: Vec<StageStreams> = choices
+        .iter()
+        .map(|p| StageStreams {
+            t: p.t + p.d / g as f64,
+            d: 0.0,
+        })
+        .collect();
+    mist_objective(&blended, g)
+}
+
+/// Layer counts stage `i` may take: `L/S ± window`, clamped to `[1, L]`.
+fn layer_candidates(total_layers: u32, num_stages: u32, window: u32) -> Vec<u32> {
+    let base = total_layers / num_stages;
+    let lo = base.saturating_sub(window).max(1);
+    let hi =
+        (base + window + u32::from(!total_layers.is_multiple_of(num_stages))).min(total_layers);
+    (lo..=hi).collect()
+}
+
+/// Solves the inter-stage problem with the MILP formulation.
+///
+/// `frontiers[i][l − 1]` is the sampled frontier of stage `i` with `l`
+/// layers. Returns `None` when no feasible assignment exists.
+pub fn solve_inter_stage(
+    frontiers: &[&Vec<Vec<ParetoPoint>>],
+    total_layers: u32,
+    grad_accum: u32,
+    space: &SearchSpace,
+) -> Option<InterStageSolution> {
+    solve_inter_stage_with_cutoff(frontiers, total_layers, grad_accum, space, f64::INFINITY)
+}
+
+/// [`solve_inter_stage`] with an external selector-objective cutoff: the
+/// driver passes its best plan so far, letting a cheap lower bound skip
+/// hopeless `(G, S)` candidates entirely.
+///
+/// The default engine is the Pareto-state dynamic program
+/// ([`solve_inter_stage_dp`]); [`solve_inter_stage_milp`] solves the same
+/// instance through the MILP formulation and is used as a cross-check.
+pub fn solve_inter_stage_with_cutoff(
+    frontiers: &[&Vec<Vec<ParetoPoint>>],
+    total_layers: u32,
+    grad_accum: u32,
+    space: &SearchSpace,
+    cutoff: f64,
+) -> Option<InterStageSolution> {
+    solve_inter_stage_dp(frontiers, total_layers, grad_accum, space, cutoff)
+}
+
+/// MILP-based inter-stage solve (Eq. 2 as written in the paper).
+pub fn solve_inter_stage_milp(
+    frontiers: &[&Vec<Vec<ParetoPoint>>],
+    total_layers: u32,
+    grad_accum: u32,
+    space: &SearchSpace,
+    cutoff: f64,
+) -> Option<InterStageSolution> {
+    let s = frontiers.len();
+    assert!(s >= 1);
+    if s == 1 {
+        // Single stage: pick the best point of the full layer count.
+        let pts = frontiers[0].get(total_layers as usize - 1)?;
+        let best = pts.iter().min_by(|a, b| {
+            selector_objective(&[a], grad_accum, space.imbalance_aware)
+                .total_cmp(&selector_objective(&[b], grad_accum, space.imbalance_aware))
+        })?;
+        return Some(InterStageSolution {
+            choices: vec![StageChoice {
+                point: best.clone(),
+            }],
+            objective: true_objective(&[best], grad_accum),
+            selector_objective: selector_objective(&[best], grad_accum, space.imbalance_aware),
+        });
+    }
+
+    // Candidate list per stage: (t_for_milp, d_for_milp, point).
+    let g = grad_accum as f64;
+    let lcands = layer_candidates(total_layers, s as u32, space.layer_window);
+    let mut cands: Vec<Vec<&ParetoPoint>> = Vec::with_capacity(s);
+    for fr in frontiers {
+        let mut list: Vec<&ParetoPoint> = Vec::new();
+        for &l in &lcands {
+            if let Some(points) = fr.get(l as usize - 1) {
+                list.extend(points.iter());
+            }
+        }
+        if list.is_empty() {
+            return None;
+        }
+        cands.push(list);
+    }
+
+    let milp_t = |p: &ParetoPoint| {
+        if space.imbalance_aware {
+            p.t
+        } else {
+            p.t + p.d / g
+        }
+    };
+    let milp_d = |p: &ParetoPoint| if space.imbalance_aware { p.d } else { 0.0 };
+
+    // Cheap lower bound: each stage at its fastest candidate, layer
+    // constraint relaxed. Skips the MILP entirely for hopeless shapes.
+    if cutoff.is_finite() {
+        let tmins: Vec<f64> = cands
+            .iter()
+            .map(|list| list.iter().map(|p| milp_t(p)).fold(f64::INFINITY, f64::min))
+            .collect();
+        let max_t = tmins.iter().cloned().fold(0.0, f64::max);
+        let sum_t: f64 = tmins.iter().sum();
+        if (g - 1.0) * max_t + sum_t >= cutoff {
+            return None;
+        }
+    }
+
+    // Variable layout: per-stage candidate binaries, then T, then U.
+    let mut offsets = Vec::with_capacity(s);
+    let mut nvars = 0usize;
+    for list in &cands {
+        offsets.push(nvars);
+        nvars += list.len();
+    }
+    let t_var = nvars;
+    let u_var = nvars + 1;
+    nvars += 2;
+
+    let mut obj = vec![0.0; nvars];
+    for (i, list) in cands.iter().enumerate() {
+        for (c, p) in list.iter().enumerate() {
+            obj[offsets[i] + c] = milp_t(p);
+        }
+    }
+    obj[t_var] = g - 1.0;
+    obj[u_var] = 1.0;
+
+    let mut lp = Lp::new(nvars, obj);
+    for v in 0..t_var {
+        lp.set_bounds(v, 0.0, 1.0);
+    }
+    lp.set_bounds(t_var, 0.0, f64::INFINITY);
+    lp.set_bounds(u_var, 0.0, f64::INFINITY);
+
+    // Pick exactly one candidate per stage.
+    for (i, list) in cands.iter().enumerate() {
+        let coeffs = (0..list.len()).map(|c| (offsets[i] + c, 1.0)).collect();
+        lp.constrain(coeffs, ConstraintOp::Eq, 1.0);
+    }
+    // Layers sum to L.
+    let mut layer_coeffs = Vec::new();
+    for (i, list) in cands.iter().enumerate() {
+        for (c, p) in list.iter().enumerate() {
+            layer_coeffs.push((offsets[i] + c, p.config.layers as f64));
+        }
+    }
+    lp.constrain(layer_coeffs, ConstraintOp::Eq, total_layers as f64);
+    // T is the bottleneck.
+    for (i, list) in cands.iter().enumerate() {
+        let mut coeffs = vec![(t_var, 1.0)];
+        for (c, p) in list.iter().enumerate() {
+            coeffs.push((offsets[i] + c, -milp_t(p)));
+        }
+        lp.constrain(coeffs, ConstraintOp::Ge, 0.0);
+    }
+    // U covers every stage's exposed delta (imbalance-aware only).
+    if space.imbalance_aware {
+        for i in 0..s {
+            let mut coeffs = vec![(u_var, 1.0)];
+            for (c, p) in cands[i].iter().enumerate() {
+                coeffs.push((offsets[i] + c, -milp_d(p)));
+            }
+            for (j, list) in cands.iter().enumerate().take(i) {
+                for (c, p) in list.iter().enumerate() {
+                    coeffs.push((offsets[j] + c, milp_t(p)));
+                }
+            }
+            lp.constrain(coeffs, ConstraintOp::Ge, 0.0);
+        }
+    }
+
+    let milp = Milp {
+        lp,
+        integer_vars: (0..t_var).collect(),
+    };
+    let opts = MilpOptions {
+        max_nodes: 2_000,
+        cutoff,
+        ..Default::default()
+    };
+    let outcome = solve_milp(&milp, opts);
+    let (x, _) = match &outcome {
+        MilpOutcome::Optimal { x, objective } => (x, objective),
+        MilpOutcome::Feasible { x, objective, .. } => (x, objective),
+        _ => return None,
+    };
+
+    let mut choices = Vec::with_capacity(s);
+    for (i, list) in cands.iter().enumerate() {
+        let c = (0..list.len()).find(|&c| x[offsets[i] + c] > 0.5)?;
+        choices.push(StageChoice {
+            point: list[c].clone(),
+        });
+    }
+    let picked: Vec<&ParetoPoint> = choices.iter().map(|ch| &ch.point).collect();
+    Some(InterStageSolution {
+        objective: true_objective(&picked, grad_accum),
+        selector_objective: selector_objective(&picked, grad_accum, space.imbalance_aware),
+        choices,
+    })
+}
+
+/// One DP state: sufficient statistics of a stage prefix plus the
+/// back-pointer for plan reconstruction.
+#[derive(Debug, Clone, Copy)]
+struct State {
+    max_t: f64,
+    sum_t: f64,
+    exposed: f64,
+    /// (candidate index in the stage's list, predecessor state index).
+    back: (usize, usize),
+}
+
+fn dominates(a: &State, b: &State) -> bool {
+    a.max_t <= b.max_t + 1e-15 && a.sum_t <= b.sum_t + 1e-15 && a.exposed <= b.exposed + 1e-15
+}
+
+/// Exact forward dynamic program over `(stage, layers used)` with
+/// Pareto-pruned value states.
+///
+/// The Eq. 1 objective is not separable — it mixes `max t`, `Σ t` and the
+/// prefix-dependent exposed-delta term — but its *sufficient statistics*
+/// after a stage prefix are exactly the triple
+/// `(max_t, Σ t, max_i(d_i − Σ_{j<i} t_j))`. The DP carries the set of
+/// non-dominated triples per `(stage, layers)` cell; since domination is
+/// component-wise, any optimal completion extends a non-dominated prefix,
+/// making the DP exact while staying polynomial in practice (state sets
+/// stay small). This replaces the off-the-shelf MILP solver of the paper
+/// on the hot path; the MILP formulation is retained as a cross-check.
+pub fn solve_inter_stage_dp(
+    frontiers: &[&Vec<Vec<ParetoPoint>>],
+    total_layers: u32,
+    grad_accum: u32,
+    space: &SearchSpace,
+    cutoff: f64,
+) -> Option<InterStageSolution> {
+    let s = frontiers.len();
+    assert!(s >= 1);
+    let g = grad_accum as f64;
+    let milp_t = |p: &ParetoPoint| {
+        if space.imbalance_aware {
+            p.t
+        } else {
+            p.t + p.d / g
+        }
+    };
+    let milp_d = |p: &ParetoPoint| if space.imbalance_aware { p.d } else { 0.0 };
+
+    if s == 1 {
+        let pts = frontiers[0].get(total_layers as usize - 1)?;
+        let best = pts.iter().min_by(|a, b| {
+            selector_objective(&[a], grad_accum, space.imbalance_aware)
+                .total_cmp(&selector_objective(&[b], grad_accum, space.imbalance_aware))
+        })?;
+        let sel = selector_objective(&[best], grad_accum, space.imbalance_aware);
+        if sel >= cutoff {
+            return None;
+        }
+        return Some(InterStageSolution {
+            choices: vec![StageChoice {
+                point: best.clone(),
+            }],
+            objective: true_objective(&[best], grad_accum),
+            selector_objective: sel,
+        });
+    }
+
+    // Candidate lists per stage, restricted to the layer window.
+    let lcands = layer_candidates(total_layers, s as u32, space.layer_window);
+    let mut cands: Vec<Vec<&ParetoPoint>> = Vec::with_capacity(s);
+    for fr in frontiers {
+        let mut list: Vec<&ParetoPoint> = Vec::new();
+        for &l in &lcands {
+            if let Some(points) = fr.get(l as usize - 1) {
+                list.extend(points.iter());
+            }
+        }
+        if list.is_empty() {
+            return None;
+        }
+        cands.push(list);
+    }
+
+    let lmax = total_layers as usize;
+    // table[stage][layers] = Pareto-pruned states. The cap bounds worst-case
+    // memory; if it ever binds the DP becomes a (very good) heuristic — the
+    // dp-vs-milp tests cover the realistic regime where it does not.
+    const STATE_CAP: usize = 128;
+    let mut prev: Vec<Vec<State>> = vec![Vec::new(); lmax + 1];
+    let mut backs: Vec<Vec<Vec<State>>> = Vec::with_capacity(s);
+
+    // Stage 0.
+    for (c, p) in cands[0].iter().enumerate() {
+        let l = p.config.layers as usize;
+        if l > lmax {
+            continue;
+        }
+        let st = State {
+            max_t: milp_t(p),
+            sum_t: milp_t(p),
+            exposed: milp_d(p),
+            back: (c, usize::MAX),
+        };
+        insert_state(&mut prev[l], st, STATE_CAP);
+    }
+    backs.push(prev.clone());
+
+    for stage in 1..s {
+        let mut next: Vec<Vec<State>> = vec![Vec::new(); lmax + 1];
+        for (layers, states) in prev.iter().enumerate() {
+            if states.is_empty() {
+                continue;
+            }
+            // Remaining stages need at least one layer each.
+            if layers + (s - stage) > lmax {
+                continue;
+            }
+            for (si, st) in states.iter().enumerate() {
+                for (c, p) in cands[stage].iter().enumerate() {
+                    let l = layers + p.config.layers as usize;
+                    if l > lmax {
+                        continue;
+                    }
+                    let t = milp_t(p);
+                    let d = milp_d(p);
+                    let ns = State {
+                        max_t: st.max_t.max(t),
+                        sum_t: st.sum_t + t,
+                        exposed: st.exposed.max(d - st.sum_t),
+                        back: (c, si),
+                    };
+                    // Cutoff-based pruning on a lower bound of the final
+                    // objective.
+                    let lb = (g - 1.0) * ns.max_t + ns.sum_t + ns.exposed.max(0.0);
+                    if lb >= cutoff {
+                        continue;
+                    }
+                    insert_state(&mut next[l], ns, STATE_CAP);
+                }
+            }
+        }
+        backs.push(next.clone());
+        prev = next;
+    }
+
+    // Pick the best full assignment.
+    let finals = &prev[lmax];
+    let (best_idx, best_sel) = finals
+        .iter()
+        .enumerate()
+        .map(|(i, st)| ((g - 1.0) * st.max_t + st.sum_t + st.exposed.max(0.0), i))
+        .min_by(|a, b| a.0.total_cmp(&b.0))
+        .map(|(sel, i)| (i, sel))?;
+    if best_sel >= cutoff {
+        return None;
+    }
+
+    // Reconstruct: walk back pointers through the per-stage tables.
+    let mut picked_rev: Vec<&ParetoPoint> = Vec::with_capacity(s);
+    let mut layers = lmax;
+    let mut state = finals[best_idx];
+    for stage in (0..s).rev() {
+        let (c, back_idx) = state.back;
+        let p = cands[stage][c];
+        picked_rev.push(p);
+        layers -= p.config.layers as usize;
+        if stage > 0 {
+            state = backs[stage - 1][layers][back_idx];
+        }
+    }
+    picked_rev.reverse();
+    let choices: Vec<StageChoice> = picked_rev
+        .iter()
+        .map(|p| StageChoice {
+            point: (*p).clone(),
+        })
+        .collect();
+    Some(InterStageSolution {
+        objective: true_objective(&picked_rev, grad_accum),
+        selector_objective: best_sel,
+        choices,
+    })
+}
+
+/// Inserts a state keeping the cell's Pareto set, capped at `cap` by
+/// dropping the worst (largest objective-proxy) states.
+fn insert_state(cell: &mut Vec<State>, st: State, cap: usize) {
+    for existing in cell.iter() {
+        if dominates(existing, &st) {
+            return;
+        }
+    }
+    cell.retain(|e| !dominates(&st, e));
+    cell.push(st);
+    if cell.len() > cap {
+        // Drop the state with the worst sum of components.
+        let (worst, _) = cell
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, e.max_t + e.sum_t + e.exposed))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("nonempty");
+        cell.swap_remove(worst);
+    }
+}
+
+/// Exhaustive inter-stage solver for cross-checking the MILP. Only
+/// practical for small instances (a few stages, narrow windows).
+pub fn enumerate_inter_stage(
+    frontiers: &[&Vec<Vec<ParetoPoint>>],
+    total_layers: u32,
+    grad_accum: u32,
+    space: &SearchSpace,
+) -> Option<InterStageSolution> {
+    let s = frontiers.len();
+    let lcands = layer_candidates(total_layers, s as u32, space.layer_window);
+    let mut best: Option<InterStageSolution> = None;
+    let mut stack: Vec<&ParetoPoint> = Vec::with_capacity(s);
+    fn recurse<'p>(
+        frontiers: &[&'p Vec<Vec<ParetoPoint>>],
+        lcands: &[u32],
+        stage: usize,
+        layers_left: i64,
+        grad_accum: u32,
+        space: &SearchSpace,
+        stack: &mut Vec<&'p ParetoPoint>,
+        best: &mut Option<InterStageSolution>,
+    ) {
+        let s = frontiers.len();
+        if stage == s {
+            if layers_left != 0 {
+                return;
+            }
+            let sel = selector_objective(stack, grad_accum, space.imbalance_aware);
+            let better = best.as_ref().is_none_or(|b| sel < b.selector_objective);
+            if better {
+                *best = Some(InterStageSolution {
+                    choices: stack
+                        .iter()
+                        .map(|p| StageChoice {
+                            point: (*p).clone(),
+                        })
+                        .collect(),
+                    objective: true_objective(stack, grad_accum),
+                    selector_objective: sel,
+                });
+            }
+            return;
+        }
+        for &l in lcands {
+            let left = layers_left - l as i64;
+            if left < (s - stage - 1) as i64 {
+                continue;
+            }
+            if let Some(points) = frontiers[stage].get(l as usize - 1) {
+                for p in points {
+                    stack.push(p);
+                    recurse(
+                        frontiers,
+                        lcands,
+                        stage + 1,
+                        left,
+                        grad_accum,
+                        space,
+                        stack,
+                        best,
+                    );
+                    stack.pop();
+                }
+            }
+        }
+    }
+    recurse(
+        frontiers,
+        &lcands,
+        0,
+        total_layers as i64,
+        grad_accum,
+        space,
+        &mut stack,
+        &mut best,
+    );
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mist_graph::{StageCandidate, StageConfigValues, StagePoint, StageRole};
+    use mist_hardware::DeviceMesh;
+
+    fn mk_point(l: u32, t: f64, d: f64) -> ParetoPoint {
+        let _zero4 = [0.0; 4];
+        ParetoPoint {
+            t,
+            d,
+            mem_peak: 1.0,
+            candidate: StageCandidate {
+                mesh: DeviceMesh::new(1, 1),
+                dp: 1,
+                tp: 1,
+                micro_batch: 1,
+                role: StageRole::Middle,
+            },
+            config: StageConfigValues::plain(l, 1),
+            point: StagePoint {
+                mem_fwd: 1.0,
+                mem_bwd: 1.0,
+                mem_resident: 0.0,
+                mem_act_per_mb: 0.0,
+                mem_transient_fwd: 0.0,
+                mem_transient_bwd: 0.0,
+                fwd: [t / 3.0, 0.0, 0.0, 0.0],
+                bwd: [2.0 * t / 3.0, 0.0, 0.0, 0.0],
+                first_extra: [d, 0.0, 0.0, 0.0],
+                last_extra: [0.0; 4],
+            },
+        }
+    }
+
+    /// A frontier family where a stage of `l` layers costs `l·per_layer`,
+    /// with a cheap-t/high-d alternative at each size.
+    fn family(max_l: u32, per_layer: f64) -> Vec<Vec<ParetoPoint>> {
+        (1..=max_l)
+            .map(|l| {
+                vec![
+                    mk_point(l, l as f64 * per_layer, 0.0),
+                    mk_point(l, l as f64 * per_layer * 0.8, 0.6),
+                ]
+            })
+            .collect()
+    }
+
+    fn space() -> SearchSpace {
+        SearchSpace {
+            layer_window: 8,
+            ..SearchSpace::mist()
+        }
+    }
+
+    #[test]
+    fn single_stage_picks_best_point() {
+        let f = family(8, 1.0);
+        let sol = solve_inter_stage(&[&f], 8, 4, &space()).unwrap();
+        assert_eq!(sol.choices.len(), 1);
+        assert_eq!(sol.choices[0].point.config.layers, 8);
+        // With G=4 the 0.8·t / 0.6·d point wins: 4·6.4+0.6 < 4·8.
+        assert!(sol.choices[0].point.d > 0.0);
+    }
+
+    #[test]
+    fn dp_matches_milp_on_heterogeneous_families() {
+        for (g, scale) in [(4u32, 1.0f64), (12, 1.7), (32, 0.6)] {
+            let f0 = family(12, 1.0 * scale);
+            let f1 = family(12, 1.5 * scale);
+            let f2 = family(12, 0.8 * scale);
+            let fr = [&f0, &f1, &f2];
+            let sp = space();
+            let dp = solve_inter_stage_dp(&fr, 12, g, &sp, f64::INFINITY).unwrap();
+            let milp = solve_inter_stage_milp(&fr, 12, g, &sp, f64::INFINITY).unwrap();
+            assert!(
+                (dp.selector_objective - milp.selector_objective).abs() < 1e-6,
+                "G={g}: dp {} vs milp {}",
+                dp.selector_objective,
+                milp.selector_objective
+            );
+        }
+    }
+
+    #[test]
+    fn milp_matches_exhaustive_enumeration() {
+        let f0 = family(12, 1.0);
+        let f1 = family(12, 1.5); // Slower stage → fewer layers.
+        let fr = [&f0, &f1];
+        let sp = space();
+        let milp = solve_inter_stage(&fr, 12, 6, &sp).unwrap();
+        let brute = enumerate_inter_stage(&fr, 12, 6, &sp).unwrap();
+        assert!(
+            (milp.objective - brute.objective).abs() < 1e-6,
+            "milp {} vs brute {}",
+            milp.objective,
+            brute.objective
+        );
+        let layers: u32 = milp.choices.iter().map(|c| c.point.config.layers).sum();
+        assert_eq!(layers, 12);
+    }
+
+    #[test]
+    fn faster_stage_gets_more_layers() {
+        let f0 = family(12, 0.5); // Twice as fast.
+        let f1 = family(12, 1.0);
+        let sol = solve_inter_stage(&[&f0, &f1], 12, 8, &space()).unwrap();
+        let l0 = sol.choices[0].point.config.layers;
+        let l1 = sol.choices[1].point.config.layers;
+        assert!(l0 > l1, "fast stage {l0} should outweigh slow stage {l1}");
+    }
+
+    #[test]
+    fn imbalance_unaware_selection_can_differ() {
+        // Stage 0 candidates: (t=1.0, d=0) or (t=0.9, d=1.0), G=16. The
+        // averaged selector sees the second as 0.9 + 1/16 = 0.96 < 1.0 and
+        // takes it, but stage 0's delta is fully exposed (no fill before
+        // the first stage), so the true objective is 0.9 more per
+        // iteration — the bottleneck-drift trap of Shortcoming #3.
+        let f0: Vec<Vec<ParetoPoint>> = vec![vec![mk_point(1, 1.0, 0.0), mk_point(1, 0.9, 1.0)]];
+        let f1: Vec<Vec<ParetoPoint>> = vec![vec![mk_point(1, 1.0, 0.0)]];
+        let fr = [&f0, &f1];
+        let aware = SearchSpace {
+            layer_window: 1,
+            ..SearchSpace::mist()
+        };
+        let unaware = SearchSpace {
+            imbalance_aware: false,
+            ..aware.clone()
+        };
+        let sa = solve_inter_stage(&fr, 2, 16, &aware).unwrap();
+        let su = solve_inter_stage(&fr, 2, 16, &unaware).unwrap();
+        assert_eq!(sa.choices[0].point.d, 0.0, "aware avoids the exposed delta");
+        assert!(su.choices[0].point.d > 0.0, "unaware takes the trap");
+        // Both report the TRUE objective; the unaware one is worse.
+        assert!(su.objective > sa.objective);
+    }
+
+    #[test]
+    fn infeasible_when_layers_cannot_sum() {
+        // Frontiers only offer l=1 but we need 10 layers over 2 stages
+        // with window 0 around base 5 → no l=5 entries.
+        let f: Vec<Vec<ParetoPoint>> = vec![vec![mk_point(1, 1.0, 0.0)]];
+        let fr = [&f, &f];
+        let sp = SearchSpace {
+            layer_window: 0,
+            ..SearchSpace::mist()
+        };
+        assert!(solve_inter_stage(&fr, 10, 2, &sp).is_none());
+    }
+
+    #[test]
+    fn deltas_hidden_in_bubbles_are_free() {
+        // Stage 1 may take d=0.5 for a cheaper t; the fill before it
+        // (t_0 = 1.0) hides the delta entirely, so the MILP should take it.
+        let f0: Vec<Vec<ParetoPoint>> = vec![vec![mk_point(1, 1.0, 0.0)]];
+        let f1: Vec<Vec<ParetoPoint>> = vec![vec![mk_point(1, 1.0, 0.0), mk_point(1, 0.95, 0.5)]];
+        let fr = [&f0, &f1];
+        let sp = SearchSpace {
+            layer_window: 1,
+            ..SearchSpace::mist()
+        };
+        let sol = solve_inter_stage(&fr, 2, 8, &sp).unwrap();
+        assert!(
+            sol.choices[1].point.d > 0.0,
+            "hidden delta should be exploited"
+        );
+    }
+}

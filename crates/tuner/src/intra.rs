@@ -1,0 +1,622 @@
+//! Intra-stage tuning (paper §5.3, Eq. 4).
+//!
+//! For one pipeline-stage candidate — a device mesh, its role in the
+//! pipeline, its in-flight microbatch count and the iteration's `G` —
+//! this module finds, for *every* possible layer count at once, the
+//! Pareto frontier of `(t, d)` over:
+//!
+//! * `(dp, tp)` factorizations of the mesh (micro-batch size follows from
+//!   `b = B / (dp · G)`),
+//! * ZeRO levels and the offloading-ratio grid of the [`SearchSpace`],
+//! * the recomputed-layer count `ckpt`.
+//!
+//! Everything is evaluated through the compiled symbolic tapes in large
+//! batches (key idea #2). Two search-space reductions keep the batch
+//! tractable, both justified by monotonicity:
+//!
+//! * `ckpt` only increases `t` (recompute time) and only decreases peak
+//!   memory, and it never touches `d`, so for every other knob setting the
+//!   *minimal feasible* `ckpt` dominates. It is resolved analytically from
+//!   the memory tapes' linearity in `ckpt` instead of being enumerated.
+//!   (The second-order effect that recomputing layers also shrinks
+//!   activation-offload traffic is deliberately ignored.)
+//! * Layer count `l` enters the tapes as a plain symbol, so all layer
+//!   counts share one batch — the frontier for every `l` falls out of a
+//!   single evaluation pass.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use mist_graph::{
+    StageAnalyzer, StageCandidate, StageConfigValues, StagePoint, StageRole, StageTapes,
+};
+use mist_hardware::{ClusterSpec, DeviceMesh, OpCostDb};
+use mist_interference::InterferenceModel;
+use mist_models::ModelSpec;
+use mist_schedule::stage_times;
+use mist_symbolic::BatchBindings;
+use serde::{Deserialize, Serialize};
+
+use crate::pareto::{pareto_frontier, sample_frontier};
+use crate::space::{CkptMode, SearchSpace};
+
+/// One sampled point of an intra-stage Pareto frontier: the `(t, d)`
+/// value plus everything needed to reconstruct and execute the plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// Stable microbatch time (seconds).
+    pub t: f64,
+    /// First/last microbatch delta (seconds).
+    pub d: f64,
+    /// Peak memory of the configuration (bytes).
+    pub mem_peak: f64,
+    /// The parallelism candidate.
+    pub candidate: StageCandidate,
+    /// The full optimization configuration (including `layers`).
+    pub config: StageConfigValues,
+    /// Evaluated stream/memory decomposition (for simulation lowering).
+    pub point: StagePoint,
+}
+
+/// Cache key of one frontier family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FrontierKey {
+    /// Stage device mesh.
+    pub mesh: DeviceMesh,
+    /// Pipeline role.
+    pub role: StageRole,
+    /// In-flight microbatches (`min(G, S − i)`).
+    pub inflight: u32,
+    /// Gradient-accumulation steps.
+    pub grad_accum: u32,
+}
+
+type TapeKey = (DeviceMesh, u32, u32, u64, StageRole);
+
+/// Intra-stage tuner with tape and frontier caches.
+pub struct IntraStageTuner<'a> {
+    model: &'a ModelSpec,
+    cluster: &'a ClusterSpec,
+    db: &'a OpCostDb,
+    space: &'a SearchSpace,
+    interference: &'a InterferenceModel,
+    global_batch: u64,
+    budget: f64,
+    tape_cache: RefCell<HashMap<TapeKey, Rc<StageTapes>>>,
+    frontier_cache: RefCell<HashMap<FrontierKey, Rc<Vec<Vec<ParetoPoint>>>>>,
+    configs_evaluated: Cell<f64>,
+}
+
+impl<'a> IntraStageTuner<'a> {
+    /// Creates a tuner for one workload. `budget` defaults to the GPU's
+    /// usable memory.
+    pub fn new(
+        model: &'a ModelSpec,
+        cluster: &'a ClusterSpec,
+        db: &'a OpCostDb,
+        space: &'a SearchSpace,
+        interference: &'a InterferenceModel,
+        global_batch: u64,
+    ) -> Self {
+        IntraStageTuner {
+            model,
+            cluster,
+            db,
+            space,
+            interference,
+            global_batch,
+            budget: cluster.gpu.memory_bytes,
+            tape_cache: RefCell::new(HashMap::new()),
+            frontier_cache: RefCell::new(HashMap::new()),
+            configs_evaluated: Cell::new(0.0),
+        }
+    }
+
+    /// Overrides the per-GPU memory budget (tests, what-if studies).
+    pub fn with_budget(mut self, budget: f64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Number of configurations evaluated so far (tuning-time studies).
+    pub fn configs_evaluated(&self) -> f64 {
+        self.configs_evaluated.get()
+    }
+
+    /// The memory budget in use.
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// Returns `frontiers[l − 1]` = sampled Pareto points for a stage of
+    /// `l` layers, for `l ∈ 1..=max_layers`. Results are cached per key.
+    pub fn frontiers(&self, key: FrontierKey, max_layers: u32) -> Rc<Vec<Vec<ParetoPoint>>> {
+        if let Some(hit) = self.frontier_cache.borrow().get(&key) {
+            if hit.len() >= max_layers as usize {
+                return hit.clone();
+            }
+        }
+        let computed = Rc::new(self.compute_frontiers(key, max_layers));
+        self.frontier_cache
+            .borrow_mut()
+            .insert(key, computed.clone());
+        computed
+    }
+
+    /// Evaluates one explicit configuration on one candidate (used by the
+    /// uniform-stages heuristic and by enumeration-style experiments).
+    /// No feasibility filtering — inspect `mem_peak` yourself.
+    pub fn evaluate_config(&self, cand: &StageCandidate, cfg: &StageConfigValues) -> ParetoPoint {
+        self.configs_evaluated
+            .set(self.configs_evaluated.get() + 1.0);
+        let tapes = self.tapes(cand);
+        let point = tapes.eval_point(cfg);
+        let (t, d) = if self.space.overlap_aware {
+            let st = stage_times(&point, self.interference);
+            (st.t, st.d)
+        } else {
+            let sum = |s: [f64; 4]| s.iter().sum::<f64>();
+            (
+                sum(point.fwd) + sum(point.bwd),
+                sum(point.first_extra) + sum(point.last_extra),
+            )
+        };
+        ParetoPoint {
+            t,
+            d,
+            mem_peak: point.mem_fwd.max(point.mem_bwd),
+            candidate: *cand,
+            config: *cfg,
+            point,
+        }
+    }
+
+    /// Public access to the valid `(dp, tp, b)` parallelism candidates of
+    /// a mesh under gradient accumulation `g`.
+    pub fn parallelism_options(&self, mesh: DeviceMesh, g: u32) -> Vec<(u32, u32, u64)> {
+        self.parallelism_candidates(mesh, g)
+    }
+
+    fn tapes(&self, cand: &StageCandidate) -> Rc<StageTapes> {
+        let key: TapeKey = (cand.mesh, cand.dp, cand.tp, cand.micro_batch, cand.role);
+        if let Some(hit) = self.tape_cache.borrow().get(&key) {
+            return hit.clone();
+        }
+        let analyzer = StageAnalyzer::new(self.model, self.cluster, self.db);
+        let tapes = Rc::new(analyzer.analyze(cand));
+        self.tape_cache.borrow_mut().insert(key, tapes.clone());
+        tapes
+    }
+
+    /// Valid `(dp, tp, b)` candidates for a mesh under `G`.
+    fn parallelism_candidates(&self, mesh: DeviceMesh, g: u32) -> Vec<(u32, u32, u64)> {
+        let mut out = Vec::new();
+        for (dp, tp) in mesh.dp_tp_choices() {
+            let denom = dp as u64 * g as u64;
+            if !self.global_batch.is_multiple_of(denom) {
+                continue;
+            }
+            let b = self.global_batch / denom;
+            if b == 0 || b > 512 {
+                continue;
+            }
+            if !self.model.heads.is_multiple_of(tp as u64)
+                || !self.model.hidden.is_multiple_of(tp as u64)
+            {
+                continue;
+            }
+            out.push((dp, tp, b));
+        }
+        out
+    }
+
+    fn compute_frontiers(&self, key: FrontierKey, max_layers: u32) -> Vec<Vec<ParetoPoint>> {
+        assert!(max_layers >= 1);
+        let mut per_l: Vec<Vec<ParetoPoint>> = vec![Vec::new(); max_layers as usize];
+
+        for (dp, tp, b) in self.parallelism_candidates(key.mesh, key.grad_accum) {
+            let cand = StageCandidate {
+                mesh: key.mesh,
+                dp,
+                tp,
+                micro_batch: b,
+                role: key.role,
+            };
+            let tapes = self.tapes(&cand);
+            self.evaluate_candidate(&cand, &tapes, key, max_layers, &mut per_l);
+        }
+
+        // Pareto-reduce and sample each layer count.
+        for points in per_l.iter_mut() {
+            if points.is_empty() {
+                continue;
+            }
+            let td: Vec<(f64, f64)> = points.iter().map(|p| (p.t, p.d)).collect();
+            let frontier = pareto_frontier(&td);
+            let sampled = sample_frontier(&frontier, self.space.pareto_samples);
+            let mut kept: Vec<ParetoPoint> = sampled.iter().map(|&i| points[i].clone()).collect();
+            kept.sort_by(|a, b| a.t.total_cmp(&b.t));
+            *points = kept;
+        }
+        per_l
+    }
+
+    /// Batch-evaluates one `(dp, tp, b)` candidate over all layer counts,
+    /// ZeRO levels and offload combos, appending feasible points.
+    fn evaluate_candidate(
+        &self,
+        cand: &StageCandidate,
+        tapes: &StageTapes,
+        key: FrontierKey,
+        max_layers: u32,
+        per_l: &mut [Vec<ParetoPoint>],
+    ) {
+        let combos = self.space.offload_combos();
+        let zeros = self.space.zero_levels();
+        let mut rows: Vec<(u32, u8, [f64; 4])> = Vec::new();
+        for l in 1..=max_layers {
+            for &z in zeros {
+                for &off in &combos {
+                    rows.push((l, z, off));
+                }
+            }
+        }
+        let n = rows.len();
+        self.configs_evaluated
+            .set(self.configs_evaluated.get() + n as f64);
+
+        let mut batch = BatchBindings::new(n);
+        batch.set_values("L", rows.iter().map(|r| r.0 as f64).collect());
+        batch.set_values("zero", rows.iter().map(|r| r.1 as f64).collect());
+        batch.set_values("wo", rows.iter().map(|r| r.2[0]).collect());
+        batch.set_values("go", rows.iter().map(|r| r.2[1]).collect());
+        batch.set_values("oo", rows.iter().map(|r| r.2[2]).collect());
+        batch.set_values("ao", rows.iter().map(|r| r.2[3]).collect());
+        batch.set_scalar("inflight", key.inflight as f64);
+
+        // Resolve the checkpoint count per row.
+        let ckpt_col: Vec<f64> = match self.space.ckpt {
+            CkptMode::None => vec![0.0; n],
+            CkptMode::Full => rows.iter().map(|r| r.0 as f64).collect(),
+            CkptMode::Tuned => {
+                let mem_at = |ckpt_of: &dyn Fn(u32) -> f64| -> Vec<f64> {
+                    let mut b2 = batch.clone();
+                    b2.set_values("ckpt", rows.iter().map(|r| ckpt_of(r.0)).collect());
+                    let fwd = tapes.mem_fwd.eval_batch(&b2).expect("mem_fwd batch");
+                    let bwd = tapes.mem_bwd.eval_batch(&b2).expect("mem_bwd batch");
+                    fwd.into_iter().zip(bwd).map(|(f, w)| f.max(w)).collect()
+                };
+                let m0 = mem_at(&|_| 0.0);
+                let m1 = mem_at(&|_| 1.0);
+                let ml = mem_at(&|l| l as f64);
+                rows.iter()
+                    .enumerate()
+                    .map(|(i, r)| minimal_ckpt(m0[i], m1[i], ml[i], r.0, self.budget))
+                    .collect()
+            }
+        };
+        batch.set_values("ckpt", ckpt_col.clone());
+
+        // Full evaluation at the resolved checkpoint counts.
+        let mem_fwd = tapes.mem_fwd.eval_batch(&batch).expect("mem_fwd");
+        let mem_bwd = tapes.mem_bwd.eval_batch(&batch).expect("mem_bwd");
+        let mem_res = tapes.mem_resident.eval_batch(&batch).expect("mem_resident");
+        let mem_act = tapes.mem_act_per_mb.eval_batch(&batch).expect("mem_act");
+        let mem_tf = tapes.mem_transient_fwd.eval_batch(&batch).expect("mem_tf");
+        let mem_tb = tapes.mem_transient_bwd.eval_batch(&batch).expect("mem_tb");
+        let fwd = tapes.fwd.eval_batch(&batch);
+        let bwd = tapes.bwd.eval_batch(&batch);
+        let first = tapes.first_extra.eval_batch(&batch);
+        let last = tapes.last_extra.eval_batch(&batch);
+
+        for (i, &(l, z, off)) in rows.iter().enumerate() {
+            let ckpt = ckpt_col[i];
+            if ckpt.is_infinite() {
+                continue; // No feasible checkpoint count.
+            }
+            let mem_peak = mem_fwd[i].max(mem_bwd[i]);
+            if mem_peak > self.budget {
+                continue; // Conservative re-check of the linear solve.
+            }
+            let point = StagePoint {
+                mem_fwd: mem_fwd[i],
+                mem_bwd: mem_bwd[i],
+                mem_resident: mem_res[i],
+                mem_act_per_mb: mem_act[i],
+                mem_transient_fwd: mem_tf[i],
+                mem_transient_bwd: mem_tb[i],
+                fwd: fwd[i],
+                bwd: bwd[i],
+                first_extra: first[i],
+                last_extra: last[i],
+            };
+            let (t, d) = if self.space.overlap_aware {
+                let st = stage_times(&point, self.interference);
+                (st.t, st.d)
+            } else {
+                // Shortcoming #1: serial predictor.
+                let sum = |s: [f64; 4]| s.iter().sum::<f64>();
+                let t = sum(point.fwd) + sum(point.bwd);
+                (t, sum(point.first_extra) + sum(point.last_extra))
+            };
+            if !t.is_finite() {
+                continue;
+            }
+            let config = StageConfigValues {
+                layers: l,
+                ckpt: ckpt as u32,
+                zero: z,
+                wo: off[0],
+                go: off[1],
+                oo: off[2],
+                ao: off[3],
+                inflight: key.inflight,
+            };
+            per_l[(l - 1) as usize].push(ParetoPoint {
+                t,
+                d,
+                mem_peak,
+                candidate: *cand,
+                config,
+                point,
+            });
+        }
+    }
+}
+
+/// Smallest `ckpt ∈ [0, l]` whose (linear-in-ckpt) peak memory fits the
+/// budget; `f64::INFINITY` when even full recomputation does not fit.
+fn minimal_ckpt(m0: f64, m1: f64, ml: f64, l: u32, budget: f64) -> f64 {
+    if m0 <= budget {
+        return 0.0;
+    }
+    if ml > budget {
+        return f64::INFINITY;
+    }
+    if m1 <= budget || l == 1 {
+        return 1.0;
+    }
+    // Memory falls linearly from m1 (ckpt=1) to ml (ckpt=l).
+    let slope = (m1 - ml) / (l as f64 - 1.0);
+    debug_assert!(slope >= 0.0, "checkpointing must not increase memory");
+    if slope <= 0.0 {
+        return l as f64;
+    }
+    let need = ((m1 - budget) / slope).ceil() + 1.0;
+    need.clamp(1.0, l as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mist_hardware::{GpuSpec, Platform};
+    use mist_models::{gpt3, AttentionImpl, ModelSize};
+
+    struct Ctx {
+        model: ModelSpec,
+        cluster: ClusterSpec,
+        db: OpCostDb,
+        interference: InterferenceModel,
+    }
+
+    fn ctx() -> Ctx {
+        Ctx {
+            model: gpt3(ModelSize::B2_6, 2048, AttentionImpl::Flash),
+            cluster: ClusterSpec::for_gpu_count(Platform::GcpL4, 4),
+            db: OpCostDb::new(GpuSpec::l4()),
+            interference: InterferenceModel::pcie_defaults(),
+        }
+    }
+
+    fn key(mesh: DeviceMesh, g: u32) -> FrontierKey {
+        FrontierKey {
+            mesh,
+            role: StageRole::Only,
+            inflight: 1,
+            grad_accum: g,
+        }
+    }
+
+    #[test]
+    fn minimal_ckpt_logic() {
+        // Budget already met at ckpt=0.
+        assert_eq!(minimal_ckpt(10.0, 9.0, 5.0, 8, 12.0), 0.0);
+        // Infeasible even at full recompute.
+        assert_eq!(minimal_ckpt(10.0, 9.0, 5.0, 8, 4.0), f64::INFINITY);
+        // One layer of recompute suffices.
+        assert_eq!(minimal_ckpt(10.0, 7.0, 5.0, 8, 8.0), 1.0);
+        // Interior solve: m1=10, ml=3 over l=8 → slope=1; budget 6.5 →
+        // need = ceil(3.5) + 1 = 5.
+        assert_eq!(minimal_ckpt(12.0, 10.0, 3.0, 8, 6.5), 5.0);
+        // Full recompute exactly fits.
+        assert_eq!(minimal_ckpt(12.0, 10.0, 3.0, 8, 3.0), 8.0);
+    }
+
+    #[test]
+    fn frontier_points_respect_budget_and_sorting() {
+        let c = ctx();
+        let space = SearchSpace::mist();
+        let tuner = IntraStageTuner::new(&c.model, &c.cluster, &c.db, &space, &c.interference, 8);
+        let fr = tuner.frontiers(key(DeviceMesh::new(1, 4), 4), c.model.num_layers);
+        assert_eq!(fr.len(), 32);
+        let full = &fr[31]; // All 32 layers in one stage.
+        assert!(
+            !full.is_empty(),
+            "32-layer stage must have feasible configs"
+        );
+        for p in full.iter() {
+            assert!(p.mem_peak <= tuner.budget());
+            assert_eq!(p.config.layers, 32);
+        }
+        for w in full.windows(2) {
+            assert!(w[0].t <= w[1].t, "frontier must be t-sorted");
+            assert!(w[0].d >= w[1].d, "frontier must be d-antitone");
+        }
+    }
+
+    #[test]
+    fn bigger_budget_never_hurts() {
+        let c = ctx();
+        let space = SearchSpace::mist();
+        let small = IntraStageTuner::new(&c.model, &c.cluster, &c.db, &space, &c.interference, 8)
+            .with_budget(16e9);
+        let large = IntraStageTuner::new(&c.model, &c.cluster, &c.db, &space, &c.interference, 8)
+            .with_budget(64e9);
+        let mesh = DeviceMesh::new(1, 4);
+        let fs = small.frontiers(key(mesh, 4), 32);
+        let fl = large.frontiers(key(mesh, 4), 32);
+        let best = |f: &Vec<Vec<ParetoPoint>>| f[31].first().map(|p| p.t).unwrap_or(f64::INFINITY);
+        assert!(best(&fl) <= best(&fs) + 1e-12);
+    }
+
+    #[test]
+    fn zero_and_offload_unlock_memory_constrained_configs() {
+        let c = ctx();
+        // A tiny budget: without memory optimizations nothing fits.
+        let bare = SearchSpace {
+            ckpt: CkptMode::None,
+            zero_levels: vec![0],
+            ..SearchSpace::megatron()
+        };
+        let mist = SearchSpace::mist();
+        let budget = 6e9;
+        let mesh = DeviceMesh::new(1, 4);
+        let t_bare = IntraStageTuner::new(&c.model, &c.cluster, &c.db, &bare, &c.interference, 8)
+            .with_budget(budget);
+        let t_mist = IntraStageTuner::new(&c.model, &c.cluster, &c.db, &mist, &c.interference, 8)
+            .with_budget(budget);
+        let fb = t_bare.frontiers(key(mesh, 4), 32);
+        let fm = t_mist.frontiers(key(mesh, 4), 32);
+        assert!(fb[31].is_empty(), "parallelism-only must OOM (Fig. 2a)");
+        assert!(!fm[31].is_empty(), "the co-optimized space must fit");
+    }
+
+    #[test]
+    fn frontier_cache_hits() {
+        let c = ctx();
+        let space = SearchSpace::mist();
+        let tuner = IntraStageTuner::new(&c.model, &c.cluster, &c.db, &space, &c.interference, 8);
+        let k = key(DeviceMesh::new(1, 2), 2);
+        let f1 = tuner.frontiers(k, 32);
+        let evals = tuner.configs_evaluated();
+        let f2 = tuner.frontiers(k, 32);
+        assert_eq!(
+            tuner.configs_evaluated(),
+            evals,
+            "second call must hit cache"
+        );
+        assert!(Rc::ptr_eq(&f1, &f2));
+    }
+
+    #[test]
+    fn candidates_respect_global_batch_divisibility() {
+        let c = ctx();
+        let space = SearchSpace::mist();
+        let tuner = IntraStageTuner::new(&c.model, &c.cluster, &c.db, &space, &c.interference, 6);
+        // B=6, mesh 4 GPUs: dp=4 needs 6 % (4·G) == 0 — fails for G=1; dp=2
+        // works (b=3); dp=1 works (b=6).
+        let cands = tuner.parallelism_candidates(DeviceMesh::new(1, 4), 1);
+        assert!(cands.iter().all(|&(dp, _, b)| dp as u64 * b == 6));
+        assert!(cands.iter().any(|&(dp, _, _)| dp == 2));
+        assert!(!cands.iter().any(|&(dp, _, _)| dp == 4));
+    }
+
+    #[test]
+    fn overlap_awareness_reduces_predicted_time() {
+        let c = ctx();
+        let aware = SearchSpace::mist();
+        let unaware = SearchSpace {
+            overlap_aware: false,
+            ..SearchSpace::mist()
+        };
+        let mesh = DeviceMesh::new(1, 4);
+        let ta = IntraStageTuner::new(&c.model, &c.cluster, &c.db, &aware, &c.interference, 8);
+        let tu = IntraStageTuner::new(&c.model, &c.cluster, &c.db, &unaware, &c.interference, 8);
+        let fa = ta.frontiers(key(mesh, 4), 32);
+        let fu = tu.frontiers(key(mesh, 4), 32);
+        let best_a = fa[31].first().map(|p| p.t).unwrap();
+        let best_u = fu[31].first().map(|p| p.t).unwrap();
+        assert!(
+            best_a <= best_u + 1e-12,
+            "overlap-aware t must not be worse"
+        );
+    }
+}
+
+#[cfg(test)]
+mod pruning_tests {
+    use super::*;
+    use mist_hardware::{GpuSpec, Platform};
+    use mist_models::{gpt3, AttentionImpl, ModelSize};
+
+    /// Validates the minimal-checkpoint pruning: enumerating every ckpt
+    /// value exhaustively never finds a feasible configuration with a
+    /// better stable time than the analytically resolved minimal ckpt.
+    #[test]
+    fn minimal_ckpt_pruning_is_lossless() {
+        let model = gpt3(ModelSize::B2_6, 2048, AttentionImpl::Flash);
+        let cluster = ClusterSpec::for_gpu_count(Platform::GcpL4, 4);
+        let db = OpCostDb::new(GpuSpec::l4());
+        let intf = InterferenceModel::pcie_defaults();
+        let space = SearchSpace {
+            // Offloading off so ckpt is the only memory lever (the pruning
+            // argument assumes ckpt does not reduce other stream traffic).
+            offload_grid: vec![],
+            offload_enabled: [false; 4],
+            ..SearchSpace::mist()
+        };
+        let budget = 10e9; // Tight enough to force recomputation.
+        let tuner =
+            IntraStageTuner::new(&model, &cluster, &db, &space, &intf, 8).with_budget(budget);
+        let mesh = DeviceMesh::new(1, 4);
+        let key = FrontierKey {
+            mesh,
+            role: StageRole::Only,
+            inflight: 1,
+            grad_accum: 4,
+        };
+        let frontier = tuner.frontiers(key, 32);
+
+        // Exhaustive reference over every (dp, tp, zero, ckpt).
+        for l in [16u32, 32] {
+            let Some(best_pruned) = frontier[(l - 1) as usize].first() else {
+                continue;
+            };
+            let mut best_exhaustive = f64::INFINITY;
+            for (dp, tp, b) in tuner.parallelism_options(mesh, 4) {
+                let cand = StageCandidate {
+                    mesh,
+                    dp,
+                    tp,
+                    micro_batch: b,
+                    role: StageRole::Only,
+                };
+                for zero in 0..=3u8 {
+                    for ckpt in 0..=l {
+                        let cfg = StageConfigValues {
+                            layers: l,
+                            ckpt,
+                            zero,
+                            wo: 0.0,
+                            go: 0.0,
+                            oo: 0.0,
+                            ao: 0.0,
+                            inflight: 1,
+                        };
+                        let p = tuner.evaluate_config(&cand, &cfg);
+                        if p.mem_peak <= budget {
+                            best_exhaustive = best_exhaustive.min(p.t);
+                        }
+                    }
+                }
+            }
+            assert!(
+                best_pruned.t <= best_exhaustive + 1e-9,
+                "l={l}: pruned best {} vs exhaustive {}",
+                best_pruned.t,
+                best_exhaustive
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Mist's imbalance-aware hierarchical auto-tuner (paper §5.3).
+//!
+//! The tuner decouples the search into:
+//!
+//! * **Intra-stage tuning** ([`IntraStageTuner`]) — for every pipeline
+//!   partitioning candidate `(layer count, mesh, role, inflight)`, find
+//!   the Pareto frontier of `(t, d)` pairs over micro-batch/DP/TP
+//!   factorizations, ZeRO levels, checkpointing counts and the four
+//!   offloading ratios (Eq. 4), using batched symbolic evaluation.
+//! * **Inter-stage tuning** ([`solve_inter_stage`]) — an MILP over the
+//!   per-stage Pareto samples choosing layer counts and frontier points
+//!   that minimize the imbalance-aware pipeline objective (Eq. 1/2),
+//!   solved with `mist-milp` and cross-checked by exhaustive enumeration
+//!   on small instances.
+//! * **The driver** ([`Tuner`]) — enumerates gradient-accumulation steps
+//!   and stage counts/device assignments, runs the two levels, and emits
+//!   the best [`mist_schedule::TrainingPlan`].
+//!
+//! Search-space restrictions of prior systems (Megatron-LM, DeepSpeed,
+//! Aceso, Alpa, uniform heuristics) are expressed as [`SearchSpace`]
+//! presets — the methodology behind the paper's Fig. 13 breakdown.
+
+mod driver;
+mod inter;
+mod intra;
+mod pareto;
+mod space;
+
+pub use driver::{TuneOutcome, TuneStats, Tuner};
+pub use inter::{
+    enumerate_inter_stage, solve_inter_stage, solve_inter_stage_dp, solve_inter_stage_milp,
+    solve_inter_stage_with_cutoff, InterStageSolution, StageChoice,
+};
+pub use intra::{FrontierKey, IntraStageTuner, ParetoPoint};
+pub use pareto::{pareto_frontier, sample_frontier};
+pub use space::{CkptMode, SearchSpace};

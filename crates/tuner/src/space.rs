@@ -1,0 +1,337 @@
+//! Search-space definition and presets.
+//!
+//! A [`SearchSpace`] says which optimizations the tuner may vary and which
+//! awareness features its predictor has. Mist's full space is the default;
+//! the restricted presets reproduce what prior systems can reach (paper
+//! Table 1 and the Fig. 13 incremental-space methodology).
+
+use mist_hardware::{ClusterSpec, DeviceMesh};
+use mist_models::ModelSpec;
+use serde::{Deserialize, Serialize};
+
+/// How activation checkpointing participates in the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CkptMode {
+    /// Never recompute (OOMs for most large workloads — Fig. 2a).
+    None,
+    /// All layers recomputed (Megatron-LM/Alpa style — Fig. 2b).
+    Full,
+    /// Per-stage recomputed-layer count is tuned (Fig. 2c and beyond).
+    Tuned,
+}
+
+/// The tunable space plus predictor-awareness flags.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Human-readable preset name (for reports).
+    pub name: String,
+    /// Checkpointing mode.
+    pub ckpt: CkptMode,
+    /// ZeRO levels the tuner may choose from.
+    pub zero_levels: Vec<u8>,
+    /// Ratio grid for each enabled offloading knob (`0.0` is implied).
+    pub offload_grid: Vec<f64>,
+    /// Which offloading knobs are tunable: `[wo, go, oo, ao]`.
+    pub offload_enabled: [bool; 4],
+    /// Predictor folds concurrent streams through the interference model
+    /// (true) or serially sums them (false — prior auto systems,
+    /// Shortcoming #1).
+    pub overlap_aware: bool,
+    /// Objective models first/last-microbatch deltas (Eq. 1) instead of
+    /// averaging them away (Shortcoming #3).
+    pub imbalance_aware: bool,
+    /// Force identical configuration across stages (Yuan et al. heuristic,
+    /// §3.3).
+    pub uniform_stages: bool,
+    /// Number of Pareto points sampled per `(layers, mesh)` candidate for
+    /// inter-stage tuning.
+    pub pareto_samples: usize,
+    /// Layer counts considered per stage: `L/S ± layer_window` (search
+    /// pruning; `u32::MAX` disables the window).
+    pub layer_window: u32,
+}
+
+impl SearchSpace {
+    /// Mist's full co-optimization space.
+    pub fn mist() -> Self {
+        SearchSpace {
+            name: "mist".into(),
+            ckpt: CkptMode::Tuned,
+            zero_levels: vec![0, 1, 2, 3],
+            offload_grid: vec![0.5, 1.0],
+            offload_enabled: [true, true, true, true],
+            overlap_aware: true,
+            imbalance_aware: true,
+            uniform_stages: false,
+            pareto_samples: 6,
+            layer_window: 6,
+        }
+    }
+
+    /// Mist with a finer offloading grid (release-mode experiments).
+    pub fn mist_fine() -> Self {
+        SearchSpace {
+            name: "mist-fine".into(),
+            offload_grid: vec![0.25, 0.5, 0.75, 1.0],
+            ..Self::mist()
+        }
+    }
+
+    /// Megatron-LM's manual space: parallelism with full recomputation and
+    /// the distributed optimizer (ZeRO-1), no offloading; overlap-aware
+    /// implementation (its hand-tuned kernels overlap gradient reduction).
+    pub fn megatron() -> Self {
+        SearchSpace {
+            name: "megatron-lm".into(),
+            ckpt: CkptMode::Full,
+            zero_levels: vec![0, 1],
+            offload_grid: vec![],
+            offload_enabled: [false; 4],
+            overlap_aware: true,
+            imbalance_aware: false,
+            uniform_stages: true,
+            pareto_samples: 2,
+            layer_window: 0,
+        }
+    }
+
+    /// DeepSpeed's space: adds ZeRO-2/3 to parallelism with full
+    /// recomputation; uniform stages.
+    pub fn deepspeed() -> Self {
+        SearchSpace {
+            name: "deepspeed".into(),
+            ckpt: CkptMode::Full,
+            zero_levels: vec![0, 1, 2, 3],
+            offload_grid: vec![],
+            offload_enabled: [false; 4],
+            overlap_aware: true,
+            imbalance_aware: false,
+            uniform_stages: true,
+            pareto_samples: 2,
+            layer_window: 0,
+        }
+    }
+
+    /// Aceso's space: parallelism + per-stage checkpointing tuning, but no
+    /// sharded data parallelism (ZeRO-2/3), no offloading, and a predictor
+    /// that is neither overlap- nor imbalance-aware (paper §6.2).
+    pub fn aceso() -> Self {
+        SearchSpace {
+            name: "aceso".into(),
+            ckpt: CkptMode::Tuned,
+            zero_levels: vec![0, 1],
+            offload_grid: vec![],
+            offload_enabled: [false; 4],
+            overlap_aware: false,
+            imbalance_aware: false,
+            uniform_stages: false,
+            pareto_samples: 4,
+            layer_window: 4,
+        }
+    }
+
+    /// Alpa's space: automatic parallelism with full recomputation;
+    /// overlap/imbalance-unaware predictor.
+    pub fn alpa() -> Self {
+        SearchSpace {
+            name: "alpa".into(),
+            ckpt: CkptMode::Full,
+            zero_levels: vec![0, 1],
+            offload_grid: vec![],
+            offload_enabled: [false; 4],
+            overlap_aware: false,
+            imbalance_aware: false,
+            uniform_stages: false,
+            pareto_samples: 2,
+            layer_window: 4,
+        }
+    }
+
+    /// The Fig. 13 incremental spaces, in order: Megatron baseline space,
+    /// `+ckpt` tuning, `+offloading`, `+ZeRO`, `+imbalance awareness`
+    /// (= full Mist).
+    pub fn fig13_ladder() -> Vec<SearchSpace> {
+        let base = SearchSpace {
+            name: "megatron-space".into(),
+            ckpt: CkptMode::Full,
+            zero_levels: vec![0, 1],
+            offload_grid: vec![],
+            offload_enabled: [false; 4],
+            overlap_aware: true,
+            imbalance_aware: false,
+            uniform_stages: false,
+            pareto_samples: 4,
+            layer_window: 4,
+        };
+        let ckpt = SearchSpace {
+            name: "+ckpt-tuning".into(),
+            ckpt: CkptMode::Tuned,
+            ..base.clone()
+        };
+        let offload = SearchSpace {
+            name: "+offloading".into(),
+            offload_grid: vec![0.5, 1.0],
+            offload_enabled: [true, true, true, true],
+            ..ckpt.clone()
+        };
+        let zero = SearchSpace {
+            name: "+zero".into(),
+            zero_levels: vec![0, 1, 2, 3],
+            ..offload.clone()
+        };
+        let imbalance = SearchSpace {
+            name: "+imbalance-aware (mist)".into(),
+            imbalance_aware: true,
+            pareto_samples: 6,
+            layer_window: 6,
+            ..zero.clone()
+        };
+        vec![base, ckpt, offload, zero, imbalance]
+    }
+
+    /// All offloading-ratio combinations `[wo, go, oo, ao]` this space
+    /// explores (always includes the all-zeros row).
+    pub fn offload_combos(&self) -> Vec<[f64; 4]> {
+        let values_for = |knob: usize| -> Vec<f64> {
+            if self.offload_enabled[knob] {
+                let mut v = vec![0.0];
+                v.extend(self.offload_grid.iter().copied());
+                v
+            } else {
+                vec![0.0]
+            }
+        };
+        let (w, g, o, a) = (values_for(0), values_for(1), values_for(2), values_for(3));
+        let mut out = Vec::with_capacity(w.len() * g.len() * o.len() * a.len());
+        for &wv in &w {
+            for &gv in &g {
+                for &ov in &o {
+                    for &av in &a {
+                        out.push([wv, gv, ov, av]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The ZeRO levels explored.
+    pub fn zero_levels(&self) -> &[u8] {
+        &self.zero_levels
+    }
+
+    /// Rough size of the full configuration space for a workload — the
+    /// quantity plotted in Fig. 5. Counted per stage-partitioning
+    /// candidate: parallelism choices × per-stage optimization choices,
+    /// compounded over stages.
+    pub fn config_count(&self, model: &ModelSpec, cluster: &ClusterSpec, global_batch: u64) -> f64 {
+        let l = model.num_layers as f64;
+        let meshes = DeviceMesh::candidates(cluster);
+        let mut parallel_choices = 0.0;
+        for mesh in &meshes {
+            parallel_choices += mesh.dp_tp_choices().len() as f64;
+        }
+        // Gradient accumulation / micro-batch choices.
+        let g_choices = (global_batch as f64).log2().floor() + 1.0;
+        // Per-stage optimization choices.
+        let ckpt_choices = match self.ckpt {
+            CkptMode::None | CkptMode::Full => 1.0,
+            CkptMode::Tuned => l,
+        };
+        let zero_choices = self.zero_levels.len() as f64;
+        let offload_choices = self.offload_combos().len() as f64;
+        let per_stage = parallel_choices * ckpt_choices * zero_choices * offload_choices;
+        // Pipeline partitioning: stages and layer splits. Stage counts are
+        // powers of two up to the GPU count; layer splits within the
+        // window per stage.
+        let mut total = 0.0;
+        let mut s = 1u32;
+        while s as u64 <= cluster.total_gpus() as u64 && s as f64 <= l {
+            let split_choices = if self.uniform_stages {
+                1.0
+            } else {
+                (2.0 * self.layer_window.min(model.num_layers) as f64 + 1.0).min(l)
+            };
+            // Per-stage choices compound across stages; the exponent is
+            // capped at four representative stages (first/last/two
+            // interior) so counts stay comparable to the paper's Fig. 5
+            // rather than exploding combinatorially at 32 stages.
+            let exponent = if self.uniform_stages {
+                1
+            } else {
+                s.min(4) as i32
+            };
+            total += g_choices * (per_stage * split_choices).powi(exponent);
+            s *= 2;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mist_hardware::Platform;
+    use mist_models::{gpt3, AttentionImpl, ModelSize};
+
+    #[test]
+    fn mist_space_is_the_largest() {
+        let model = gpt3(ModelSize::B22, 2048, AttentionImpl::Flash);
+        let cluster = ClusterSpec::for_gpu_count(Platform::GcpL4, 32);
+        let mist = SearchSpace::mist().config_count(&model, &cluster, 256);
+        for other in [
+            SearchSpace::megatron(),
+            SearchSpace::deepspeed(),
+            SearchSpace::aceso(),
+            SearchSpace::alpa(),
+        ] {
+            let c = other.config_count(&model, &cluster, 256);
+            assert!(mist > c, "{} ({c:.3e}) >= mist ({mist:.3e})", other.name);
+        }
+    }
+
+    #[test]
+    fn fig13_ladder_grows_monotonically() {
+        let model = gpt3(ModelSize::B22, 2048, AttentionImpl::Flash);
+        let cluster = ClusterSpec::for_gpu_count(Platform::GcpL4, 32);
+        let ladder = SearchSpace::fig13_ladder();
+        assert_eq!(ladder.len(), 5);
+        let counts: Vec<f64> = ladder
+            .iter()
+            .map(|s| s.config_count(&model, &cluster, 256))
+            .collect();
+        for w in counts.windows(2) {
+            assert!(w[1] >= w[0], "ladder must not shrink: {counts:?}");
+        }
+        // Adding optimizations explodes the space by many orders.
+        assert!(counts[3] / counts[0] > 1e3);
+    }
+
+    #[test]
+    fn offload_combos_respect_enabled_flags() {
+        let mut s = SearchSpace::mist();
+        s.offload_grid = vec![0.5, 1.0];
+        s.offload_enabled = [false, false, true, false];
+        let combos = s.offload_combos();
+        assert_eq!(combos.len(), 3); // oo ∈ {0, 0.5, 1}.
+        for c in &combos {
+            assert_eq!(c[0], 0.0);
+            assert_eq!(c[1], 0.0);
+            assert_eq!(c[3], 0.0);
+        }
+    }
+
+    #[test]
+    fn disabled_offload_yields_single_zero_combo() {
+        let combos = SearchSpace::megatron().offload_combos();
+        assert_eq!(combos, vec![[0.0; 4]]);
+    }
+
+    #[test]
+    fn presets_have_expected_awareness() {
+        assert!(SearchSpace::mist().imbalance_aware);
+        assert!(!SearchSpace::aceso().overlap_aware);
+        assert!(SearchSpace::megatron().uniform_stages);
+        assert_eq!(SearchSpace::alpa().ckpt, CkptMode::Full);
+    }
+}

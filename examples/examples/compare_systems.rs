@@ -1,0 +1,53 @@
+//! Compare Mist against the baseline systems on one workload — a
+//! miniature of the paper's Figure 11 columns.
+//!
+//! ```bash
+//! cargo run -p mist-examples --example compare_systems
+//! ```
+
+use mist::presets::{gpt3, AttentionImpl, ModelSize};
+use mist::{Baseline, MistSession, Platform};
+
+fn main() {
+    let model = gpt3(ModelSize::B2_6, 2048, AttentionImpl::Flash);
+    let platform = Platform::GcpL4;
+    let gpus = 4;
+    let batch = 32;
+    println!(
+        "workload: {} on {gpus}x L4, global batch {batch}\n",
+        model.name
+    );
+    println!("{:<20} {:>12} {:>14}", "system", "samples/s", "vs Megatron");
+
+    // Baselines pick plans inside their restricted spaces.
+    let mut megatron = None;
+    let mut rows = Vec::new();
+    for b in [Baseline::MegatronLM, Baseline::DeepSpeed, Baseline::Aceso] {
+        let session = MistSession::builder(model.clone(), platform, gpus)
+            .space(b.space())
+            .build();
+        let thr = session.tune(batch).map(|o| {
+            let rep = session.execute(&o);
+            rep.throughput(batch)
+        });
+        if b == Baseline::MegatronLM {
+            megatron = thr;
+        }
+        rows.push((b.name().to_string(), thr));
+    }
+
+    // Mist with the full co-optimization space.
+    let session = MistSession::builder(model.clone(), platform, gpus).build();
+    let mist = session
+        .tune(batch)
+        .map(|o| session.execute(&o).throughput(batch));
+    rows.push(("Mist".into(), mist));
+
+    for (name, thr) in rows {
+        match (thr, megatron) {
+            (Some(t), Some(m)) => println!("{name:<20} {t:>12.2} {:>13.2}x", t / m),
+            (Some(t), None) => println!("{name:<20} {t:>12.2} {:>14}", "–"),
+            _ => println!("{name:<20} {:>12} {:>14}", "OOM", "–"),
+        }
+    }
+}

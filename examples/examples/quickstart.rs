@@ -1,0 +1,65 @@
+//! Quickstart: tune and "run" a 1.3B GPT-3 model on two L4 GPUs.
+//!
+//! ```bash
+//! cargo run -p mist-examples --example quickstart
+//! ```
+
+use mist::presets::{gpt3, AttentionImpl, ModelSize};
+use mist::{MistSession, Platform};
+
+fn main() {
+    // 1. Describe the workload: model, sequence length, attention kernel.
+    let model = gpt3(ModelSize::B1_3, 2048, AttentionImpl::Flash);
+    println!(
+        "model: {} ({:.2}B params)",
+        model.name,
+        model.total_params() as f64 / 1e9
+    );
+
+    // 2. Build a session for the hardware. This calibrates the operator
+    //    cost database and fits the interference model from benchmark
+    //    samples (paper §5.2.2).
+    let session = MistSession::builder(model, Platform::GcpL4, 2).build();
+
+    // 3. Tune: Mist searches parallelism × every memory optimization.
+    let global_batch = 16;
+    let outcome = session
+        .tune(global_batch)
+        .expect("workload must be feasible");
+    println!("\nchosen plan:");
+    println!("  gradient accumulation G = {}", outcome.plan.grad_accum);
+    for (i, st) in outcome.plan.stages.iter().enumerate() {
+        let c = &st.config;
+        println!(
+            "  stage {i}: {} layers, dp={} tp={} b={}, ZeRO-{}, ckpt={} \
+             offload(wo={} go={} oo={} ao={})",
+            c.layers,
+            st.candidate.dp,
+            st.candidate.tp,
+            st.candidate.micro_batch,
+            c.zero,
+            c.ckpt,
+            c.wo,
+            c.go,
+            c.oo,
+            c.ao
+        );
+    }
+    println!(
+        "  predicted: {:.3} s/iteration ({:.1} samples/s)",
+        outcome.predicted_iteration, outcome.predicted_throughput
+    );
+
+    // 4. Execute the plan on the discrete-event cluster simulator.
+    let report = session.execute(&outcome);
+    println!("\nmeasured (simulated cluster):");
+    println!(
+        "  {:.3} s/iteration ({:.1} samples/s), bubble fraction {:.1}%",
+        report.iteration_time,
+        report.throughput(global_batch),
+        report.bubble_fraction() * 100.0
+    );
+    for (i, m) in report.stage_peak_mem.iter().enumerate() {
+        println!("  stage {i} peak memory: {:.2} GiB", m / mist::GIB);
+    }
+}

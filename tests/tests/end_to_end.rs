@@ -1,0 +1,161 @@
+//! End-to-end integration tests: tune → validate → execute across crates.
+
+use mist::presets::{falcon, gpt3, llama, AttentionImpl, ModelSize};
+use mist::{Baseline, MistSession, Platform};
+
+fn session(model: mist::presets::ModelSpec, gpus: u32) -> MistSession {
+    MistSession::builder(model, Platform::GcpL4, gpus)
+        .max_grad_accum(16)
+        .build()
+}
+
+#[test]
+fn every_family_tunes_and_executes() {
+    for model in [
+        gpt3(ModelSize::B1_3, 2048, AttentionImpl::Flash),
+        llama(ModelSize::B1_3, 2048, AttentionImpl::Flash),
+        falcon(ModelSize::B1_3, 2048, AttentionImpl::Flash),
+    ] {
+        let name = model.name.clone();
+        let s = session(model, 2);
+        let outcome = s.tune(8).unwrap_or_else(|| panic!("{name}: no plan"));
+        assert_eq!(outcome.plan.validate(), Ok(()), "{name}");
+        let report = s.execute(&outcome);
+        assert!(report.iteration_time > 0.0, "{name}");
+        assert!(report.throughput(8) > 0.1, "{name}: implausible throughput");
+    }
+}
+
+#[test]
+fn plans_always_fit_gpu_memory_in_simulation() {
+    let s = session(gpt3(ModelSize::B2_6, 2048, AttentionImpl::Flash), 4);
+    for batch in [8u64, 32] {
+        let outcome = s.tune(batch).expect("plan");
+        let report = s.execute(&outcome);
+        let budget = s.cluster().gpu.memory_bytes;
+        for (i, &m) in report.stage_peak_mem.iter().enumerate() {
+            // Allow the simulator's allocator overhead on top of the
+            // analyzer's budget.
+            assert!(
+                m <= budget * 1.03,
+                "B={batch} stage {i}: measured {m:.3e} exceeds budget {budget:.3e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mist_dominates_every_baseline_on_measured_throughput() {
+    let model = gpt3(ModelSize::B2_6, 2048, AttentionImpl::Flash);
+    let mist_session = session(model.clone(), 4);
+    let mist_out = mist_session.tune(16).expect("mist plan");
+    let mist_thr = mist_session.execute(&mist_out).throughput(16);
+    for b in [
+        Baseline::MegatronLM,
+        Baseline::DeepSpeed,
+        Baseline::Aceso,
+        Baseline::Alpa,
+    ] {
+        let s = MistSession::builder(model.clone(), Platform::GcpL4, 4)
+            .space(b.space())
+            .max_grad_accum(16)
+            .build();
+        if let Some(out) = s.tune(16) {
+            let thr = s.execute(&out).throughput(16);
+            assert!(
+                mist_thr >= thr * 0.98,
+                "{}: {thr:.2} beats Mist {mist_thr:.2}",
+                b.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn larger_clusters_give_more_throughput() {
+    let model = gpt3(ModelSize::B2_6, 2048, AttentionImpl::Flash);
+    let mut prev = 0.0;
+    for gpus in [2u32, 4, 8] {
+        let s = session(model.clone(), gpus);
+        let out = s.tune(32).expect("plan");
+        let thr = s.execute(&out).throughput(32);
+        assert!(
+            thr > prev,
+            "{gpus} GPUs: {thr:.2} not faster than {prev:.2}"
+        );
+        prev = thr;
+    }
+}
+
+#[test]
+fn a100_outperforms_l4_per_gpu() {
+    let model_l4 = gpt3(ModelSize::B2_6, 2048, AttentionImpl::Flash);
+    let model_a100 = gpt3(ModelSize::B2_6, 4096, AttentionImpl::Flash);
+    let l4 = MistSession::builder(model_l4, Platform::GcpL4, 4)
+        .max_grad_accum(16)
+        .build();
+    let a100 = MistSession::builder(model_a100, Platform::AwsA100, 4)
+        .max_grad_accum(16)
+        .build();
+    let tl4 = l4.execute(&l4.tune(16).unwrap()).throughput(16) * 2048.0;
+    let ta100 = a100.execute(&a100.tune(16).unwrap()).throughput(16) * 4096.0;
+    // Per Table 4, A100 runs twice the sequence length; in *token*
+    // throughput it should be at least 2x faster than L4.
+    assert!(
+        ta100 > 2.0 * tl4,
+        "a100 {ta100:.0} tok/s vs l4 {tl4:.0} tok/s"
+    );
+}
+
+#[test]
+fn flash_attention_speeds_up_and_saves_memory() {
+    let flash = session(gpt3(ModelSize::B2_6, 2048, AttentionImpl::Flash), 4);
+    let std = session(gpt3(ModelSize::B2_6, 2048, AttentionImpl::Standard), 4);
+    let of = flash.tune(16).unwrap();
+    let os = std.tune(16).unwrap();
+    let tf = flash.execute(&of).throughput(16);
+    let ts = std.execute(&os).throughput(16);
+    assert!(tf > ts, "flash {tf:.2} vs std {ts:.2}");
+}
+
+#[test]
+fn predicted_iteration_tracks_simulated() {
+    // The §6.6 claim at integration level: prediction errors stay small
+    // across models and batch sizes.
+    for model in [
+        gpt3(ModelSize::B1_3, 2048, AttentionImpl::Flash),
+        llama(ModelSize::B2_6, 2048, AttentionImpl::Flash),
+    ] {
+        let gpus = if model.name.contains("1.3") { 2 } else { 4 };
+        let s = session(model.clone(), gpus);
+        let report = s.accuracy_report(&[8, 16]);
+        assert!(
+            report.mean_time_error < 0.15,
+            "{}: time error {:.1}%",
+            model.name,
+            report.mean_time_error * 100.0
+        );
+        assert!(
+            report.mean_mem_error < 0.10,
+            "{}: memory error {:.1}%",
+            model.name,
+            report.mean_mem_error * 100.0
+        );
+    }
+}
+
+#[test]
+fn global_batch_arithmetic_is_exact() {
+    let s = session(gpt3(ModelSize::B1_3, 2048, AttentionImpl::Flash), 4);
+    for batch in [4u64, 12, 24, 48] {
+        if let Some(out) = s.tune(batch) {
+            assert_eq!(out.plan.global_batch, batch);
+            for st in &out.plan.stages {
+                assert_eq!(
+                    st.candidate.micro_batch * st.candidate.dp as u64 * out.plan.grad_accum as u64,
+                    batch
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based validation of the MILP solver against brute force.
+
+use mist_milp::{partition_min_max, solve_milp, ConstraintOp, Lp, Milp, MilpOptions, MilpOutcome};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Small random knapsacks: branch-and-bound equals exhaustive search.
+    #[test]
+    fn knapsack_matches_bruteforce(
+        values in prop::collection::vec(1u32..20, 2..9),
+        weights in prop::collection::vec(1u32..10, 2..9),
+        cap in 5u32..30,
+    ) {
+        let n = values.len().min(weights.len());
+        let values = &values[..n];
+        let weights = &weights[..n];
+
+        // Brute force over all subsets.
+        let mut best = 0u32;
+        for mask in 0u32..(1 << n) {
+            let (mut v, mut w) = (0u32, 0u32);
+            for i in 0..n {
+                if mask & (1 << i) != 0 {
+                    v += values[i];
+                    w += weights[i];
+                }
+            }
+            if w <= cap {
+                best = best.max(v);
+            }
+        }
+
+        let mut lp = Lp::new(n, values.iter().map(|&v| -(v as f64)).collect());
+        lp.constrain(
+            weights.iter().enumerate().map(|(i, &w)| (i, w as f64)).collect(),
+            ConstraintOp::Le,
+            cap as f64,
+        );
+        for i in 0..n {
+            lp.set_bounds(i, 0.0, 1.0);
+        }
+        let milp = Milp { lp, integer_vars: (0..n).collect() };
+        match solve_milp(&milp, MilpOptions::default()) {
+            MilpOutcome::Optimal { objective, .. } => {
+                prop_assert!(
+                    (-objective - best as f64).abs() < 1e-6,
+                    "milp {} vs brute {best}", -objective
+                );
+            }
+            other => prop_assert!(false, "unexpected outcome {other:?}"),
+        }
+    }
+
+    /// partition_min_max equals brute-force enumeration of splits.
+    #[test]
+    fn partition_matches_bruteforce(
+        items in 2u32..14,
+        groups in 1u32..5,
+        speeds in prop::collection::vec(0.25f64..4.0, 5),
+    ) {
+        prop_assume!(groups <= items);
+        let cost = |g: u32, n: u32| n as f64 * speeds[g as usize % speeds.len()];
+        let dp = partition_min_max(items, groups, cost);
+
+        // Brute force.
+        fn brute(
+            remaining: u32,
+            group: u32,
+            groups: u32,
+            cost: &dyn Fn(u32, u32) -> f64,
+        ) -> f64 {
+            if group + 1 == groups {
+                return cost(group, remaining);
+            }
+            let mut best = f64::INFINITY;
+            for take in 1..=(remaining - (groups - group - 1)) {
+                let c = cost(group, take).max(brute(remaining - take, group + 1, groups, cost));
+                best = best.min(c);
+            }
+            best
+        }
+        let want = brute(items, 0, groups, &cost);
+        let (sizes, got) = dp.expect("feasible");
+        prop_assert!((got - want).abs() < 1e-9, "dp {got} vs brute {want}");
+        prop_assert_eq!(sizes.iter().sum::<u32>(), items);
+    }
+}

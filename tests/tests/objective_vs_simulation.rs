@@ -1,0 +1,144 @@
+//! Property-style cross-validation: the Eq. 1 pipeline objective against
+//! the event-level 1F1B simulator on randomized synthetic pipelines.
+
+use mist::{mist_objective, simulate, GroundTruth, IterationSchedule, Platform, StageStreams};
+use mist_schedule::{StageMemory, StageTask};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn compute_only_task(fwd: f64, bwd: f64) -> StageTask {
+    StageTask {
+        fwd: [fwd, 0.0, 0.0, 0.0],
+        bwd: [bwd, 0.0, 0.0, 0.0],
+        first_extra: [0.0; 4],
+        last_extra: [0.0; 4],
+        mem: StageMemory {
+            resident: 0.0,
+            act_per_mb: 1.0,
+            transient_fwd: 0.0,
+            transient_bwd: 0.0,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For compute-only pipelines without extras, Eq. 1 must match the
+    /// simulator exactly when one stage dominates, and stay within the
+    /// fill/drain approximation otherwise.
+    #[test]
+    fn eq1_approximates_simulated_pipelines(
+        seed in 0u64..1000,
+        s in 1usize..6,
+        g in 1u32..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tasks: Vec<StageTask> = (0..s)
+            .map(|_| {
+                let f = rng.gen_range(0.5..2.0);
+                compute_only_task(f, 2.0 * f)
+            })
+            .collect();
+        let streams: Vec<StageStreams> = tasks
+            .iter()
+            .map(|t| StageStreams { t: t.fwd[0] + t.bwd[0], d: 0.0 })
+            .collect();
+        let predicted = mist_objective(&streams, g);
+        let sched = IterationSchedule { grad_accum: g, stages: tasks };
+        let sim = simulate(&sched, &GroundTruth::noiseless(Platform::GcpL4));
+        // Eq. 1 is an approximation: with few microbatches and
+        // heterogeneous stages it can over- or under-shoot by the
+        // fill/drain slack (up to roughly one stage round each way).
+        let rel = (predicted - sim.iteration_time) / sim.iteration_time;
+        prop_assert!(rel < 0.20, "overestimate {rel:.4}");
+        prop_assert!(rel > -0.35, "underestimate {rel:.4}");
+        // Once microbatches dominate warmup (G >> S), the bottleneck term
+        // dominates and the approximation must tighten.
+        if g as usize >= 6 * s {
+            prop_assert!(rel.abs() < 0.10, "large-G error {rel:.4}");
+        }
+    }
+
+    /// Balanced pipelines are predicted exactly.
+    #[test]
+    fn balanced_pipelines_are_exact(
+        s in 1usize..8,
+        g in 1u32..16,
+        t in 0.1f64..5.0,
+    ) {
+        let tasks: Vec<StageTask> = (0..s).map(|_| compute_only_task(t, 2.0 * t)).collect();
+        let streams: Vec<StageStreams> =
+            (0..s).map(|_| StageStreams { t: 3.0 * t, d: 0.0 }).collect();
+        let predicted = mist_objective(&streams, g);
+        let sched = IterationSchedule { grad_accum: g, stages: tasks };
+        let sim = simulate(&sched, &GroundTruth::noiseless(Platform::GcpL4));
+        let rel = (predicted - sim.iteration_time).abs() / sim.iteration_time;
+        prop_assert!(rel < 1e-9, "balanced pipeline must be exact, off by {rel}");
+    }
+
+    /// Simulated time is monotone in any stage's compute time.
+    #[test]
+    fn simulation_is_monotone_in_stage_cost(
+        s in 1usize..5,
+        g in 1u32..8,
+        bump_stage in 0usize..5,
+    ) {
+        let bump_stage = bump_stage % s;
+        let tasks: Vec<StageTask> = (0..s).map(|_| compute_only_task(1.0, 2.0)).collect();
+        let sched = IterationSchedule { grad_accum: g, stages: tasks.clone() };
+        let base = simulate(&sched, &GroundTruth::noiseless(Platform::GcpL4)).iteration_time;
+        let mut slower = tasks;
+        slower[bump_stage].fwd[0] *= 1.5;
+        let sched2 = IterationSchedule { grad_accum: g, stages: slower };
+        let bumped = simulate(&sched2, &GroundTruth::noiseless(Platform::GcpL4)).iteration_time;
+        prop_assert!(bumped >= base - 1e-12);
+    }
+}
+
+#[test]
+fn first_extras_hide_in_fill_bubbles() {
+    // Stage 1's extras fit inside the fill bubble created by stage 0 —
+    // the simulated iteration must not grow.
+    let g = 8;
+    let base: Vec<StageTask> = (0..2).map(|_| compute_only_task(1.0, 2.0)).collect();
+    let sched = IterationSchedule {
+        grad_accum: g,
+        stages: base.clone(),
+    };
+    let t_base = simulate(&sched, &GroundTruth::noiseless(Platform::GcpL4)).iteration_time;
+    let mut with_extra = base;
+    with_extra[1].first_extra = [0.9, 0.0, 0.0, 0.0]; // < stage 0 fwd time.
+    let sched2 = IterationSchedule {
+        grad_accum: g,
+        stages: with_extra,
+    };
+    let t_extra = simulate(&sched2, &GroundTruth::noiseless(Platform::GcpL4)).iteration_time;
+    assert!(
+        (t_extra - t_base).abs() < 1e-9,
+        "hidden extra changed time: {t_base} -> {t_extra}"
+    );
+}
+
+#[test]
+fn stage0_extras_are_fully_exposed() {
+    let g = 4;
+    let base: Vec<StageTask> = (0..2).map(|_| compute_only_task(1.0, 2.0)).collect();
+    let sched = IterationSchedule {
+        grad_accum: g,
+        stages: base.clone(),
+    };
+    let t_base = simulate(&sched, &GroundTruth::noiseless(Platform::GcpL4)).iteration_time;
+    let mut with_extra = base;
+    with_extra[0].first_extra = [0.7, 0.0, 0.0, 0.0];
+    let sched2 = IterationSchedule {
+        grad_accum: g,
+        stages: with_extra,
+    };
+    let t_extra = simulate(&sched2, &GroundTruth::noiseless(Platform::GcpL4)).iteration_time;
+    assert!(
+        (t_extra - (t_base + 0.7)).abs() < 1e-9,
+        "stage-0 extra must add fully: {t_base} -> {t_extra}"
+    );
+}

@@ -1,0 +1,32 @@
+//! Round-trip serialization of plans and reports — the JSON surface that
+//! `mist-cli --json` and the results files expose.
+
+use mist::presets::{gpt3, AttentionImpl, ModelSize};
+use mist::{MistSession, Platform, TrainingPlan};
+
+#[test]
+fn training_plan_json_round_trips() {
+    let model = gpt3(ModelSize::B1_3, 2048, AttentionImpl::Flash);
+    let session = MistSession::builder(model, Platform::GcpL4, 2)
+        .max_grad_accum(8)
+        .build();
+    let outcome = session.tune(8).expect("plan");
+    let json = serde_json::to_string(&outcome.plan).expect("serialize");
+    let back: TrainingPlan = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, outcome.plan);
+    assert_eq!(back.validate(), Ok(()));
+}
+
+#[test]
+fn sim_report_serializes() {
+    let model = gpt3(ModelSize::B1_3, 2048, AttentionImpl::Flash);
+    let session = MistSession::builder(model, Platform::GcpL4, 2)
+        .max_grad_accum(8)
+        .build();
+    let outcome = session.tune(8).expect("plan");
+    let report = session.execute(&outcome);
+    let json = serde_json::to_string(&report).expect("serialize");
+    assert!(json.contains("iteration_time"));
+    let back: mist::SimReport = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.iteration_time, report.iteration_time);
+}

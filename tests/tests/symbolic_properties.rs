@@ -1,0 +1,137 @@
+//! Property-based tests of the symbolic engine's core invariants.
+
+use mist_symbolic::{BatchBindings, CmpOp, Context};
+use proptest::prelude::*;
+
+/// A tiny expression AST we can generate and mirror both symbolically and
+/// concretely.
+#[derive(Debug, Clone)]
+enum E {
+    X,
+    Y,
+    K(f64),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Min(Box<E>, Box<E>),
+    Max(Box<E>, Box<E>),
+    Ceil(Box<E>),
+    Select(Box<E>, Box<E>, Box<E>),
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        Just(E::X),
+        Just(E::Y),
+        (-100i32..100).prop_map(|k| E::K(k as f64 / 4.0)),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Min(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Max(a.into(), b.into())),
+            inner.clone().prop_map(|a| E::Ceil(a.into())),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| E::Select(
+                c.into(),
+                a.into(),
+                b.into()
+            )),
+        ]
+    })
+}
+
+fn build<'c>(e: &E, ctx: &'c Context) -> mist_symbolic::Expr<'c> {
+    match e {
+        E::X => ctx.symbol("x"),
+        E::Y => ctx.symbol("y"),
+        E::K(k) => ctx.constant(*k),
+        E::Add(a, b) => build(a, ctx) + build(b, ctx),
+        E::Sub(a, b) => build(a, ctx) - build(b, ctx),
+        E::Mul(a, b) => build(a, ctx) * build(b, ctx),
+        E::Min(a, b) => build(a, ctx).min(build(b, ctx)),
+        E::Max(a, b) => build(a, ctx).max(build(b, ctx)),
+        E::Ceil(a) => build(a, ctx).ceil(),
+        E::Select(c, a, b) => {
+            let cond = ctx.cmp(CmpOp::Gt, build(c, ctx), ctx.constant(0.0));
+            ctx.select(cond, build(a, ctx), build(b, ctx))
+        }
+    }
+}
+
+fn reference(e: &E, x: f64, y: f64) -> f64 {
+    match e {
+        E::X => x,
+        E::Y => y,
+        E::K(k) => *k,
+        E::Add(a, b) => reference(a, x, y) + reference(b, x, y),
+        E::Sub(a, b) => reference(a, x, y) - reference(b, x, y),
+        E::Mul(a, b) => reference(a, x, y) * reference(b, x, y),
+        E::Min(a, b) => reference(a, x, y).min(reference(b, x, y)),
+        E::Max(a, b) => reference(a, x, y).max(reference(b, x, y)),
+        E::Ceil(a) => reference(a, x, y).ceil(),
+        E::Select(c, a, b) => {
+            if reference(c, x, y) > 0.0 {
+                reference(a, x, y)
+            } else {
+                reference(b, x, y)
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The simplifying builders + compiled tape agree with a direct
+    /// reference interpreter.
+    #[test]
+    fn tape_matches_reference(
+        e in arb_expr(),
+        x in -8.0f64..8.0,
+        y in -8.0f64..8.0,
+    ) {
+        let ctx = Context::new();
+        let expr = build(&e, &ctx);
+        let tape = ctx.compile(expr);
+        let got = tape.eval(&[("x", x), ("y", y)]).unwrap();
+        let want = reference(&e, x, y);
+        // Symbolic simplification may reassociate sums/products, so allow
+        // an fp tolerance proportional to magnitude.
+        let tol = 1e-9 * (1.0 + want.abs());
+        prop_assert!((got - want).abs() <= tol, "got {got}, want {want}");
+    }
+
+    /// Batched evaluation equals scalar evaluation row by row.
+    #[test]
+    fn batch_rows_match_scalar(
+        e in arb_expr(),
+        xs in prop::collection::vec(-8.0f64..8.0, 1..20),
+    ) {
+        let ctx = Context::new();
+        let expr = build(&e, &ctx);
+        let tape = ctx.compile(expr);
+        let ys: Vec<f64> = xs.iter().map(|v| v * 0.5 + 1.0).collect();
+        let mut batch = BatchBindings::new(xs.len());
+        batch.set_values("x", xs.clone());
+        batch.set_values("y", ys.clone());
+        let out = tape.eval_batch(&batch).unwrap();
+        for (i, o) in out.iter().enumerate() {
+            let scalar = tape.eval(&[("x", xs[i]), ("y", ys[i])]).unwrap();
+            prop_assert!((o - scalar).abs() <= 1e-12 * (1.0 + scalar.abs()));
+        }
+    }
+
+    /// Hash-consing: building the same expression twice allocates no new
+    /// nodes.
+    #[test]
+    fn interning_is_idempotent(e in arb_expr()) {
+        let ctx = Context::new();
+        let e1 = build(&e, &ctx);
+        let n = ctx.node_count();
+        let e2 = build(&e, &ctx);
+        prop_assert_eq!(e1.id(), e2.id());
+        prop_assert_eq!(ctx.node_count(), n);
+    }
+}
