@@ -8,9 +8,9 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use mist::presets::{gpt3, AttentionImpl, ModelSize};
 use mist::{
     ClusterSpec, DeviceMesh, GpuSpec, OpCostDb, Platform, StageAnalyzer, StageCandidate,
-    StageConfigValues, StageRole,
+    StageConfigValues, StageRole, StageTapes,
 };
-use mist_symbolic::BatchBindings;
+use mist_symbolic::{BatchBindings, EvalWorkspace};
 
 fn setup() -> (mist::presets::ModelSpec, ClusterSpec, OpCostDb) {
     (
@@ -93,5 +93,66 @@ fn bench_batched(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reanalysis, bench_substitution, bench_batched);
+/// Fills a batch with a representative knob grid of `n` rows.
+fn grid_batch(n: usize) -> BatchBindings {
+    let mut batch = BatchBindings::new(n);
+    batch.set_values("L", (0..n).map(|i| 1.0 + (i % 32) as f64).collect());
+    batch.set_values("ckpt", (0..n).map(|i| (i % 8) as f64).collect());
+    batch.set_values("zero", (0..n).map(|i| (i % 4) as f64).collect());
+    batch.set_values("wo", (0..n).map(|i| (i % 2) as f64 * 0.5).collect());
+    batch.set_values("go", (0..n).map(|i| (i % 3) as f64 * 0.5).collect());
+    batch.set_values("oo", (0..n).map(|i| (i % 5) as f64 * 0.25).collect());
+    batch.set_values("ao", (0..n).map(|i| (i % 4) as f64 * 0.25).collect());
+    batch.set_scalar("inflight", 2.0);
+    batch
+}
+
+/// Evaluates all 22 stage roots through the 22 individual tapes (the
+/// pre-fusion evaluation strategy).
+fn eval_separate_tapes(tapes: &StageTapes, batch: &BatchBindings) {
+    black_box(tapes.mem_fwd.eval_batch(batch).unwrap());
+    black_box(tapes.mem_bwd.eval_batch(batch).unwrap());
+    black_box(tapes.mem_resident.eval_batch(batch).unwrap());
+    black_box(tapes.mem_act_per_mb.eval_batch(batch).unwrap());
+    black_box(tapes.mem_transient_fwd.eval_batch(batch).unwrap());
+    black_box(tapes.mem_transient_bwd.eval_batch(batch).unwrap());
+    black_box(tapes.fwd.eval_batch(batch));
+    black_box(tapes.bwd.eval_batch(batch));
+    black_box(tapes.first_extra.eval_batch(batch));
+    black_box(tapes.last_extra.eval_batch(batch));
+}
+
+/// Fused multi-root program vs 22 separate tapes over the full stage
+/// model at batch 10 000 — the tentpole comparison. The fused side reuses
+/// one workspace across iterations (zero steady-state allocation).
+fn bench_fused_vs_separate(c: &mut Criterion) {
+    let (model, cluster, db) = setup();
+    let analyzer = StageAnalyzer::new(&model, &cluster, &db);
+    let tapes = analyzer.analyze(&candidate());
+    let mut group = c.benchmark_group("fused_vs_separate");
+    let n = 10_000usize;
+    let batch = grid_batch(n);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function(BenchmarkId::new("separate_22_tapes", n), |b| {
+        b.iter(|| eval_separate_tapes(&tapes, black_box(&batch)))
+    });
+    let mut ws = EvalWorkspace::new();
+    group.bench_function(BenchmarkId::new("fused_program", n), |b| {
+        b.iter(|| {
+            tapes
+                .eval_batch_fused(black_box(&batch), &mut ws)
+                .unwrap();
+            black_box(ws.output(0));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reanalysis,
+    bench_substitution,
+    bench_batched,
+    bench_fused_vs_separate
+);
 criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Smoke-run of the symbolic-evaluation benchmark (paper Fig. 16's
+//! substrate): times the fused 22-root stage program against the 22
+//! separate per-expression tapes at batch 10 000 and records the speedup
+//! in `results/bench_symbolic.json`.
+//!
+//! This is the cheap, always-runnable counterpart of the Criterion bench
+//! in `benches/symbolic_eval.rs`; the verify recipe runs it to catch
+//! regressions of the fusion speedup.
+
+use std::time::Instant;
+
+use mist::presets::{gpt3, AttentionImpl, ModelSize};
+use mist::{
+    ClusterSpec, DeviceMesh, GpuSpec, OpCostDb, Platform, StageAnalyzer, StageCandidate, StageRole,
+    StageTapes,
+};
+use mist_bench::write_json;
+use mist_symbolic::{BatchBindings, EvalWorkspace};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BenchResult {
+    batch_size: usize,
+    iterations: usize,
+    separate_tapes_ns_per_batch: f64,
+    fused_program_ns_per_batch: f64,
+    fused_speedup: f64,
+    fused_rows_per_sec: f64,
+    program_instructions: usize,
+    separate_instructions: usize,
+    program_registers: usize,
+}
+
+fn grid_batch(n: usize) -> BatchBindings {
+    let mut batch = BatchBindings::new(n);
+    batch.set_values("L", (0..n).map(|i| 1.0 + (i % 32) as f64).collect());
+    batch.set_values("ckpt", (0..n).map(|i| (i % 8) as f64).collect());
+    batch.set_values("zero", (0..n).map(|i| (i % 4) as f64).collect());
+    batch.set_values("wo", (0..n).map(|i| (i % 2) as f64 * 0.5).collect());
+    batch.set_values("go", (0..n).map(|i| (i % 3) as f64 * 0.5).collect());
+    batch.set_values("oo", (0..n).map(|i| (i % 5) as f64 * 0.25).collect());
+    batch.set_values("ao", (0..n).map(|i| (i % 4) as f64 * 0.25).collect());
+    batch.set_scalar("inflight", 2.0);
+    batch
+}
+
+fn eval_separate(tapes: &StageTapes, batch: &BatchBindings) -> f64 {
+    let mut acc = 0.0;
+    acc += tapes.mem_fwd.eval_batch(batch).unwrap()[0];
+    acc += tapes.mem_bwd.eval_batch(batch).unwrap()[0];
+    acc += tapes.mem_resident.eval_batch(batch).unwrap()[0];
+    acc += tapes.mem_act_per_mb.eval_batch(batch).unwrap()[0];
+    acc += tapes.mem_transient_fwd.eval_batch(batch).unwrap()[0];
+    acc += tapes.mem_transient_bwd.eval_batch(batch).unwrap()[0];
+    acc += tapes.fwd.eval_batch(batch)[0][0];
+    acc += tapes.bwd.eval_batch(batch)[0][0];
+    acc += tapes.first_extra.eval_batch(batch)[0][0];
+    acc += tapes.last_extra.eval_batch(batch)[0][0];
+    acc
+}
+
+fn main() {
+    let model = gpt3(ModelSize::B6_7, 2048, AttentionImpl::Flash);
+    let cluster = ClusterSpec::for_gpu_count(Platform::GcpL4, 8);
+    let db = OpCostDb::new(GpuSpec::l4());
+    let analyzer = StageAnalyzer::new(&model, &cluster, &db);
+    let tapes = analyzer.analyze(&StageCandidate {
+        mesh: DeviceMesh::new(1, 8),
+        dp: 4,
+        tp: 2,
+        micro_batch: 2,
+        role: StageRole::Only,
+    });
+
+    let n = 10_000usize;
+    let iters = 20usize;
+    let batch = grid_batch(n);
+    let mut ws = EvalWorkspace::new();
+    let mut sink = 0.0;
+
+    // Warm-up: populate the workspace's register/output pools and fault
+    // in the tapes, then time.
+    tapes.eval_batch_fused(&batch, &mut ws).unwrap();
+    sink += eval_separate(&tapes, &batch);
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        sink += eval_separate(&tapes, &batch);
+    }
+    let separate_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        tapes.eval_batch_fused(&batch, &mut ws).unwrap();
+        sink += ws.output(0)[0];
+    }
+    let fused_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    std::hint::black_box(sink);
+
+    let separate_instructions = [
+        tapes.mem_fwd.len(),
+        tapes.mem_bwd.len(),
+        tapes.mem_resident.len(),
+        tapes.mem_act_per_mb.len(),
+        tapes.mem_transient_fwd.len(),
+        tapes.mem_transient_bwd.len(),
+        tapes.fwd.compute.len(),
+        tapes.fwd.nccl.len(),
+        tapes.fwd.d2h.len(),
+        tapes.fwd.h2d.len(),
+        tapes.bwd.compute.len(),
+        tapes.bwd.nccl.len(),
+        tapes.bwd.d2h.len(),
+        tapes.bwd.h2d.len(),
+        tapes.first_extra.compute.len(),
+        tapes.first_extra.nccl.len(),
+        tapes.first_extra.d2h.len(),
+        tapes.first_extra.h2d.len(),
+        tapes.last_extra.compute.len(),
+        tapes.last_extra.nccl.len(),
+        tapes.last_extra.d2h.len(),
+        tapes.last_extra.h2d.len(),
+    ]
+    .iter()
+    .sum();
+
+    let result = BenchResult {
+        batch_size: n,
+        iterations: iters,
+        separate_tapes_ns_per_batch: separate_ns,
+        fused_program_ns_per_batch: fused_ns,
+        fused_speedup: separate_ns / fused_ns,
+        fused_rows_per_sec: n as f64 / (fused_ns * 1e-9),
+        program_instructions: tapes.program.len(),
+        separate_instructions,
+        program_registers: tapes.program.num_regs(),
+    };
+    println!(
+        "separate: {:.2} ms/batch  fused: {:.2} ms/batch  speedup: {:.1}x  \
+         ({} fused instrs vs {} separate, {} registers)",
+        result.separate_tapes_ns_per_batch / 1e6,
+        result.fused_program_ns_per_batch / 1e6,
+        result.fused_speedup,
+        result.program_instructions,
+        result.separate_instructions,
+        result.program_registers,
+    );
+    write_json("bench_symbolic", &result);
+
+    assert!(
+        result.fused_speedup >= 1.0,
+        "fused evaluation must not be slower than separate tapes"
+    );
+}

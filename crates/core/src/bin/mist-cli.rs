@@ -152,7 +152,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.seq == Some(0) {
         return Err("--seq must be positive".into());
     }
-    if args.gpus > 8 && args.gpus % 8 != 0 {
+    if args.gpus > 8 && !args.gpus.is_multiple_of(8) {
         return Err(format!(
             "--gpus {} is not a Table-3 cluster shape (1-8, or a multiple of 8)",
             args.gpus

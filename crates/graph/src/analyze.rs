@@ -35,7 +35,9 @@ use mist_hardware::{
     all_gather_time, all_reduce_time, p2p_time, ClusterSpec, DeviceMesh, OpCostDb, OpKind, OpQuery,
 };
 use mist_models::ModelSpec;
-use mist_symbolic::{BatchBindings, CmpOp, Context, Tape};
+use mist_symbolic::{
+    BatchBindings, CmpOp, Context, EvalWorkspace, Program, SymbolicError, Tape,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::liveness::{profile_layer, LayerProfile};
@@ -121,17 +123,11 @@ pub struct StreamTapes {
 }
 
 impl StreamTapes {
-    fn eval(&self, bindings: &[(&str, f64)]) -> [f64; 4] {
-        [
-            self.compute.eval(bindings).expect("compute tape"),
-            self.nccl.eval(bindings).expect("nccl tape"),
-            self.d2h.eval(bindings).expect("d2h tape"),
-            self.h2d.eval(bindings).expect("h2d tape"),
-        ]
-    }
-
     /// Batched evaluation of all four streams; returns one `[f64; 4]` row
     /// per batch entry.
+    ///
+    /// Hot paths should prefer the fused [`StageTapes::eval_batch_fused`]
+    /// pass, which evaluates all 22 stage roots at once.
     pub fn eval_batch(&self, batch: &BatchBindings) -> Vec<[f64; 4]> {
         let c = self.compute.eval_batch(batch).expect("compute tape");
         let n = self.nccl.eval_batch(batch).expect("nccl tape");
@@ -146,11 +142,50 @@ impl StreamTapes {
     }
 }
 
+/// Root indices of the fused [`StageTapes::program`].
+///
+/// The six memory roots come first, then the four schedule phases with
+/// their streams in `[compute, nccl, d2h, h2d]` order (the same order as
+/// the [`StagePoint`] arrays).
+pub mod stage_roots {
+    /// Peak forward-pass memory (bytes).
+    pub const MEM_FWD: usize = 0;
+    /// Peak backward-pass memory (bytes).
+    pub const MEM_BWD: usize = 1;
+    /// Iteration-resident bytes.
+    pub const MEM_RESIDENT: usize = 2;
+    /// Stashed activation bytes per in-flight microbatch.
+    pub const MEM_ACT_PER_MB: usize = 3;
+    /// Transient forward working bytes.
+    pub const MEM_TRANSIENT_FWD: usize = 4;
+    /// Transient backward working bytes.
+    pub const MEM_TRANSIENT_BWD: usize = 5;
+    /// First stream root of the stable forward phase.
+    pub const FWD: usize = 6;
+    /// First stream root of the stable backward phase.
+    pub const BWD: usize = 10;
+    /// First stream root of the first-microbatch extras.
+    pub const FIRST_EXTRA: usize = 14;
+    /// First stream root of the last-microbatch extras.
+    pub const LAST_EXTRA: usize = 18;
+    /// Total number of roots.
+    pub const COUNT: usize = 22;
+}
+
 /// Compiled symbolic performance model of one stage candidate.
 #[derive(Debug, Clone)]
 pub struct StageTapes {
     /// The candidate these tapes describe.
     pub candidate: StageCandidate,
+    /// All 22 stage expressions fused into one multi-root program with
+    /// cross-root CSE and register allocation. Root order is given by
+    /// [`stage_roots`]. Hot paths evaluate this once per batch instead of
+    /// looping over the individual tapes below.
+    pub program: Program,
+    /// Two-root (`mem_fwd`, `mem_bwd`) program for feasibility probes
+    /// (e.g. the tuner's analytic minimal-checkpoint solve), which only
+    /// need the peak-memory pair and not the full 22 roots.
+    pub mem_pair: Program,
     /// Peak forward-pass memory in bytes.
     pub mem_fwd: Tape,
     /// Peak backward-pass memory in bytes.
@@ -493,8 +528,40 @@ impl<'a> StageAnalyzer<'a> {
         let c_last = zero_c;
         let h2d_last = zero_c;
 
+        // Fuse all 22 roots into one program (cross-root CSE: the shared
+        // sharding/offload subtrees are compiled once, not per tape).
+        let mem_transient_fwd_e = ctx.constant(transient_fwd);
+        let program = ctx.compile_program(&[
+            ("mem_fwd", mem_fwd),
+            ("mem_bwd", mem_bwd),
+            ("mem_resident", mem_resident),
+            ("mem_act_per_mb", acts_per_mb),
+            ("mem_transient_fwd", mem_transient_fwd_e),
+            ("mem_transient_bwd", mem_transient_bwd),
+            ("fwd_compute", c_fwd),
+            ("fwd_nccl", nccl_fwd),
+            ("fwd_d2h", d2h_fwd),
+            ("fwd_h2d", h2d_fwd),
+            ("bwd_compute", c_bwd),
+            ("bwd_nccl", nccl_bwd),
+            ("bwd_d2h", d2h_bwd),
+            ("bwd_h2d", h2d_bwd),
+            ("first_compute", c_first),
+            ("first_nccl", nccl_first),
+            ("first_d2h", d2h_first),
+            ("first_h2d", h2d_first),
+            ("last_compute", c_last),
+            ("last_nccl", nccl_last),
+            ("last_d2h", d2h_last),
+            ("last_h2d", h2d_last),
+        ]);
+        debug_assert_eq!(program.num_roots(), stage_roots::COUNT);
+        let mem_pair = ctx.compile_program(&[("mem_fwd", mem_fwd), ("mem_bwd", mem_bwd)]);
+
         StageTapes {
             candidate: *cand,
+            program,
+            mem_pair,
             mem_fwd: ctx.compile(mem_fwd),
             mem_bwd: ctx.compile(mem_bwd),
             mem_resident: ctx.compile(mem_resident),
@@ -543,32 +610,95 @@ fn linear_collective(f: impl Fn(f64) -> f64) -> (f64, f64) {
 }
 
 impl StageTapes {
-    /// Evaluates every tape at one configuration (scalar path).
+    /// Evaluates every root at one configuration through the fused
+    /// program (scalar path).
     ///
     /// # Panics
     ///
     /// Panics if evaluation fails (cannot happen for the symbols this
     /// module emits).
     pub fn eval_point(&self, cfg: &StageConfigValues) -> StagePoint {
-        let b = cfg.bindings();
+        let inputs = self
+            .program
+            .symbols()
+            .resolve_scalars(&cfg.bindings())
+            .expect("stage symbols");
+        let mut out = Vec::with_capacity(stage_roots::COUNT);
+        self.program
+            .eval_scalar(&inputs, &mut out)
+            .expect("stage program");
+        let quad = |base: usize| [out[base], out[base + 1], out[base + 2], out[base + 3]];
         StagePoint {
-            mem_fwd: self.mem_fwd.eval(&b).expect("mem_fwd tape"),
-            mem_bwd: self.mem_bwd.eval(&b).expect("mem_bwd tape"),
-            mem_resident: self.mem_resident.eval(&b).expect("mem_resident tape"),
-            mem_act_per_mb: self.mem_act_per_mb.eval(&b).expect("mem_act_per_mb tape"),
-            mem_transient_fwd: self
-                .mem_transient_fwd
-                .eval(&b)
-                .expect("mem_transient_fwd tape"),
-            mem_transient_bwd: self
-                .mem_transient_bwd
-                .eval(&b)
-                .expect("mem_transient_bwd tape"),
-            fwd: self.fwd.eval(&b),
-            bwd: self.bwd.eval(&b),
-            first_extra: self.first_extra.eval(&b),
-            last_extra: self.last_extra.eval(&b),
+            mem_fwd: out[stage_roots::MEM_FWD],
+            mem_bwd: out[stage_roots::MEM_BWD],
+            mem_resident: out[stage_roots::MEM_RESIDENT],
+            mem_act_per_mb: out[stage_roots::MEM_ACT_PER_MB],
+            mem_transient_fwd: out[stage_roots::MEM_TRANSIENT_FWD],
+            mem_transient_bwd: out[stage_roots::MEM_TRANSIENT_BWD],
+            fwd: quad(stage_roots::FWD),
+            bwd: quad(stage_roots::BWD),
+            first_extra: quad(stage_roots::FIRST_EXTRA),
+            last_extra: quad(stage_roots::LAST_EXTRA),
         }
+    }
+
+    /// Evaluates all 22 roots over a batch in one fused pass.
+    ///
+    /// Output columns land in `ws` at the [`stage_roots`] indices; read
+    /// rows back with [`StageTapes::point_at`]. The workspace is reused
+    /// across calls, so steady-state evaluation performs no
+    /// per-instruction allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates binding errors from
+    /// [`Program::eval_batch`](mist_symbolic::Program::eval_batch).
+    pub fn eval_batch_fused(
+        &self,
+        batch: &BatchBindings,
+        ws: &mut EvalWorkspace,
+    ) -> Result<(), SymbolicError> {
+        self.program.eval_batch(batch, ws)
+    }
+
+    /// Assembles row `i` of a fused batch evaluation into a [`StagePoint`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws` was not filled by [`StageTapes::eval_batch_fused`]
+    /// or `i` is out of range.
+    pub fn point_at(&self, ws: &EvalWorkspace, i: usize) -> StagePoint {
+        let s = |root: usize| ws.output(root)[i];
+        let quad = |base: usize| [s(base), s(base + 1), s(base + 2), s(base + 3)];
+        StagePoint {
+            mem_fwd: s(stage_roots::MEM_FWD),
+            mem_bwd: s(stage_roots::MEM_BWD),
+            mem_resident: s(stage_roots::MEM_RESIDENT),
+            mem_act_per_mb: s(stage_roots::MEM_ACT_PER_MB),
+            mem_transient_fwd: s(stage_roots::MEM_TRANSIENT_FWD),
+            mem_transient_bwd: s(stage_roots::MEM_TRANSIENT_BWD),
+            fwd: quad(stage_roots::FWD),
+            bwd: quad(stage_roots::BWD),
+            first_extra: quad(stage_roots::FIRST_EXTRA),
+            last_extra: quad(stage_roots::LAST_EXTRA),
+        }
+    }
+
+    /// Evaluates the two-root `mem_pair` program and returns the per-row
+    /// peak `max(mem_fwd, mem_bwd)` — the Eq. 4 feasibility quantity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch does not bind every stage symbol.
+    pub fn mem_peak_batch(&self, batch: &BatchBindings, ws: &mut EvalWorkspace) -> Vec<f64> {
+        self.mem_pair
+            .eval_batch(batch, ws)
+            .expect("mem_pair program");
+        ws.output(0)
+            .iter()
+            .zip(ws.output(1))
+            .map(|(&f, &b)| f.max(b))
+            .collect()
     }
 }
 
@@ -762,8 +892,8 @@ mod tests {
             };
             let p = t.eval_point(&cfg);
             assert!((mems[i] - p.mem_fwd).abs() < 1.0, "row {i}");
-            for s in 0..4 {
-                assert!((rows[i][s] - p.bwd[s]).abs() < 1e-12, "row {i} stream {s}");
+            for (s, want) in rows[i].iter().enumerate() {
+                assert!((want - p.bwd[s]).abs() < 1e-12, "row {i} stream {s}");
             }
         }
     }
@@ -793,6 +923,74 @@ mod tests {
     fn interference_tuple_reorders_streams() {
         let t = StagePoint::interference_tuple([1.0, 2.0, 3.0, 4.0]);
         assert_eq!(t, [1.0, 2.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn fused_program_matches_individual_tapes() {
+        let (model, cluster) = setup();
+        let t = tapes(&model, &cluster, 2, 2);
+        assert_eq!(t.program.num_roots(), stage_roots::COUNT);
+
+        let mut batch = mist_symbolic::BatchBindings::new(4);
+        batch.set_values("L", vec![4.0, 8.0, 16.0, 32.0]);
+        batch.set_values("ckpt", vec![0.0, 4.0, 8.0, 32.0]);
+        batch.set_values("zero", vec![0.0, 1.0, 2.0, 3.0]);
+        batch.set_scalar("wo", 0.5);
+        batch.set_scalar("go", 0.25);
+        batch.set_values("oo", vec![0.0, 0.5, 1.0, 0.75]);
+        batch.set_scalar("ao", 0.5);
+        batch.set_scalar("inflight", 2.0);
+
+        let mut ws = EvalWorkspace::new();
+        t.eval_batch_fused(&batch, &mut ws).unwrap();
+
+        let separate: [(&Tape, usize); 6] = [
+            (&t.mem_fwd, stage_roots::MEM_FWD),
+            (&t.mem_bwd, stage_roots::MEM_BWD),
+            (&t.mem_resident, stage_roots::MEM_RESIDENT),
+            (&t.mem_act_per_mb, stage_roots::MEM_ACT_PER_MB),
+            (&t.mem_transient_fwd, stage_roots::MEM_TRANSIENT_FWD),
+            (&t.mem_transient_bwd, stage_roots::MEM_TRANSIENT_BWD),
+        ];
+        for (tape, root) in separate {
+            assert_eq!(ws.output(root), &tape.eval_batch(&batch).unwrap()[..]);
+        }
+        for (streams, base) in [
+            (&t.fwd, stage_roots::FWD),
+            (&t.bwd, stage_roots::BWD),
+            (&t.first_extra, stage_roots::FIRST_EXTRA),
+            (&t.last_extra, stage_roots::LAST_EXTRA),
+        ] {
+            let rows = streams.eval_batch(&batch);
+            for (i, row) in rows.iter().enumerate() {
+                for (s, want) in row.iter().enumerate() {
+                    assert_eq!(ws.output(base + s)[i], *want, "root {base}+{s} row {i}");
+                }
+            }
+        }
+
+        // point_at reads the same rows back, and the scalar path agrees.
+        let p1 = t.point_at(&ws, 1);
+        let cfg = StageConfigValues {
+            layers: 8,
+            ckpt: 4,
+            zero: 1,
+            wo: 0.5,
+            go: 0.25,
+            oo: 0.5,
+            ao: 0.5,
+            inflight: 2,
+        };
+        let ps = t.eval_point(&cfg);
+        assert_eq!(p1, ps);
+
+        // mem_pair agrees with the full program's memory roots.
+        let peaks = t.mem_peak_batch(&batch, &mut EvalWorkspace::new());
+        t.eval_batch_fused(&batch, &mut ws).unwrap();
+        for (i, peak) in peaks.iter().enumerate() {
+            let want = ws.output(stage_roots::MEM_FWD)[i].max(ws.output(stage_roots::MEM_BWD)[i]);
+            assert_eq!(*peak, want, "row {i}");
+        }
     }
 }
 

@@ -37,8 +37,8 @@ pub fn partition_min_max(
     // best[g][n] = minimal max-cost using groups 0..=g over n items.
     let mut best = vec![vec![f64::INFINITY; l + 1]; s];
     let mut choice = vec![vec![0u32; l + 1]; s];
-    for n in 1..=l {
-        best[0][n] = cost(0, n as u32);
+    for (n, b) in best[0].iter_mut().enumerate().skip(1) {
+        *b = cost(0, n as u32);
     }
     for g in 1..s {
         for n in (g + 1)..=l {

@@ -180,9 +180,7 @@ pub fn solve_lp(lp: &Lp) -> LpOutcome {
     // --- Phase 1: minimize artificial sum. ----------------------------------
     if nart > 0 {
         let mut phase1 = vec![0.0; used];
-        for a in art_base..used {
-            phase1[a] = 1.0;
-        }
+        phase1[art_base..].fill(1.0);
         match run_simplex(&mut t, &mut basis, &phase1, rhs_col) {
             SimplexEnd::Optimal => {}
             SimplexEnd::Unbounded => return LpOutcome::Infeasible, // Cannot happen.
@@ -210,9 +208,7 @@ pub fn solve_lp(lp: &Lp) -> LpOutcome {
     // --- Phase 2: original objective (artificial columns frozen). ----------
     let mut full_obj = vec![0.0; used];
     full_obj[..ncols].copy_from_slice(&obj);
-    for a in art_base..used {
-        full_obj[a] = 1e12; // Keep artificials priced out.
-    }
+    full_obj[art_base..].fill(1e12); // Keep artificials priced out.
     match run_simplex(&mut t, &mut basis, &full_obj, rhs_col) {
         SimplexEnd::Optimal => {}
         SimplexEnd::Unbounded => return LpOutcome::Unbounded,
@@ -320,6 +316,8 @@ fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, rhs_co
         if factor.abs() <= EPS {
             continue;
         }
+        // Reads t[row] while writing t[i]; indexing sidesteps the borrow.
+        #[allow(clippy::needless_range_loop)]
         for j in 0..=rhs_col {
             t[i][j] -= factor * t[row][j];
         }

@@ -6,6 +6,7 @@ use std::ops::{Add, Div, Mul, Neg, Sub};
 
 use crate::error::SymbolicError;
 use crate::node::{CmpOp, ConstBits, ExprId, Node, SymbolId};
+use crate::program::Program;
 use crate::tape::Tape;
 
 /// Interning arena for symbols and expression nodes.
@@ -387,6 +388,24 @@ impl Context {
     pub fn compile(&self, expr: Expr<'_>) -> Tape {
         let inner = self.inner.borrow();
         Tape::build(&inner.nodes, &inner.symbols, expr.id)
+    }
+
+    /// Compiles many labeled roots into one fused [`Program`].
+    ///
+    /// Structurally equal sub-expressions *across* roots share one SSA
+    /// slot and are computed once per batch (cross-root CSE), and a
+    /// single evaluation pass produces every root's output column. Root
+    /// outputs are indexed in the order given here; labels are for
+    /// diagnostics and [`Program::root_index`] lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `roots` is empty.
+    pub fn compile_program(&self, roots: &[(&str, Expr<'_>)]) -> Program {
+        let inner = self.inner.borrow();
+        let ids: Vec<(&str, crate::node::ExprId)> =
+            roots.iter().map(|&(name, e)| (name, e.id)).collect();
+        Program::build(&inner.nodes, &inner.symbols, &ids)
     }
 
     /// Renders an expression as a human-readable string.

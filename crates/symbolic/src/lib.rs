@@ -15,11 +15,20 @@
 //! * [`Expr`] — a lightweight copyable handle with operator overloading.
 //!   Construction performs aggressive local simplification (constant
 //!   folding, `x + 0`, `x * 1`, `min`/`max` collapsing, …).
-//! * [`Tape`] — a compiled flat postfix program for an expression. A tape
-//!   is plain `Send + Sync` data and supports *batched* evaluation: each
-//!   symbol is bound to a column of `f64` values and the whole batch is
-//!   evaluated in one pass. This is what makes the paper's "batched value
-//!   substitution" fast (see the `symbolic_eval` Criterion bench).
+//! * [`Program`] — a fused multi-root SSA instruction stream. All the
+//!   expressions a caller needs per evaluation point (e.g. every memory
+//!   and latency estimate of a pipeline stage) compile together with
+//!   cross-root common-subexpression elimination, register allocation
+//!   over a reusable [`EvalWorkspace`] column pool, and *broadcast
+//!   lanes* that keep uniform (scalar-bound) subtrees as single `f64`s
+//!   instead of materialized columns. This is what makes the paper's
+//!   "batched value substitution" fast (see the `symbolic_eval`
+//!   Criterion bench).
+//! * [`Tape`] — the single-root convenience view over a [`Program`],
+//!   plain `Send + Sync` data with scalar ([`Tape::eval`]) and batched
+//!   ([`Tape::eval_batch`]) entry points. Hot paths that evaluate many
+//!   roots per batch should fuse them via
+//!   [`Context::compile_program`] instead of looping over tapes.
 //!
 //! # Example
 //!
@@ -40,9 +49,11 @@ mod context;
 mod display;
 mod error;
 mod node;
+mod program;
 mod tape;
 
 pub use context::{Context, Expr};
 pub use error::SymbolicError;
 pub use node::{CmpOp, ExprId, Node, SymbolId};
-pub use tape::{BatchBindings, Tape};
+pub use program::{EvalWorkspace, Program, SymbolTable};
+pub use tape::{BatchBindings, Column, Tape};

@@ -1,117 +1,68 @@
 //! Compiled evaluation tapes with scalar and batched execution.
 //!
-//! A [`Tape`] linearizes an expression DAG into SSA form: every unique
-//! sub-expression is computed exactly once into a slot, and later
-//! instructions reference earlier slots. Tapes are plain data (`Send +
+//! A [`Tape`] is the single-root view of a fused evaluation
+//! [`Program`](crate::Program): the expression DAG is linearized into
+//! SSA form where every unique sub-expression is computed exactly once,
+//! and evaluation runs through the program's register-allocated,
+//! broadcast-lane-aware interpreter. Tapes are plain data (`Send +
 //! Sync`), so the tuner compiles once on the tracing thread and fans
 //! evaluation out across worker threads.
 //!
 //! Batched evaluation is the core of Mist's "single symbolic pass, many
 //! value substitutions" idea: symbols are bound to *columns* and each
 //! instruction processes the whole column, amortizing interpretation
-//! overhead across the batch.
+//! overhead across the batch. Hot paths that evaluate many roots per
+//! batch should compile them into one multi-root
+//! [`Program`](crate::Program) instead of many tapes — see
+//! [`Context::compile_program`](crate::Context::compile_program).
 
 use std::collections::HashMap;
 
 use crate::error::SymbolicError;
-use crate::node::{CmpOp, ExprId, Node, SymbolId};
-
-/// A single SSA instruction. The output slot is the instruction's index.
-#[derive(Debug, Clone)]
-enum Instr {
-    Const(f64),
-    /// Reads input column `usize` (index into [`Tape::symbols`]).
-    Sym(usize),
-    Add(Vec<usize>),
-    Mul(Vec<usize>),
-    Min(Vec<usize>),
-    Max(Vec<usize>),
-    Div(usize, usize),
-    Floor(usize),
-    Ceil(usize),
-    Cmp(CmpOp, usize, usize),
-    Select(usize, usize, usize),
-}
+use crate::node::{ExprId, Node};
+use crate::program::{EvalWorkspace, Program};
 
 /// A compiled, immutable evaluation program for one expression.
 #[derive(Debug, Clone)]
 pub struct Tape {
-    instrs: Vec<Instr>,
-    /// Names of the symbols this tape reads, in input-slot order.
-    symbols: Vec<String>,
+    program: Program,
 }
 
 impl Tape {
     /// Builds a tape from the arena (called by `Context::compile`).
     pub(crate) fn build(nodes: &[Node], symbol_names: &[String], root: ExprId) -> Tape {
-        let mut slot_of: HashMap<ExprId, usize> = HashMap::new();
-        let mut sym_slot: HashMap<SymbolId, usize> = HashMap::new();
-        let mut symbols: Vec<String> = Vec::new();
-        let mut instrs: Vec<Instr> = Vec::new();
-
-        // Iterative post-order DFS over the DAG.
-        enum Frame {
-            Visit(ExprId),
-            Emit(ExprId),
+        Tape {
+            program: Program::build(nodes, symbol_names, &[("tape", root)]),
         }
-        let mut stack = vec![Frame::Visit(root)];
-        while let Some(frame) = stack.pop() {
-            match frame {
-                Frame::Visit(id) => {
-                    if slot_of.contains_key(&id) {
-                        continue;
-                    }
-                    stack.push(Frame::Emit(id));
-                    for child in nodes[id.0 as usize].children() {
-                        stack.push(Frame::Visit(child));
-                    }
-                }
-                Frame::Emit(id) => {
-                    if slot_of.contains_key(&id) {
-                        continue;
-                    }
-                    let s = |eid: ExprId| slot_of[&eid];
-                    let instr = match &nodes[id.0 as usize] {
-                        Node::Const(c) => Instr::Const(c.to_f64()),
-                        Node::Sym(sid) => {
-                            let slot = *sym_slot.entry(*sid).or_insert_with(|| {
-                                symbols.push(symbol_names[sid.0 as usize].clone());
-                                symbols.len() - 1
-                            });
-                            Instr::Sym(slot)
-                        }
-                        Node::Add(v) => Instr::Add(v.iter().map(|e| s(*e)).collect()),
-                        Node::Mul(v) => Instr::Mul(v.iter().map(|e| s(*e)).collect()),
-                        Node::Min(v) => Instr::Min(v.iter().map(|e| s(*e)).collect()),
-                        Node::Max(v) => Instr::Max(v.iter().map(|e| s(*e)).collect()),
-                        Node::Div(a, b) => Instr::Div(s(*a), s(*b)),
-                        Node::Floor(a) => Instr::Floor(s(*a)),
-                        Node::Ceil(a) => Instr::Ceil(s(*a)),
-                        Node::Cmp(op, a, b) => Instr::Cmp(*op, s(*a), s(*b)),
-                        Node::Select(c, a, b) => Instr::Select(s(*c), s(*a), s(*b)),
-                    };
-                    slot_of.insert(id, instrs.len());
-                    instrs.push(instr);
-                }
-            }
-        }
-
-        Tape { instrs, symbols }
     }
 
     /// Names of the free symbols read by this tape.
     pub fn symbols(&self) -> &[String] {
-        &self.symbols
+        self.program.symbols().names()
+    }
+
+    /// The underlying single-root program.
+    pub fn program(&self) -> &Program {
+        &self.program
     }
 
     /// Number of SSA instructions (a proxy for evaluation cost).
     pub fn len(&self) -> usize {
-        self.instrs.len()
+        self.program.len()
     }
 
-    /// True if the tape is a bare constant.
+    /// True when the tape has no instructions. Compiled tapes always
+    /// contain at least the root instruction, so this is always `false`;
+    /// it exists for `len()` symmetry. See [`Tape::is_constant`] for the
+    /// "is this a bare constant" question.
     pub fn is_empty(&self) -> bool {
-        self.instrs.is_empty()
+        self.len() == 0
+    }
+
+    /// True if the tape is a bare constant: it reads no symbols, so it
+    /// evaluates to the same value under any bindings.
+    pub fn is_constant(&self) -> bool {
+        self.program.symbols().is_empty()
     }
 
     /// Evaluates the tape against scalar `(name, value)` bindings.
@@ -120,7 +71,7 @@ impl Tape {
     ///
     /// See [`SymbolicError`].
     pub fn eval(&self, bindings: &[(&str, f64)]) -> Result<f64, SymbolicError> {
-        let inputs = self.resolve_scalar_bindings(bindings)?;
+        let inputs = self.program.symbols().resolve_scalars(bindings)?;
         self.eval_slots(&inputs)
     }
 
@@ -130,58 +81,7 @@ impl Tape {
     /// scalar entry point for hot loops that bind the same symbols
     /// repeatedly.
     pub fn eval_slots(&self, inputs: &[f64]) -> Result<f64, SymbolicError> {
-        debug_assert_eq!(inputs.len(), self.symbols.len());
-        let mut slots: Vec<f64> = Vec::with_capacity(self.instrs.len());
-        for instr in &self.instrs {
-            let v = match instr {
-                Instr::Const(c) => *c,
-                Instr::Sym(i) => inputs[*i],
-                Instr::Add(args) => args.iter().map(|&a| slots[a]).sum(),
-                Instr::Mul(args) => args.iter().map(|&a| slots[a]).product(),
-                Instr::Min(args) => args.iter().map(|&a| slots[a]).fold(f64::INFINITY, f64::min),
-                Instr::Max(args) => args
-                    .iter()
-                    .map(|&a| slots[a])
-                    .fold(f64::NEG_INFINITY, f64::max),
-                Instr::Div(a, b) => slots[*a] / slots[*b],
-                Instr::Floor(a) => slots[*a].floor(),
-                Instr::Ceil(a) => slots[*a].ceil(),
-                Instr::Cmp(op, a, b) => op.apply(slots[*a], slots[*b]),
-                Instr::Select(c, a, b) => {
-                    if slots[*c] != 0.0 {
-                        slots[*a]
-                    } else {
-                        slots[*b]
-                    }
-                }
-            };
-            slots.push(v);
-        }
-        let out = *slots.last().expect("tape has at least one instruction");
-        if !out.is_finite() {
-            return Err(SymbolicError::NonFinite {
-                detail: "tape evaluation result".to_owned(),
-            });
-        }
-        Ok(out)
-    }
-
-    fn resolve_scalar_bindings(&self, bindings: &[(&str, f64)]) -> Result<Vec<f64>, SymbolicError> {
-        let mut inputs = vec![f64::NAN; self.symbols.len()];
-        for (i, name) in self.symbols.iter().enumerate() {
-            let mut found = false;
-            for (bname, v) in bindings {
-                if bname == name {
-                    inputs[i] = *v;
-                    found = true;
-                    break;
-                }
-            }
-            if !found {
-                return Err(SymbolicError::UnboundSymbol(name.clone()));
-            }
-        }
-        Ok(inputs)
+        self.program.eval_scalar_root(0, inputs)
     }
 
     /// Evaluates the tape over a whole batch of configurations at once.
@@ -190,125 +90,20 @@ impl Tape {
     /// (e.g. a guard divided by zero) are returned as `f64::INFINITY` rather
     /// than failing the whole batch — the tuner treats them as infeasible.
     ///
+    /// Each call allocates a fresh workspace; callers that evaluate many
+    /// tapes or batches should fuse the roots into one
+    /// [`Program`](crate::Program) and reuse an
+    /// [`EvalWorkspace`](crate::EvalWorkspace).
+    ///
     /// # Errors
     ///
     /// Returns [`SymbolicError::UnboundSymbol`] if a tape symbol is missing
     /// from `bindings`, or [`SymbolicError::BatchLengthMismatch`] if a
     /// column's length differs from the batch length.
     pub fn eval_batch(&self, bindings: &BatchBindings) -> Result<Vec<f64>, SymbolicError> {
-        let n = bindings.len();
-        // Resolve each tape symbol to its column.
-        let mut columns: Vec<&Column> = Vec::with_capacity(self.symbols.len());
-        for name in &self.symbols {
-            let col = bindings
-                .columns
-                .get(name)
-                .ok_or_else(|| SymbolicError::UnboundSymbol(name.clone()))?;
-            if let Column::Values(v) = col {
-                if v.len() != n {
-                    return Err(SymbolicError::BatchLengthMismatch {
-                        expected: n,
-                        got: v.len(),
-                    });
-                }
-            }
-            columns.push(col);
-        }
-
-        let mut slots: Vec<Vec<f64>> = Vec::with_capacity(self.instrs.len());
-        let mut buf = vec![0.0f64; n];
-        for instr in &self.instrs {
-            match instr {
-                Instr::Const(c) => {
-                    for x in buf.iter_mut() {
-                        *x = *c;
-                    }
-                }
-                Instr::Sym(i) => match columns[*i] {
-                    Column::Scalar(v) => {
-                        for x in buf.iter_mut() {
-                            *x = *v;
-                        }
-                    }
-                    Column::Values(vals) => buf.copy_from_slice(vals),
-                },
-                Instr::Add(args) => {
-                    buf.copy_from_slice(&slots[args[0]]);
-                    for &a in &args[1..] {
-                        let col = &slots[a];
-                        for (x, y) in buf.iter_mut().zip(col) {
-                            *x += *y;
-                        }
-                    }
-                }
-                Instr::Mul(args) => {
-                    buf.copy_from_slice(&slots[args[0]]);
-                    for &a in &args[1..] {
-                        let col = &slots[a];
-                        for (x, y) in buf.iter_mut().zip(col) {
-                            *x *= *y;
-                        }
-                    }
-                }
-                Instr::Min(args) => {
-                    buf.copy_from_slice(&slots[args[0]]);
-                    for &a in &args[1..] {
-                        let col = &slots[a];
-                        for (x, y) in buf.iter_mut().zip(col) {
-                            *x = x.min(*y);
-                        }
-                    }
-                }
-                Instr::Max(args) => {
-                    buf.copy_from_slice(&slots[args[0]]);
-                    for &a in &args[1..] {
-                        let col = &slots[a];
-                        for (x, y) in buf.iter_mut().zip(col) {
-                            *x = x.max(*y);
-                        }
-                    }
-                }
-                Instr::Div(a, b) => {
-                    let (ca, cb) = (&slots[*a], &slots[*b]);
-                    for ((x, p), q) in buf.iter_mut().zip(ca).zip(cb) {
-                        *x = *p / *q;
-                    }
-                }
-                Instr::Floor(a) => {
-                    let ca = &slots[*a];
-                    for (x, p) in buf.iter_mut().zip(ca) {
-                        *x = p.floor();
-                    }
-                }
-                Instr::Ceil(a) => {
-                    let ca = &slots[*a];
-                    for (x, p) in buf.iter_mut().zip(ca) {
-                        *x = p.ceil();
-                    }
-                }
-                Instr::Cmp(op, a, b) => {
-                    let (ca, cb) = (&slots[*a], &slots[*b]);
-                    for ((x, p), q) in buf.iter_mut().zip(ca).zip(cb) {
-                        *x = op.apply(*p, *q);
-                    }
-                }
-                Instr::Select(c, a, b) => {
-                    let (cc, ca, cb) = (&slots[*c], &slots[*a], &slots[*b]);
-                    for (i, x) in buf.iter_mut().enumerate() {
-                        *x = if cc[i] != 0.0 { ca[i] } else { cb[i] };
-                    }
-                }
-            }
-            slots.push(buf.clone());
-        }
-
-        let mut out = slots.pop().expect("tape has at least one instruction");
-        for v in out.iter_mut() {
-            if !v.is_finite() {
-                *v = f64::INFINITY;
-            }
-        }
-        Ok(out)
+        let mut ws = EvalWorkspace::new();
+        self.program.eval_batch(bindings, &mut ws)?;
+        Ok(ws.take_output(0))
     }
 }
 
@@ -374,11 +169,17 @@ impl BatchBindings {
         self.columns.insert(name.to_owned(), Column::Scalar(value));
         self
     }
+
+    /// The column bound to `name`, if any.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.get(name)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::program::Op;
     use crate::Context;
 
     #[test]
@@ -452,11 +253,42 @@ mod tests {
         // x, 1, x+1, 2, x+2, mul, 2(shared const), mul2, max — the shared
         // product must not be duplicated.
         let muls = tape
-            .instrs
+            .program()
+            .ops()
             .iter()
-            .filter(|i| matches!(i, Instr::Mul(_)))
+            .filter(|op| matches!(op, Op::Mul { .. }))
             .count();
-        assert_eq!(muls, 2, "shared product duplicated: {:?}", tape.instrs);
+        assert_eq!(muls, 2, "shared product duplicated");
+    }
+
+    #[test]
+    fn constant_tape_is_detected() {
+        let ctx = Context::new();
+        let k = ctx.compile(ctx.constant(2.0) * 21.0);
+        assert!(k.is_constant());
+        assert!(!k.is_empty(), "compiled tapes always hold the root instr");
+        assert_eq!(k.eval(&[]).unwrap(), 42.0);
+
+        let x = ctx.symbol("x");
+        let t = ctx.compile(x + 1.0);
+        assert!(!t.is_constant());
+    }
+
+    #[test]
+    fn scalar_binding_resolution_ignores_extras_and_duplicates() {
+        let ctx = Context::new();
+        let x = ctx.symbol("x");
+        let y = ctx.symbol("y");
+        let tape = ctx.compile(x * 10.0 + y);
+        // Extra names are ignored; the first binding of a name wins.
+        let got = tape
+            .eval(&[("unused", 9.0), ("x", 2.0), ("y", 5.0), ("x", 7.0)])
+            .unwrap();
+        assert_eq!(got, 25.0);
+        assert!(matches!(
+            tape.eval(&[("x", 1.0)]),
+            Err(SymbolicError::UnboundSymbol(name)) if name == "y"
+        ));
     }
 
     #[test]

@@ -373,7 +373,7 @@ pub fn solve_inter_stage_dp(
     }
     backs.push(prev.clone());
 
-    for stage in 1..s {
+    for (stage, stage_cands) in cands.iter().enumerate().take(s).skip(1) {
         let mut next: Vec<Vec<State>> = vec![Vec::new(); lmax + 1];
         for (layers, states) in prev.iter().enumerate() {
             if states.is_empty() {
@@ -384,7 +384,7 @@ pub fn solve_inter_stage_dp(
                 continue;
             }
             for (si, st) in states.iter().enumerate() {
-                for (c, p) in cands[stage].iter().enumerate() {
+                for (c, p) in stage_cands.iter().enumerate() {
                     let l = layers + p.config.layers as usize;
                     if l > lmax {
                         continue;
@@ -484,6 +484,7 @@ pub fn enumerate_inter_stage(
     let lcands = layer_candidates(total_layers, s as u32, space.layer_window);
     let mut best: Option<InterStageSolution> = None;
     let mut stack: Vec<&ParetoPoint> = Vec::with_capacity(s);
+    #[allow(clippy::too_many_arguments)]
     fn recurse<'p>(
         frontiers: &[&'p Vec<Vec<ParetoPoint>>],
         lcands: &[u32],

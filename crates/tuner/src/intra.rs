@@ -35,7 +35,7 @@ use mist_hardware::{ClusterSpec, DeviceMesh, OpCostDb};
 use mist_interference::InterferenceModel;
 use mist_models::ModelSpec;
 use mist_schedule::stage_times;
-use mist_symbolic::BatchBindings;
+use mist_symbolic::{BatchBindings, EvalWorkspace};
 use serde::{Deserialize, Serialize};
 
 use crate::pareto::{pareto_frontier, sample_frontier};
@@ -86,6 +86,9 @@ pub struct IntraStageTuner<'a> {
     tape_cache: RefCell<HashMap<TapeKey, Rc<StageTapes>>>,
     frontier_cache: RefCell<HashMap<FrontierKey, Rc<Vec<Vec<ParetoPoint>>>>>,
     configs_evaluated: Cell<f64>,
+    // Reused across every fused batch evaluation: register and output
+    // columns are allocated once and recycled for the whole search.
+    workspace: RefCell<EvalWorkspace>,
 }
 
 impl<'a> IntraStageTuner<'a> {
@@ -110,6 +113,7 @@ impl<'a> IntraStageTuner<'a> {
             tape_cache: RefCell::new(HashMap::new()),
             frontier_cache: RefCell::new(HashMap::new()),
             configs_evaluated: Cell::new(0.0),
+            workspace: RefCell::new(EvalWorkspace::new()),
         }
     }
 
@@ -275,17 +279,18 @@ impl<'a> IntraStageTuner<'a> {
         batch.set_values("ao", rows.iter().map(|r| r.2[3]).collect());
         batch.set_scalar("inflight", key.inflight as f64);
 
-        // Resolve the checkpoint count per row.
+        let mut ws = self.workspace.borrow_mut();
+
+        // Resolve the checkpoint count per row through the two-root
+        // `mem_pair` program (peak memory only — no need to evaluate all
+        // 22 roots for the feasibility probes).
         let ckpt_col: Vec<f64> = match self.space.ckpt {
             CkptMode::None => vec![0.0; n],
             CkptMode::Full => rows.iter().map(|r| r.0 as f64).collect(),
             CkptMode::Tuned => {
-                let mem_at = |ckpt_of: &dyn Fn(u32) -> f64| -> Vec<f64> {
-                    let mut b2 = batch.clone();
-                    b2.set_values("ckpt", rows.iter().map(|r| ckpt_of(r.0)).collect());
-                    let fwd = tapes.mem_fwd.eval_batch(&b2).expect("mem_fwd batch");
-                    let bwd = tapes.mem_bwd.eval_batch(&b2).expect("mem_bwd batch");
-                    fwd.into_iter().zip(bwd).map(|(f, w)| f.max(w)).collect()
+                let mut mem_at = |ckpt_of: &dyn Fn(u32) -> f64| -> Vec<f64> {
+                    batch.set_values("ckpt", rows.iter().map(|r| ckpt_of(r.0)).collect());
+                    tapes.mem_peak_batch(&batch, &mut ws)
                 };
                 let m0 = mem_at(&|_| 0.0);
                 let m1 = mem_at(&|_| 1.0);
@@ -298,39 +303,23 @@ impl<'a> IntraStageTuner<'a> {
         };
         batch.set_values("ckpt", ckpt_col.clone());
 
-        // Full evaluation at the resolved checkpoint counts.
-        let mem_fwd = tapes.mem_fwd.eval_batch(&batch).expect("mem_fwd");
-        let mem_bwd = tapes.mem_bwd.eval_batch(&batch).expect("mem_bwd");
-        let mem_res = tapes.mem_resident.eval_batch(&batch).expect("mem_resident");
-        let mem_act = tapes.mem_act_per_mb.eval_batch(&batch).expect("mem_act");
-        let mem_tf = tapes.mem_transient_fwd.eval_batch(&batch).expect("mem_tf");
-        let mem_tb = tapes.mem_transient_bwd.eval_batch(&batch).expect("mem_tb");
-        let fwd = tapes.fwd.eval_batch(&batch);
-        let bwd = tapes.bwd.eval_batch(&batch);
-        let first = tapes.first_extra.eval_batch(&batch);
-        let last = tapes.last_extra.eval_batch(&batch);
+        // One fused pass over all 22 roots at the resolved checkpoint
+        // counts (cross-root CSE + register reuse in the shared
+        // workspace).
+        tapes
+            .eval_batch_fused(&batch, &mut ws)
+            .expect("fused stage program");
 
         for (i, &(l, z, off)) in rows.iter().enumerate() {
             let ckpt = ckpt_col[i];
             if ckpt.is_infinite() {
                 continue; // No feasible checkpoint count.
             }
-            let mem_peak = mem_fwd[i].max(mem_bwd[i]);
+            let point = tapes.point_at(&ws, i);
+            let mem_peak = point.mem_fwd.max(point.mem_bwd);
             if mem_peak > self.budget {
                 continue; // Conservative re-check of the linear solve.
             }
-            let point = StagePoint {
-                mem_fwd: mem_fwd[i],
-                mem_bwd: mem_bwd[i],
-                mem_resident: mem_res[i],
-                mem_act_per_mb: mem_act[i],
-                mem_transient_fwd: mem_tf[i],
-                mem_transient_bwd: mem_tb[i],
-                fwd: fwd[i],
-                bwd: bwd[i],
-                first_extra: first[i],
-                last_extra: last[i],
-            };
             let (t, d) = if self.space.overlap_aware {
                 let st = stage_times(&point, self.interference);
                 (st.t, st.d)

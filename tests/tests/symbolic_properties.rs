@@ -1,6 +1,6 @@
 //! Property-based tests of the symbolic engine's core invariants.
 
-use mist_symbolic::{BatchBindings, CmpOp, Context};
+use mist_symbolic::{BatchBindings, CmpOp, Context, EvalWorkspace};
 use proptest::prelude::*;
 
 /// A tiny expression AST we can generate and mirror both symbolically and
@@ -13,6 +13,7 @@ enum E {
     Add(Box<E>, Box<E>),
     Sub(Box<E>, Box<E>),
     Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
     Min(Box<E>, Box<E>),
     Max(Box<E>, Box<E>),
     Ceil(Box<E>),
@@ -50,6 +51,7 @@ fn build<'c>(e: &E, ctx: &'c Context) -> mist_symbolic::Expr<'c> {
         E::Add(a, b) => build(a, ctx) + build(b, ctx),
         E::Sub(a, b) => build(a, ctx) - build(b, ctx),
         E::Mul(a, b) => build(a, ctx) * build(b, ctx),
+        E::Div(a, b) => build(a, ctx) / build(b, ctx),
         E::Min(a, b) => build(a, ctx).min(build(b, ctx)),
         E::Max(a, b) => build(a, ctx).max(build(b, ctx)),
         E::Ceil(a) => build(a, ctx).ceil(),
@@ -68,6 +70,7 @@ fn reference(e: &E, x: f64, y: f64) -> f64 {
         E::Add(a, b) => reference(a, x, y) + reference(b, x, y),
         E::Sub(a, b) => reference(a, x, y) - reference(b, x, y),
         E::Mul(a, b) => reference(a, x, y) * reference(b, x, y),
+        E::Div(a, b) => reference(a, x, y) / reference(b, x, y),
         E::Min(a, b) => reference(a, x, y).min(reference(b, x, y)),
         E::Max(a, b) => reference(a, x, y).max(reference(b, x, y)),
         E::Ceil(a) => reference(a, x, y).ceil(),
@@ -134,4 +137,166 @@ proptest! {
         prop_assert_eq!(e1.id(), e2.id());
         prop_assert_eq!(ctx.node_count(), n);
     }
+}
+
+/// Like [`arb_expr`] but with division, so random DAGs can produce
+/// non-finite rows (mapped to `INFINITY` in batched evaluation).
+fn arb_expr_div() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        Just(E::X),
+        Just(E::Y),
+        (-100i32..100).prop_map(|k| E::K(k as f64 / 4.0)),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Min(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Max(a.into(), b.into())),
+            inner.clone().prop_map(|a| E::Ceil(a.into())),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| E::Select(
+                c.into(),
+                a.into(),
+                b.into()
+            )),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A fused multi-root program's batched outputs are exactly — bit for
+    /// bit — the per-root `Tape::eval_batch` results, with cross-root CSE,
+    /// register reuse, mixed scalar/column bindings and non-finite rows in
+    /// play. The workspace is reused across iterations, so register-pool
+    /// recycling is stressed with varying programs and batch sizes.
+    #[test]
+    fn fused_program_matches_tapes_batched(
+        roots in prop::collection::vec(arb_expr_div(), 1..6),
+        xs in prop::collection::vec(-8.0f64..8.0, 1..16),
+        y in -8.0f64..8.0,
+        y_is_scalar in prop::sample::select(vec![true, false]),
+    ) {
+        let ctx = Context::new();
+        let exprs: Vec<_> = roots.iter().map(|e| build(e, &ctx)).collect();
+        let labels: Vec<String> = (0..exprs.len()).map(|i| format!("r{i}")).collect();
+        let labeled: Vec<(&str, _)> = labels
+            .iter()
+            .map(|l| l.as_str())
+            .zip(exprs.iter().copied())
+            .collect();
+        let program = ctx.compile_program(&labeled);
+
+        let n = xs.len();
+        let mut batch = BatchBindings::new(n);
+        batch.set_values("x", xs.clone());
+        if y_is_scalar {
+            batch.set_scalar("y", y);
+        } else {
+            batch.set_values("y", xs.iter().map(|v| v * 0.5 + y).collect());
+        }
+
+        let mut ws = EvalWorkspace::new();
+        program.eval_batch(&batch, &mut ws).unwrap();
+        for (i, &expr) in exprs.iter().enumerate() {
+            let tape = ctx.compile(expr);
+            let want = tape.eval_batch(&batch).unwrap();
+            prop_assert!(
+                ws.output(i) == &want[..],
+                "root {i}: fused {:?} vs tape {:?}",
+                ws.output(i),
+                want
+            );
+        }
+    }
+
+    /// Scalar evaluation through the fused program agrees with per-root
+    /// `Tape::eval` — same values bit for bit, and errors (non-finite
+    /// results) on exactly the same roots.
+    #[test]
+    fn fused_program_matches_tapes_scalar(
+        roots in prop::collection::vec(arb_expr_div(), 1..5),
+        x in -8.0f64..8.0,
+        y in -8.0f64..8.0,
+    ) {
+        let ctx = Context::new();
+        let exprs: Vec<_> = roots.iter().map(|e| build(e, &ctx)).collect();
+        let labels: Vec<String> = (0..exprs.len()).map(|i| format!("r{i}")).collect();
+        let labeled: Vec<(&str, _)> = labels
+            .iter()
+            .map(|l| l.as_str())
+            .zip(exprs.iter().copied())
+            .collect();
+        let program = ctx.compile_program(&labeled);
+        let inputs = program
+            .symbols()
+            .resolve_scalars(&[("x", x), ("y", y)])
+            .unwrap();
+
+        for (i, &expr) in exprs.iter().enumerate() {
+            let tape = ctx.compile(expr);
+            match (program.eval_scalar_root(i, &inputs), tape.eval(&[("x", x), ("y", y)])) {
+                (Ok(a), Ok(b)) => prop_assert!(
+                    a == b || (a.is_nan() && b.is_nan()),
+                    "root {i}: fused {a} vs tape {b}"
+                ),
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(false, "root {i}: fused {a:?} vs tape {b:?}"),
+            }
+        }
+    }
+}
+
+/// Deterministic check that rows dividing by zero map to `INFINITY` in
+/// both the fused program and the individual tape, at matching rows.
+#[test]
+fn nonfinite_rows_map_to_infinity_in_fused_and_tape() {
+    let ctx = Context::new();
+    let x = ctx.symbol("x");
+    let r0 = ctx.constant(1.0) / (x - 2.0);
+    let r1 = x + 1.0;
+    let program = ctx.compile_program(&[("r0", r0), ("r1", r1)]);
+
+    let mut batch = BatchBindings::new(3);
+    batch.set_values("x", vec![1.0, 2.0, 3.0]);
+    let mut ws = EvalWorkspace::new();
+    program.eval_batch(&batch, &mut ws).unwrap();
+
+    assert_eq!(ws.output(0), &[1.0 / -1.0, f64::INFINITY, 1.0]);
+    assert_eq!(ws.output(1), &[2.0, 3.0, 4.0]);
+    let tape = ctx.compile(r0);
+    assert_eq!(tape.eval_batch(&batch).unwrap(), ws.output(0));
+}
+
+/// Register-reuse stress: a long alternating chain forces many short-lived
+/// intermediates through a small register pool; outputs must still match
+/// the per-root tape bit for bit.
+#[test]
+fn register_reuse_stress_chain_matches_tape() {
+    let ctx = Context::new();
+    let x = ctx.symbol("x");
+    let y = ctx.symbol("y");
+    let mut e = x;
+    for i in 1..=64 {
+        let k = i as f64;
+        e = (e * (y + k)).max(e - k).min(ctx.constant(1e12)) + x / k;
+    }
+    let program = ctx.compile_program(&[("chain", e), ("aux", e * 2.0 + y)]);
+    assert!(
+        program.num_regs() < program.len(),
+        "chain must not need one register per slot"
+    );
+
+    let n = 64;
+    let mut batch = BatchBindings::new(n);
+    batch.set_values("x", (0..n).map(|i| i as f64 * 0.25 - 4.0).collect());
+    batch.set_values("y", (0..n).map(|i| ((i * 7) % 13) as f64 - 6.0).collect());
+    let mut ws = EvalWorkspace::new();
+    program.eval_batch(&batch, &mut ws).unwrap();
+    assert_eq!(
+        ws.output(0),
+        &ctx.compile(e).eval_batch(&batch).unwrap()[..]
+    );
 }

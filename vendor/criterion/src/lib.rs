@@ -1,0 +1,309 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness surface the workspace's benches use —
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — with genuine
+//! wall-clock measurement: each benchmark is warmed up, then timed over
+//! enough iterations to fill the measurement window, and the mean
+//! ns/iter (plus derived throughput) is printed.
+//!
+//! No statistics, plots, or baseline comparison — just honest timings.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self.sample_size, self.measurement_time, f);
+        print_report(&name.into(), None, &report);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Consumes CLI arguments (`--bench`, filters); accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        // `cargo bench` passes `--bench` to harness=false targets; no
+        // filtering is implemented, every benchmark runs.
+        let _ = std::env::args();
+        self.sample_size = self.sample_size.max(10);
+        self
+    }
+
+    /// Final summary hook (no-op; reports are printed as benches run).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self.sample_size, self.measurement_time, f);
+        let full = format!("{}/{}", self.name, id.into().0);
+        print_report(&full, self.throughput, &report);
+        self
+    }
+
+    /// Runs a benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let report = run_bench(self.sample_size, self.measurement_time, |b| f(b, input));
+        let full = format!("{}/{}", self.name, id.0);
+        print_report(&full, self.throughput, &report);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Per-iteration work declaration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Report {
+    mean_ns: f64,
+    samples: usize,
+    total_iters: u64,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) -> Report {
+    // Calibrate: find an iteration count where one sample takes ~1ms+,
+    // so Instant overhead is negligible.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+
+    // Size samples to fill the measurement window.
+    let mut probe = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut probe);
+    let per_sample = probe.elapsed.max(Duration::from_micros(1));
+    let budget_samples =
+        (measurement_time.as_secs_f64() / per_sample.as_secs_f64()).ceil() as usize;
+    let samples = sample_size.clamp(2, budget_samples.max(2));
+
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += b.iters;
+    }
+    Report {
+        mean_ns: total.as_secs_f64() * 1e9 / total_iters.max(1) as f64,
+        samples,
+        total_iters,
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn print_report(name: &str, throughput: Option<Throughput>, report: &Report) {
+    let mut line = format!(
+        "{name:<48} {:>12}/iter  ({} samples, {} iters)",
+        human_time(report.mean_ns),
+        report.samples,
+        report.total_iters
+    );
+    if let Some(t) = throughput {
+        let per_sec = match t {
+            Throughput::Elements(n) => format!("{:.3e} elem/s", n as f64 / (report.mean_ns / 1e9)),
+            Throughput::Bytes(n) => format!("{:.3e} B/s", n as f64 / (report.mean_ns / 1e9)),
+        };
+        line.push_str(&format!("  {per_sec}"));
+    }
+    println!("{line}");
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let report = run_bench(3, Duration::from_millis(20), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        assert!(report.mean_ns > 0.0);
+        assert!(report.total_iters > 0);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("dp", 4).0, "dp/4");
+        assert_eq!(BenchmarkId::from_parameter(100).0, "100");
+    }
+}

@@ -1,0 +1,410 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` crate's value-model traits, parsing the item with
+//! the bare `proc_macro` API (no `syn`/`quote` available offline).
+//!
+//! Supported shapes — everything the workspace derives on:
+//!
+//! * structs with named fields (serialized as an ordered object),
+//! * tuple structs (newtypes serialize transparently; wider tuples as
+//!   arrays),
+//! * enums with unit variants (serialized as the variant-name string),
+//!   struct variants (`{"Variant": {..fields..}}`) and tuple variants
+//!   (`{"Variant": value-or-array}`) — serde's external tagging.
+//!
+//! Generic types are intentionally unsupported; deriving on one fails
+//! with a compile error naming this crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving item.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Strips leading attributes / visibility from a token list in place,
+/// starting at `i`. Returns the new index.
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // `#[...]` — the bracket group follows.
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` / `pub(super)` visibility group.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Splits a token list on top-level commas (angle-bracket aware).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tt.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parses `name: Type` pieces into field names.
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    for piece in split_top_level_commas(&tokens) {
+        let i = skip_meta(&piece, 0);
+        match piece.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(other) => return Err(format!("unexpected token in field list: {other}")),
+            None => {}
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts tuple-struct / tuple-variant fields.
+fn parse_tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_top_level_commas(&tokens).len()
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g)?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: parse_tuple_arity(g),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => return Err(format!("unexpected enum body: {other:?}")),
+            };
+            let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            for piece in split_top_level_commas(&body_tokens) {
+                let j = skip_meta(&piece, 0);
+                let vname = match piece.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    Some(other) => return Err(format!("unexpected variant token: {other}")),
+                    None => continue,
+                };
+                let kind = match piece.get(j + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        VariantKind::Named(parse_named_fields(g)?)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        VariantKind::Tuple(parse_tuple_arity(g))
+                    }
+                    _ => VariantKind::Unit,
+                };
+                variants.push(Variant { name: vname, kind });
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for item kind `{other}`")),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "o.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut o: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\n\
+                 ::serde::Value::Object(o)\n}}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "o.push(({f:?}.to_string(), \
+                                         ::serde::Serialize::to_value({f})));"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {{\n\
+                                 let mut o: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                                 {pushes}\n\
+                                 ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                                 ::serde::Value::Object(o))])\n}}\n"
+                            )
+                        }
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|k| format!("__f{k}")).collect();
+                            let payload = if *arity == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![\
+                                 ({vn:?}.to_string(), {payload})]),\n",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}\n}}\n}}\n}}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::get_field(o, {f:?})?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Object(o) => Ok({name} {{ {inits} }}),\n\
+                 _ => Err(::serde::Error::msg(concat!(\"expected object for \", \
+                 stringify!({name})))),\n\
+                 }}\n}}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                    .collect();
+                format!(
+                    "match v {{\n\
+                     ::serde::Value::Array(items) if items.len() == {arity} => \
+                     Ok({name}({})),\n\
+                     _ => Err(::serde::Error::msg(\"expected array\")),\n}}",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }}\n}}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_v: &::serde::Value) -> Result<Self, ::serde::Error> {{ \
+             Ok({name}) }}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),\n", v.name, v.name))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter_map(|v| match &v.kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Named(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::get_field(fo, {f:?})?)?,\n"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "{:?} => match payload {{\n\
+                             ::serde::Value::Object(fo) => Ok({name}::{} {{ {inits} }}),\n\
+                             _ => Err(::serde::Error::msg(\"expected object payload\")),\n}},\n",
+                            v.name, v.name
+                        ))
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!(
+                                "Ok({name}::{}(::serde::Deserialize::from_value(payload)?))",
+                                v.name
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_value(&items[{k}])?")
+                                })
+                                .collect();
+                            format!(
+                                "match payload {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {arity} => \
+                                 Ok({name}::{}({})),\n\
+                                 _ => Err(::serde::Error::msg(\"expected array payload\")),\n}}",
+                                v.name,
+                                items.join(", ")
+                            )
+                        };
+                        Some(format!("{:?} => {{ {body} }},\n", v.name))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(::serde::Error::msg(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n}},\n\
+                 ::serde::Value::Object(o) if o.len() == 1 => {{\n\
+                 let (tag, payload) = &o[0];\n\
+                 match tag.as_str() {{\n\
+                 {payload_arms}\n\
+                 other => Err(::serde::Error::msg(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n}}\n}},\n\
+                 _ => Err(::serde::Error::msg(concat!(\"expected variant for \", \
+                 stringify!({name})))),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
