@@ -196,7 +196,9 @@ pub fn run_system(system: &System, w: &Workload, max_grad_accum: u32) -> Measure
                     report.stage_peak_mem.iter().cloned().fold(0.0, f64::max) / mist::GIB,
                 ),
                 tuning_secs,
-                configs_evaluated: outcome.stats.configs_evaluated,
+                // Kept f64 so the results JSONs' number format (`49840.0`)
+                // stays byte-stable under the vendored serializer.
+                configs_evaluated: outcome.stats.configs_evaluated as f64,
                 plan: Some(plan_summary(&outcome)),
             }
         }

@@ -1,0 +1,423 @@
+//! Implementation of the `mist-cli` binary.
+//!
+//! Lives in the library (rather than the binary) so integration tests
+//! can drive the full command path in-process; `src/bin/mist-cli.rs` is
+//! a thin shim around [`run`].
+
+use mist_telemetry::TraceBuilder;
+
+use crate::presets::{falcon, gpt3, llama, AttentionImpl, ModelSize, ModelSpec};
+use crate::{Baseline, MistSession, Platform, SearchSpace};
+
+/// The `mist-cli` help text.
+pub fn usage() -> &'static str {
+    "mist-cli — memory-parallelism co-optimization for LLM training
+
+USAGE:
+    mist-cli tune --model <NAME> --platform <l4|a100> --gpus <N> --batch <B>
+                  [--space <mist|mist-fine|megatron|deepspeed|aceso|alpa|uniform>]
+                  [--seq <LEN>] [--seed <N>] [--no-flash] [--execute]
+                  [--trace <FILE>] [--metrics] [--json]
+    mist-cli models
+    mist-cli spaces
+    mist-cli help
+
+MODEL NAMES:
+    <family>-<size> with family in {gpt3, llama, falcon} and size in
+    {1.3b, 2.6b, 6.7b, 13b, 22b, 40b}, e.g. gpt3-6.7b, llama-13b.
+
+OPTIONS:
+    --seq <LEN>    sequence length (default: 2048 on L4, 4096 on A100)
+    --seed <N>     seed for the interference-calibration benchmarks
+                   (default: 0xAB5EED; changes the fitted model, not the
+                   search itself)
+    --no-flash     use standard attention instead of FlashAttention
+    --execute      run the tuned plan on the cluster simulator and report
+                   the measured throughput
+    --trace <FILE> write a Chrome Trace Event JSON (open in Perfetto or
+                   chrome://tracing): the tuner's phase timeline, plus the
+                   simulated per-stage/per-stream pipeline Gantt when
+                   --execute is given
+    --metrics      report collected telemetry counters/gauges (a text
+                   table, or a `telemetry` section with --json)
+    --json         emit machine-readable JSON instead of text"
+}
+
+fn parse_model(name: &str, seq: u64, flash: bool) -> Result<ModelSpec, String> {
+    let attn = if flash {
+        AttentionImpl::Flash
+    } else {
+        AttentionImpl::Standard
+    };
+    let (family, size) = name
+        .split_once('-')
+        .ok_or_else(|| format!("bad model name `{name}` (expected family-size)"))?;
+    let size = match size.to_ascii_lowercase().as_str() {
+        "1.3b" => ModelSize::B1_3,
+        "2.6b" | "2.7b" => ModelSize::B2_6,
+        "6.7b" | "7b" => ModelSize::B6_7,
+        "13b" => ModelSize::B13,
+        "22b" => ModelSize::B22,
+        "40b" => ModelSize::B40,
+        other => return Err(format!("unknown model size `{other}`")),
+    };
+    match family.to_ascii_lowercase().as_str() {
+        "gpt3" | "gpt" => Ok(gpt3(size, seq, attn)),
+        "llama" => Ok(llama(size, seq, attn)),
+        "falcon" => Ok(falcon(size, seq, attn)),
+        other => Err(format!("unknown model family `{other}`")),
+    }
+}
+
+fn parse_space(name: &str) -> Result<SearchSpace, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "mist" => Ok(SearchSpace::mist()),
+        "mist-fine" => Ok(SearchSpace::mist_fine()),
+        "megatron" | "megatron-lm" => Ok(Baseline::MegatronLM.space()),
+        "deepspeed" => Ok(Baseline::DeepSpeed.space()),
+        "aceso" => Ok(Baseline::Aceso.space()),
+        "alpa" => Ok(Baseline::Alpa.space()),
+        "uniform" => Ok(Baseline::UniformHeuristic.space()),
+        other => Err(format!("unknown search space `{other}`")),
+    }
+}
+
+struct Args {
+    model: String,
+    platform: Platform,
+    gpus: u32,
+    batch: u64,
+    space: SearchSpace,
+    seq: Option<u64>,
+    seed: Option<u64>,
+    flash: bool,
+    execute: bool,
+    trace: Option<String>,
+    metrics: bool,
+    json: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        model: String::new(),
+        platform: Platform::GcpL4,
+        gpus: 0,
+        batch: 0,
+        space: SearchSpace::mist(),
+        seq: None,
+        seed: None,
+        flash: true,
+        execute: false,
+        trace: None,
+        metrics: false,
+        json: false,
+    };
+    let mut it = argv.iter();
+    let need = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--model" => args.model = need(&mut it, "--model")?,
+            "--platform" => {
+                args.platform = match need(&mut it, "--platform")?.to_ascii_lowercase().as_str() {
+                    "l4" | "gcp" => Platform::GcpL4,
+                    "a100" | "aws" => Platform::AwsA100,
+                    other => return Err(format!("unknown platform `{other}` (l4|a100)")),
+                }
+            }
+            "--gpus" => {
+                args.gpus = need(&mut it, "--gpus")?
+                    .parse()
+                    .map_err(|_| "--gpus expects a positive integer".to_string())?
+            }
+            "--batch" => {
+                args.batch = need(&mut it, "--batch")?
+                    .parse()
+                    .map_err(|_| "--batch expects a positive integer".to_string())?
+            }
+            "--space" => args.space = parse_space(&need(&mut it, "--space")?)?,
+            "--seq" => {
+                args.seq = Some(
+                    need(&mut it, "--seq")?
+                        .parse()
+                        .map_err(|_| "--seq expects a positive integer".to_string())?,
+                )
+            }
+            "--seed" => {
+                args.seed = Some(
+                    need(&mut it, "--seed")?
+                        .parse()
+                        .map_err(|_| "--seed expects a non-negative integer".to_string())?,
+                )
+            }
+            "--no-flash" => args.flash = false,
+            "--execute" => args.execute = true,
+            "--trace" => args.trace = Some(need(&mut it, "--trace")?),
+            "--metrics" => args.metrics = true,
+            "--json" => args.json = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if args.model.is_empty() {
+        return Err("--model is required".into());
+    }
+    if args.gpus == 0 {
+        return Err("--gpus is required".into());
+    }
+    if args.batch == 0 {
+        return Err("--batch is required".into());
+    }
+    if args.seq == Some(0) {
+        return Err("--seq must be positive".into());
+    }
+    if args.gpus > 8 && !args.gpus.is_multiple_of(8) {
+        return Err(format!(
+            "--gpus {} is not a Table-3 cluster shape (1-8, or a multiple of 8)",
+            args.gpus
+        ));
+    }
+    Ok(args)
+}
+
+fn run_tune(args: Args) -> Result<(), String> {
+    // Telemetry must be on before the session is built so the
+    // calibration pass (benchmark + interference fit) is captured too.
+    let collector = mist_telemetry::global();
+    let telemetry_on = args.trace.is_some() || args.metrics;
+    if telemetry_on {
+        collector.reset();
+        collector.enable();
+    }
+    let result = run_tune_inner(&args, telemetry_on);
+    if telemetry_on {
+        collector.disable();
+    }
+    result
+}
+
+fn run_tune_inner(args: &Args, telemetry_on: bool) -> Result<(), String> {
+    let collector = mist_telemetry::global();
+    let seq = args.seq.unwrap_or(match args.platform {
+        Platform::GcpL4 => 2048,
+        Platform::AwsA100 => 4096,
+    });
+    let model = parse_model(&args.model, seq, args.flash)?;
+    let mut builder =
+        MistSession::builder(model.clone(), args.platform, args.gpus).space(args.space.clone());
+    if let Some(seed) = args.seed {
+        builder = builder.seed(seed);
+    }
+    let session = builder.build();
+    let Some(outcome) = session.tune(args.batch) else {
+        if args.json {
+            println!("{{\"feasible\": false}}");
+        } else {
+            eprintln!(
+                "no feasible plan: {} does not fit {} GPUs in the `{}` space \
+                 (try a larger cluster or the full `mist` space)",
+                model.name, args.gpus, args.space.name
+            );
+        }
+        return Err("infeasible".into());
+    };
+
+    let measured = if args.execute {
+        Some(session.execute(&outcome))
+    } else {
+        None
+    };
+
+    // Spans are harvested after tune *and* execute so both the tuner
+    // phase timeline and the simulator's own spans are complete.
+    if let Some(path) = &args.trace {
+        let mut trace = TraceBuilder::new();
+        trace.process_name(0, "mist-tuner");
+        trace.add_spans(0, &collector.take_spans());
+        if let Some(m) = &measured {
+            m.export_chrome_trace(&mut trace, 1);
+        }
+        std::fs::write(path, trace.to_json())
+            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+    }
+    let metrics_snapshot = if telemetry_on {
+        collector.snapshot()
+    } else {
+        outcome.telemetry.clone()
+    };
+
+    if args.json {
+        let plan_json = serde_json::to_value(&outcome.plan).map_err(|e| e.to_string())?;
+        let mut out = serde_json::json!({
+            "feasible": true,
+            "model": model.name,
+            "space": args.space.name,
+            "predicted_iteration_s": outcome.predicted_iteration,
+            "predicted_throughput": outcome.predicted_throughput,
+            "tuning_seconds": outcome.stats.elapsed_secs,
+            "configs_evaluated": outcome.stats.configs_evaluated,
+            "measured_iteration_s": measured.as_ref().map(|m| m.iteration_time),
+            "measured_throughput": measured.as_ref().map(|m| m.throughput(args.batch)),
+            "plan": plan_json,
+        });
+        if args.metrics {
+            if let serde_json::Value::Object(fields) = &mut out {
+                fields.push((
+                    "telemetry".to_owned(),
+                    serde_json::to_value(&metrics_snapshot).map_err(|e| e.to_string())?,
+                ));
+            }
+        }
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    println!(
+        "model:  {} (seq {seq}, {})",
+        model.name,
+        if args.flash {
+            "FlashAttention"
+        } else {
+            "standard attention"
+        }
+    );
+    println!("space:  {}", args.space.name);
+    println!(
+        "plan:   G={}  S={}  ({} configs evaluated in {:.2}s)",
+        outcome.plan.grad_accum,
+        outcome.plan.num_stages(),
+        outcome.stats.configs_evaluated,
+        outcome.stats.elapsed_secs
+    );
+    for (i, st) in outcome.plan.stages.iter().enumerate() {
+        let c = &st.config;
+        println!(
+            "  stage {i}: {:>2} layers  dp={} tp={} b={}  ZeRO-{}  ckpt={}  \
+             wo={} go={} oo={} ao={}",
+            c.layers,
+            st.candidate.dp,
+            st.candidate.tp,
+            st.candidate.micro_batch,
+            c.zero,
+            c.ckpt,
+            c.wo,
+            c.go,
+            c.oo,
+            c.ao
+        );
+    }
+    println!(
+        "predicted: {:.3} s/iteration  ({:.2} samples/s)",
+        outcome.predicted_iteration, outcome.predicted_throughput
+    );
+    if let Some(m) = &measured {
+        println!(
+            "measured:  {:.3} s/iteration  ({:.2} samples/s, {:.0}% bubbles, peak {:.1} GiB)",
+            m.iteration_time,
+            m.throughput(args.batch),
+            m.bubble_fraction() * 100.0,
+            m.stage_peak_mem.iter().cloned().fold(0.0, f64::max) / crate::GIB
+        );
+    }
+    if args.metrics {
+        println!("telemetry:");
+        for line in metrics_snapshot.text_table().lines() {
+            println!("  {line}");
+        }
+    }
+    if let Some(path) = &args.trace {
+        println!("trace:  {path} (open in https://ui.perfetto.dev)");
+    }
+    Ok(())
+}
+
+/// Runs the CLI on already-split arguments (excluding the program name)
+/// and returns the process exit code.
+pub fn run(argv: &[String]) -> u8 {
+    match argv.first().map(String::as_str) {
+        Some("tune") => match parse_args(&argv[1..]).and_then(run_tune) {
+            Ok(()) => 0,
+            Err(e) => {
+                if e != "infeasible" {
+                    eprintln!("error: {e}\n\n{}", usage());
+                }
+                2
+            }
+        },
+        Some("models") => {
+            for family in ["gpt3", "llama", "falcon"] {
+                for size in ["1.3b", "2.6b", "6.7b", "13b", "22b", "40b"] {
+                    println!("{family}-{size}");
+                }
+            }
+            0
+        }
+        Some("spaces") => {
+            for s in [
+                "mist",
+                "mist-fine",
+                "megatron",
+                "deepspeed",
+                "aceso",
+                "alpa",
+                "uniform",
+            ] {
+                println!("{s}");
+            }
+            0
+        }
+        Some("help") | None => {
+            println!("{}", usage());
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{}", usage());
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_args_accepts_new_flags() {
+        let a = parse_args(&sv(&[
+            "--model", "gpt3-1.3b", "--platform", "l4", "--gpus", "2", "--batch", "8", "--seed",
+            "7", "--trace", "/tmp/t.json", "--metrics",
+        ]))
+        .unwrap();
+        assert_eq!(a.seed, Some(7));
+        assert_eq!(a.trace.as_deref(), Some("/tmp/t.json"));
+        assert!(a.metrics);
+    }
+
+    #[test]
+    fn parse_args_rejects_missing_values() {
+        for flags in [
+            vec!["--model", "gpt3-1.3b", "--gpus", "2", "--batch", "8", "--seed"],
+            vec!["--model", "gpt3-1.3b", "--gpus", "2", "--batch", "8", "--trace"],
+        ] {
+            assert!(parse_args(&sv(&flags)).is_err());
+        }
+    }
+
+    #[test]
+    fn usage_documents_every_flag() {
+        for flag in [
+            "--seq", "--seed", "--no-flash", "--execute", "--trace", "--metrics", "--json",
+        ] {
+            assert!(usage().contains(flag), "usage() must document {flag}");
+        }
+    }
+}

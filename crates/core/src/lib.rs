@@ -36,6 +36,7 @@
 //! println!("{:.1} samples/s", measured.throughput(8));
 //! ```
 
+pub mod cli;
 mod report;
 mod session;
 
@@ -53,6 +54,7 @@ pub use mist_schedule::{
     IterationSchedule, StagePlan, StageStreams, TrainingPlan,
 };
 pub use mist_sim::{benchmark_interference, simulate, GroundTruth, SimReport, TaskKind};
+pub use mist_telemetry as telemetry;
 pub use mist_tuner::{CkptMode, SearchSpace, TuneOutcome, Tuner};
 
 /// Model presets (GPT-3 / LLaMa / Falcon at Table 4 sizes).

@@ -65,6 +65,8 @@ impl SessionBuilder {
         // kernel mixes on the target (here: the simulator's hidden law),
         // then fit the slowdown factors.
         let interference = if self.fit_interference {
+            let _span =
+                mist_telemetry::span!("session.calibrate", samples = self.calibration_samples);
             let samples =
                 benchmark_interference(self.cluster.platform, self.calibration_samples, self.seed);
             fit(&prior, &samples, 3000, self.seed ^ 0x5EED).0

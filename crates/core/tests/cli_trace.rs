@@ -1,0 +1,83 @@
+//! Spawns the real `mist-cli` binary and checks the `--trace`/`--metrics`
+//! surface: exit code, JSON output schema, and the emitted Chrome trace.
+
+use std::process::Command;
+
+use serde_json::Value;
+
+fn get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+#[test]
+fn cli_tune_writes_trace_and_metrics() {
+    let trace_path = std::env::temp_dir().join(format!("mist_cli_trace_{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_mist-cli"))
+        .args([
+            "tune",
+            "--model",
+            "gpt3-1.3b",
+            "--platform",
+            "l4",
+            "--gpus",
+            "2",
+            "--batch",
+            "8",
+            "--seed",
+            "7",
+            "--execute",
+            "--json",
+            "--metrics",
+            "--trace",
+        ])
+        .arg(&trace_path)
+        .output()
+        .expect("spawn mist-cli");
+    assert!(
+        out.status.success(),
+        "mist-cli failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The --json report carries the new telemetry section and the (now
+    // integer) configs_evaluated counter.
+    let report: Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON report");
+    assert_eq!(get(&report, "feasible"), Some(&Value::Bool(true)));
+    let evaluated = get(&report, "configs_evaluated")
+        .and_then(Value::as_i64)
+        .expect("configs_evaluated");
+    assert!(evaluated > 0);
+    let telemetry = get(&report, "telemetry").expect("telemetry section");
+    let counters = get(telemetry, "counters").expect("counters");
+    let from_counter = get(counters, "tuner.configs_evaluated")
+        .and_then(Value::as_i64)
+        .expect("tuner.configs_evaluated counter");
+    assert_eq!(from_counter, evaluated);
+    // Calibration runs before tune(); with --metrics the CLI reports the
+    // whole session, so the interference fit must show up too.
+    assert!(get(counters, "interference.fit.iterations").is_some());
+
+    // The trace file must hold both producers: the tuner phase timeline
+    // (pid 0) and the simulated pipeline Gantt (stage processes).
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    std::fs::remove_file(&trace_path).ok();
+    let trace: Value = serde_json::from_str(&trace_text).expect("trace is valid JSON");
+    let Some(Value::Array(events)) = get(&trace, "traceEvents") else {
+        panic!("traceEvents array missing");
+    };
+    let process_names: Vec<&str> = events
+        .iter()
+        .filter(|e| get(e, "name") == Some(&Value::Str("process_name".into())))
+        .filter_map(|e| get(e, "args"))
+        .filter_map(|a| match get(a, "name") {
+            Some(Value::Str(s)) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert!(process_names.contains(&"mist-tuner"), "{process_names:?}");
+    assert!(process_names.contains(&"stage 0"), "{process_names:?}");
+}

@@ -49,6 +49,11 @@ pub fn fit(
     iterations: usize,
     seed: u64,
 ) -> (InterferenceModel, FitReport) {
+    let _span = mist_telemetry::span!(
+        "interference.fit",
+        samples = samples.len(),
+        iterations = iterations
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut factors = initial.factors().to_vec();
     let mut best = initial.clone();
@@ -91,6 +96,10 @@ pub fn fit(
         }
     }
 
+    mist_telemetry::counter_add("interference.fit.iterations", iterations as u64);
+    mist_telemetry::counter_add("interference.fit.accepted_moves", accepted as u64);
+    mist_telemetry::gauge_set("interference.fit.initial_error", initial_error);
+    mist_telemetry::gauge_set("interference.fit.final_error", best_err);
     let report = FitReport {
         initial_error,
         final_error: best_err,

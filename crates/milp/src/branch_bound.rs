@@ -110,6 +110,11 @@ impl Ord for Node {
 /// Solves a MILP by LP-relaxation branch-and-bound with most-fractional
 /// branching.
 pub fn solve_milp(milp: &Milp, opts: MilpOptions) -> MilpOutcome {
+    let _span = mist_telemetry::span!(
+        "milp.solve",
+        vars = milp.lp.objective.len(),
+        ints = milp.integer_vars.len()
+    );
     // Root relaxation.
     let root = solve_lp(&milp.lp);
     let (root_x, root_obj) = match root {
@@ -205,6 +210,7 @@ pub fn solve_milp(milp: &Milp, opts: MilpOptions) -> MilpOutcome {
         }
     }
 
+    mist_telemetry::counter_add("milp.nodes_explored", nodes as u64);
     match incumbent {
         Some((x, objective)) => {
             let proven = heap

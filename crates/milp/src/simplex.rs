@@ -31,6 +31,7 @@ enum VarMap {
 /// Returns [`LpOutcome::Optimal`] with the minimizing point,
 /// [`LpOutcome::Infeasible`], or [`LpOutcome::Unbounded`].
 pub fn solve_lp(lp: &Lp) -> LpOutcome {
+    mist_telemetry::counter_add("milp.lp_solves", 1);
     // --- 1. Map variables to non-negative tableau columns. -----------------
     let mut maps: Vec<VarMap> = Vec::with_capacity(lp.num_vars);
     let mut ncols = 0usize;
@@ -241,6 +242,19 @@ enum SimplexEnd {
 
 /// Runs the simplex loop on a tableau with the given objective row.
 fn run_simplex(t: &mut [Vec<f64>], basis: &mut [usize], obj: &[f64], rhs_col: usize) -> SimplexEnd {
+    let mut pivots = 0u64;
+    let end = run_simplex_counted(t, basis, obj, rhs_col, &mut pivots);
+    mist_telemetry::counter_add("milp.simplex.pivots", pivots);
+    end
+}
+
+fn run_simplex_counted(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: &[f64],
+    rhs_col: usize,
+    pivots: &mut u64,
+) -> SimplexEnd {
     let m = t.len();
     let n = obj.len();
     let mut in_basis = vec![false; n];
@@ -294,6 +308,7 @@ fn run_simplex(t: &mut [Vec<f64>], basis: &mut [usize], obj: &[f64], rhs_col: us
         in_basis[basis[l]] = false;
         in_basis[e] = true;
         pivot(t, basis, l, e, rhs_col);
+        *pivots += 1;
     }
     // Pivot cap reached — treat as optimal-enough; callers re-verify
     // feasibility of anything they use.

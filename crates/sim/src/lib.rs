@@ -17,8 +17,10 @@
 
 mod ledger;
 mod run;
+mod trace;
 mod truth;
 
 pub use ledger::MemoryLedger;
 pub use run::{simulate, SimReport, TaskKind, TaskRecord};
+pub use trace::STREAM_LANES;
 pub use truth::{benchmark_interference, GroundTruth};

@@ -41,6 +41,12 @@ pub struct TaskRecord {
     pub start: f64,
     /// End time.
     pub end: f64,
+    /// Per-stream busy time in seconds, ordered `[compute, nccl, d2h,
+    /// h2d]`. `end - start` is the wall-clock the interference law
+    /// resolved these to (except [`TaskKind::FirstExtra`], whose record
+    /// spans only the *marginal* cost of co-running with the first
+    /// forward).
+    pub streams: [f64; 4],
 }
 
 /// Result of simulating one training iteration.
@@ -117,6 +123,7 @@ pub fn simulate(schedule: &IterationSchedule, truth: &GroundTruth) -> SimReport 
     let s_total = schedule.stages.len() as u32;
     let g = schedule.grad_accum;
     assert!(s_total >= 1 && g >= 1);
+    let _span = mist_telemetry::span!("sim.simulate", stages = s_total, grad_accum = g);
 
     let orders: Vec<Vec<(TaskKind, u32)>> = (0..s_total)
         .map(|s| one_f_one_b_order(s, s_total, g))
@@ -213,10 +220,12 @@ pub fn simulate(schedule: &IterationSchedule, truth: &GroundTruth) -> SimReport 
             kind,
             start,
             end,
+            streams,
         });
         done += 1;
     }
 
+    mist_telemetry::counter_add("sim.tasks_executed", total_tasks as u64);
     let iteration_time = free_at.iter().cloned().fold(0.0, f64::max);
     for l in &ledgers {
         assert_eq!(l.outstanding(), 0, "stash leaked across the iteration");

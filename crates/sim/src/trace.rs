@@ -1,0 +1,89 @@
+//! Lowers a [`SimReport`]'s task trace into Chrome Trace Event Format.
+//!
+//! Each pipeline stage becomes one process track and each of its four
+//! hardware streams one thread lane, so the paper's overlap story —
+//! NCCL/offload traffic hiding under compute (Fig. 7/13) — is visible
+//! directly in Perfetto or `chrome://tracing`.
+
+use mist_telemetry::{ArgValue, TraceBuilder};
+
+use crate::run::{SimReport, TaskKind};
+
+/// Thread-lane names, in [`crate::TaskRecord::streams`] order.
+pub const STREAM_LANES: [&str; 4] = ["compute", "nccl", "d2h", "h2d"];
+
+fn kind_label(kind: TaskKind) -> &'static str {
+    match kind {
+        TaskKind::FirstExtra => "first-extra",
+        TaskKind::Forward => "forward",
+        TaskKind::Backward => "backward",
+    }
+}
+
+impl SimReport {
+    /// Appends this report's Gantt onto `trace`: stage `s` becomes
+    /// process `base_pid + s` with one thread lane per stream.
+    ///
+    /// A task contributes a slice `[start, start + busy]` to every lane
+    /// whose stream it keeps busy; the interference law guarantees the
+    /// task's wall-clock covers each stream's busy time, so lane slices
+    /// stay inside the task window. The one exception is
+    /// [`TaskKind::FirstExtra`], whose record spans only its *marginal*
+    /// cost — its lane slices are clamped to the task window so every
+    /// lane stays monotone.
+    pub fn export_chrome_trace(&self, trace: &mut TraceBuilder, base_pid: i64) {
+        let n_stages = self.stage_peak_mem.len();
+        for s in 0..n_stages {
+            let pid = base_pid + s as i64;
+            trace.process_name(pid, &format!("stage {s}"));
+            for (tid, lane) in STREAM_LANES.iter().enumerate() {
+                trace.thread_name(pid, tid as i64, lane);
+            }
+        }
+
+        // (pid, tid, ts_us, is_begin, record index); at equal ts on one
+        // lane an end sorts before the next begin.
+        let mut events: Vec<(i64, i64, f64, bool, usize)> =
+            Vec::with_capacity(self.records.len() * 4);
+        for (ri, r) in self.records.iter().enumerate() {
+            let wall = r.end - r.start;
+            let pid = base_pid + r.stage as i64;
+            for (tid, &busy) in r.streams.iter().enumerate() {
+                let span = busy.min(wall);
+                if span <= 0.0 {
+                    continue;
+                }
+                events.push((pid, tid as i64, r.start * 1e6, true, ri));
+                events.push((pid, tid as i64, (r.start + span) * 1e6, false, ri));
+            }
+        }
+        events.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(a.1.cmp(&b.1))
+                .then(a.2.total_cmp(&b.2))
+                .then(a.3.cmp(&b.3))
+        });
+
+        for (pid, tid, ts, is_begin, ri) in events {
+            if is_begin {
+                let r = &self.records[ri];
+                trace.begin(
+                    pid,
+                    tid,
+                    ts,
+                    kind_label(r.kind),
+                    &[("microbatch", ArgValue::U64(r.microbatch as u64))],
+                );
+            } else {
+                trace.end(pid, tid, ts);
+            }
+        }
+    }
+
+    /// Renders this report alone as a Chrome Trace Event JSON document.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut trace = TraceBuilder::new();
+        self.export_chrome_trace(&mut trace, 0);
+        trace.to_json()
+    }
+}

@@ -1,0 +1,144 @@
+//! Golden-file and structural validation of `SimReport::to_chrome_trace`.
+
+use std::collections::BTreeMap;
+
+use mist_hardware::Platform;
+use mist_schedule::{IterationSchedule, StageMemory, StageTask};
+use mist_sim::{simulate, GroundTruth, STREAM_LANES};
+use serde_json::Value;
+
+fn stage(fwd: [f64; 4], bwd: [f64; 4]) -> StageTask {
+    StageTask {
+        fwd,
+        bwd,
+        first_extra: [0.3, 0.0, 0.1, 0.0],
+        last_extra: [0.1, 0.2, 0.0, 0.0],
+        mem: StageMemory {
+            resident: 100.0,
+            act_per_mb: 10.0,
+            transient_fwd: 1.0,
+            transient_bwd: 2.0,
+        },
+    }
+}
+
+/// A small deterministic pipeline exercising all four stream lanes:
+/// noiseless ground truth, 2 stages, 3 microbatches, NCCL and offload
+/// traffic overlapping compute.
+fn report() -> mist_sim::SimReport {
+    let sched = IterationSchedule {
+        grad_accum: 3,
+        stages: vec![
+            stage([1.0, 0.4, 0.2, 0.0], [2.0, 0.6, 0.0, 0.3]),
+            stage([1.2, 0.5, 0.0, 0.1], [2.2, 0.4, 0.2, 0.0]),
+        ],
+    };
+    simulate(&sched, &GroundTruth::noiseless(Platform::GcpL4))
+}
+
+fn trace_events(json: &str) -> Vec<Vec<(String, Value)>> {
+    let doc: Value = serde_json::from_str(json).expect("trace must be valid JSON");
+    let Value::Object(fields) = doc else {
+        panic!("trace must be a JSON object")
+    };
+    let (_, events) = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .expect("traceEvents key");
+    let Value::Array(events) = events else {
+        panic!("traceEvents must be an array")
+    };
+    events
+        .iter()
+        .map(|e| {
+            let Value::Object(f) = e else {
+                panic!("each event must be an object")
+            };
+            f.clone()
+        })
+        .collect()
+}
+
+fn field<'a>(event: &'a [(String, Value)], key: &str) -> &'a Value {
+    &event.iter().find(|(k, _)| k == key).unwrap().1
+}
+
+fn str_field<'a>(event: &'a [(String, Value)], key: &str) -> &'a str {
+    match field(event, key) {
+        Value::Str(s) => s,
+        other => panic!("field {key} not a string: {other:?}"),
+    }
+}
+
+#[test]
+fn trace_matches_golden_file() {
+    let got = report().to_chrome_trace();
+    if std::env::var_os("MIST_UPDATE_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/pipeline_trace.json"
+        );
+        std::fs::write(path, got + "\n").unwrap();
+        return;
+    }
+    let want = include_str!("golden/pipeline_trace.json");
+    assert_eq!(
+        got,
+        want.trim_end(),
+        "trace drifted from tests/golden/pipeline_trace.json; if the \
+         change is intentional, rerun with MIST_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn every_begin_has_a_matching_end_and_tracks_are_monotone() {
+    let rep = report();
+    let events = trace_events(&rep.to_chrome_trace());
+
+    // Per-(pid, tid) track state: open-slice depth and last timestamp.
+    let mut depth: BTreeMap<(i64, i64), i64> = BTreeMap::new();
+    let mut last_ts: BTreeMap<(i64, i64), f64> = BTreeMap::new();
+    let mut named_tracks: BTreeMap<(i64, i64), String> = BTreeMap::new();
+
+    for e in &events {
+        let ph = str_field(e, "ph");
+        let pid = field(e, "pid").as_i64().unwrap();
+        let tid = field(e, "tid").as_i64().unwrap();
+        match ph {
+            "M" => {
+                if str_field(e, "name") == "thread_name" {
+                    let Value::Object(args) = field(e, "args") else {
+                        panic!("thread_name args")
+                    };
+                    named_tracks.insert((pid, tid), str_field(args, "name").to_owned());
+                }
+            }
+            "B" | "E" => {
+                let ts = field(e, "ts").as_f64().unwrap();
+                let track = (pid, tid);
+                let prev = last_ts.insert(track, ts).unwrap_or(f64::NEG_INFINITY);
+                assert!(ts >= prev, "timestamps regress on track {track:?}");
+                let d = depth.entry(track).or_insert(0);
+                *d += if ph == "B" { 1 } else { -1 };
+                assert!(*d >= 0, "E without open B on track {track:?}");
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    for (track, d) in &depth {
+        assert_eq!(*d, 0, "unbalanced B/E on track {track:?}");
+    }
+
+    // Tracks = stages × streams, with the documented lane names.
+    let n_stages = rep.stage_peak_mem.len();
+    assert_eq!(named_tracks.len(), n_stages * STREAM_LANES.len());
+    for s in 0..n_stages as i64 {
+        for (tid, lane) in STREAM_LANES.iter().enumerate() {
+            assert_eq!(named_tracks[&(s, tid as i64)], *lane);
+        }
+    }
+
+    // Every lane with traffic produced at least one slice.
+    let begins = events.iter().filter(|e| str_field(e, "ph") == "B").count();
+    assert!(begins > 0, "trace has no duration slices");
+}

@@ -262,6 +262,8 @@ impl Program {
         let labels: Vec<String> = roots.iter().map(|&(name, _)| name.to_owned()).collect();
         let (regs, num_regs) = allocate_registers(&ops, &operands, &root_slots);
 
+        mist_telemetry::gauge_max("symbolic.program.instrs", ops.len() as f64);
+        mist_telemetry::gauge_max("symbolic.program.regs", num_regs as f64);
         Program {
             ops,
             operands,
@@ -374,6 +376,10 @@ impl Program {
                 }
             }
         }
+        mist_telemetry::gauge_max(
+            "symbolic.workspace.columns",
+            (ws.regs.len() + ws.outputs.len()) as f64,
+        );
         Ok(())
     }
 

@@ -1,0 +1,233 @@
+//! Chrome Trace Event Format export.
+//!
+//! Produces the JSON object form (`{"traceEvents": [...]}`) of the
+//! Trace Event Format, loadable in Perfetto (<https://ui.perfetto.dev>)
+//! and `chrome://tracing`. Only the event kinds the viewers need are
+//! emitted: `B`/`E` duration pairs and `M` metadata (process and thread
+//! names). Timestamps are microseconds.
+
+use serde::Value;
+
+use crate::collector::{ArgValue, SpanRecord};
+
+fn arg_to_value(arg: &ArgValue) -> Value {
+    match arg {
+        ArgValue::U64(v) => {
+            if *v <= i64::MAX as u64 {
+                Value::Int(*v as i64)
+            } else {
+                Value::Float(*v as f64)
+            }
+        }
+        ArgValue::I64(v) => Value::Int(*v),
+        ArgValue::F64(v) => Value::Float(*v),
+        ArgValue::Str(s) => Value::Str(s.clone()),
+    }
+}
+
+/// Incrementally builds a Chrome Trace Event JSON document.
+///
+/// Multiple producers append into one builder — the CLI merges the
+/// tuner's phase timeline (pid 0) with the simulator's per-stage Gantt
+/// (pids ≥ 1) into a single trace.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<Value>,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TraceBuilder::default()
+    }
+
+    /// Number of events added so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn push_event(
+        &mut self,
+        ph: &str,
+        pid: i64,
+        tid: i64,
+        ts_us: f64,
+        name: Option<&str>,
+        args: Option<Value>,
+    ) {
+        let mut fields = Vec::with_capacity(6);
+        if let Some(name) = name {
+            fields.push(("name".to_owned(), Value::Str(name.to_owned())));
+        }
+        fields.push(("ph".to_owned(), Value::Str(ph.to_owned())));
+        fields.push(("ts".to_owned(), Value::Float(ts_us)));
+        fields.push(("pid".to_owned(), Value::Int(pid)));
+        fields.push(("tid".to_owned(), Value::Int(tid)));
+        if let Some(args) = args {
+            fields.push(("args".to_owned(), args));
+        }
+        self.events.push(Value::Object(fields));
+    }
+
+    /// Names a process track (`process_name` metadata event).
+    pub fn process_name(&mut self, pid: i64, name: &str) {
+        let args = Value::Object(vec![("name".to_owned(), Value::Str(name.to_owned()))]);
+        self.push_event("M", pid, 0, 0.0, Some("process_name"), Some(args));
+    }
+
+    /// Names a thread track (`thread_name` metadata event).
+    pub fn thread_name(&mut self, pid: i64, tid: i64, name: &str) {
+        let args = Value::Object(vec![("name".to_owned(), Value::Str(name.to_owned()))]);
+        self.push_event("M", pid, tid, 0.0, Some("thread_name"), Some(args));
+    }
+
+    /// Opens a duration slice (`ph: "B"`).
+    pub fn begin(&mut self, pid: i64, tid: i64, ts_us: f64, name: &str, args: &[(&str, ArgValue)]) {
+        let args = if args.is_empty() {
+            None
+        } else {
+            Some(Value::Object(
+                args.iter()
+                    .map(|(k, v)| ((*k).to_owned(), arg_to_value(v)))
+                    .collect(),
+            ))
+        };
+        self.push_event("B", pid, tid, ts_us, Some(name), args);
+    }
+
+    /// Closes the innermost open slice on `(pid, tid)` (`ph: "E"`).
+    pub fn end(&mut self, pid: i64, tid: i64, ts_us: f64) {
+        self.push_event("E", pid, tid, ts_us, None, None);
+    }
+
+    /// Lowers completed collector spans onto process `pid`, one thread
+    /// track per recording thread.
+    ///
+    /// Spans from RAII guards are well nested per thread, so each span
+    /// becomes a `B`/`E` pair. Events are emitted in timestamp order
+    /// with ties broken so the viewers' per-thread stacks balance: ends
+    /// before begins, outer begins before inner, inner ends before
+    /// outer.
+    pub fn add_spans(&mut self, pid: i64, spans: &[SpanRecord]) {
+        let mut tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        for &tid in &tids {
+            let name = if tids.len() == 1 {
+                "tuner".to_owned()
+            } else {
+                format!("thread-{tid}")
+            };
+            self.thread_name(pid, tid as i64, &name);
+        }
+
+        // (ts, is_begin, tie_break, span): at equal ts an E sorts before
+        // a B; among Bs the one ending latest (the parent) opens first;
+        // among Es the one starting latest (the child) closes first.
+        let mut events: Vec<(f64, u8, f64, &SpanRecord)> = Vec::with_capacity(spans.len() * 2);
+        for s in spans {
+            events.push((s.start_us, 1, -(s.start_us + s.dur_us), s));
+            events.push((s.start_us + s.dur_us, 0, -s.start_us, s));
+        }
+        events.sort_by(|a, b| {
+            a.0.total_cmp(&b.0)
+                .then(a.1.cmp(&b.1))
+                .then(a.2.total_cmp(&b.2))
+        });
+        for (ts, is_begin, _, s) in events {
+            if is_begin == 1 {
+                let args: Vec<(&str, ArgValue)> =
+                    s.args.iter().map(|(k, v)| (*k, v.clone())).collect();
+                self.begin(pid, s.tid as i64, ts, s.name, &args);
+            } else {
+                self.end(pid, s.tid as i64, ts);
+            }
+        }
+    }
+
+    /// Serializes the trace to its JSON document form.
+    pub fn to_json(&self) -> String {
+        let doc = Value::Object(vec![
+            (
+                "traceEvents".to_owned(),
+                Value::Array(self.events.clone()),
+            ),
+            ("displayTimeUnit".to_owned(), Value::Str("ms".to_owned())),
+        ]);
+        serde_json::to_string(&doc).expect("Value serialization is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+
+    #[test]
+    fn builder_emits_balanced_pairs() {
+        let mut tb = TraceBuilder::new();
+        tb.process_name(0, "p");
+        tb.thread_name(0, 0, "t");
+        tb.begin(0, 0, 1.0, "a", &[("k", ArgValue::U64(1))]);
+        tb.end(0, 0, 2.0);
+        let json = tb.to_json();
+        let v: Value = serde_json::from_str(&json).unwrap();
+        let Value::Object(fields) = &v else {
+            panic!("expected object")
+        };
+        let Value::Array(events) = &fields[0].1 else {
+            panic!("expected traceEvents array")
+        };
+        assert_eq!(events.len(), 4);
+    }
+
+    #[test]
+    fn nested_spans_lower_to_well_ordered_events() {
+        let c = Collector::new();
+        c.enable();
+        {
+            let _outer = c.span("outer", Vec::new);
+            let _inner = c.span("inner", Vec::new);
+        }
+        let mut tb = TraceBuilder::new();
+        tb.add_spans(0, &c.spans());
+        let json = tb.to_json();
+        // thread_name + outer-B + inner-B + inner-E + outer-E.
+        let v: Value = serde_json::from_str(&json).unwrap();
+        let Value::Object(fields) = &v else {
+            panic!("expected object")
+        };
+        let Value::Array(events) = &fields[0].1 else {
+            panic!("expected traceEvents array")
+        };
+        assert_eq!(events.len(), 5);
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| {
+                let Value::Object(f) = e else { panic!() };
+                let Value::Str(ph) = &f.iter().find(|(k, _)| k == "ph").unwrap().1 else {
+                    panic!()
+                };
+                ph.as_str()
+            })
+            .collect();
+        assert_eq!(phases, vec!["M", "B", "B", "E", "E"]);
+        let names: Vec<Option<&str>> = events
+            .iter()
+            .map(|e| {
+                let Value::Object(f) = e else { panic!() };
+                f.iter().find(|(k, _)| k == "name").map(|(_, v)| {
+                    let Value::Str(s) = v else { panic!() };
+                    s.as_str()
+                })
+            })
+            .collect();
+        assert_eq!(names[1], Some("outer"));
+        assert_eq!(names[2], Some("inner"));
+    }
+}

@@ -1,0 +1,441 @@
+//! The [`Collector`]: span recording plus a named-metric registry.
+//!
+//! One process-global collector (see [`global`]) backs the `span!` macro
+//! and the flag-gated free functions; independent [`Collector`] instances
+//! exist for tests. The collector starts disabled, and every disabled
+//! entry point returns after a single relaxed atomic-flag load — no
+//! locks, no allocation, no clock reads.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::metrics::{Counter, Gauge, Histogram, MetricsSnapshot};
+
+/// A span argument value, converted from common scalar types by the
+/// `span!` macro.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer argument.
+    U64(u64),
+    /// Signed integer argument.
+    I64(i64),
+    /// Float argument.
+    F64(f64),
+    /// String argument.
+    Str(String),
+}
+
+macro_rules! impl_arg_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for ArgValue {
+            fn from(v: $t) -> Self {
+                ArgValue::U64(v as u64)
+            }
+        }
+    )*};
+}
+impl_arg_from_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_arg_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for ArgValue {
+            fn from(v: $t) -> Self {
+                ArgValue::I64(v as i64)
+            }
+        }
+    )*};
+}
+impl_arg_from_int!(i8, i16, i32, i64, isize);
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One completed span, recorded when its guard drops.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name (static: span names are code locations, not data).
+    pub name: &'static str,
+    /// Logical thread id (stable per OS thread, dense from 0).
+    pub tid: u64,
+    /// Start offset from the collector's epoch, in microseconds.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Named arguments captured at span entry.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+struct ActiveSpan<'c> {
+    collector: &'c Collector,
+    name: &'static str,
+    tid: u64,
+    start: Instant,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+/// RAII guard returned by [`Collector::span`]; records the span into the
+/// collector when dropped. Holds nothing when the collector is disabled.
+#[must_use = "a span guard records its span when dropped; binding it to `_` ends it immediately"]
+pub struct SpanGuard<'c> {
+    active: Option<ActiveSpan<'c>>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let c = active.collector;
+        let start_us = active.start.duration_since(c.epoch).as_secs_f64() * 1e6;
+        let dur_us = active.start.elapsed().as_secs_f64() * 1e6;
+        c.spans.lock().push(SpanRecord {
+            name: active.name,
+            tid: active.tid,
+            start_us,
+            dur_us,
+            args: active.args,
+        });
+    }
+}
+
+fn current_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Span recorder plus named counter/gauge/histogram registry.
+pub struct Collector {
+    enabled: AtomicBool,
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Collector {
+    /// Creates a disabled collector whose epoch is "now".
+    pub fn new() -> Self {
+        Collector {
+            enabled: AtomicBool::new(false),
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Turns recording on.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turns recording off (already-registered handles keep working).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Starts a span. When the collector is disabled this returns an
+    /// empty guard without calling `args` — the cost is one atomic load.
+    pub fn span(
+        &self,
+        name: &'static str,
+        args: impl FnOnce() -> Vec<(&'static str, ArgValue)>,
+    ) -> SpanGuard<'_> {
+        if !self.is_enabled() {
+            return SpanGuard { active: None };
+        }
+        SpanGuard {
+            active: Some(ActiveSpan {
+                collector: self,
+                name,
+                tid: current_tid(),
+                start: Instant::now(),
+                args: args(),
+            }),
+        }
+    }
+
+    /// Registers (or fetches) a counter handle by name. Registration is
+    /// independent of the enabled flag: explicit handles are for metrics
+    /// that must always count (e.g. the tuner's `TuneStats` sources).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters
+            .lock()
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Registers (or fetches) a gauge handle by name.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges
+            .lock()
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Registers (or fetches) a histogram handle by name.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histograms
+            .lock()
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Adds `n` to the named counter; no-op (flag check only) when
+    /// disabled.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        if self.is_enabled() {
+            self.counter(name).add(n);
+        }
+    }
+
+    /// Sets the named gauge; no-op (flag check only) when disabled.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if self.is_enabled() {
+            self.gauge(name).set(v);
+        }
+    }
+
+    /// Raises the named gauge to `v` if larger; no-op (flag check only)
+    /// when disabled.
+    pub fn gauge_max(&self, name: &str, v: f64) {
+        if self.is_enabled() {
+            self.gauge(name).set_max(v);
+        }
+    }
+
+    /// Records into the named histogram; no-op (flag check only) when
+    /// disabled.
+    pub fn histogram_record(&self, name: &str, v: f64) {
+        if self.is_enabled() {
+            self.histogram(name).record(v);
+        }
+    }
+
+    /// Copies all completed spans (records appear when guards drop).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().clone()
+    }
+
+    /// Removes and returns all completed spans.
+    pub fn take_spans(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.spans.lock())
+    }
+
+    /// Snapshot of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, c)| (k.clone(), c.value()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, g)| (k.clone(), g.value()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+        }
+    }
+
+    /// Snapshot relative to `baseline`: counters and histogram
+    /// count/sum subtract the baseline; gauges and histogram min/max
+    /// keep their current value (they are not cumulative).
+    pub fn snapshot_delta(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut snap = self.snapshot();
+        for (name, v) in &mut snap.counters {
+            *v = v.saturating_sub(baseline.counter(name));
+        }
+        for (name, h) in &mut snap.histograms {
+            if let Some(base) = baseline.histograms.get(name) {
+                h.count = h.count.saturating_sub(base.count);
+                h.sum -= base.sum;
+                h.mean = if h.count == 0 { 0.0 } else { h.sum / h.count as f64 };
+            }
+        }
+        snap
+    }
+
+    /// Clears spans and zeroes every registered metric (handles held by
+    /// callers stay valid and keep updating the same cells).
+    pub fn reset(&self) {
+        self.spans.lock().clear();
+        for c in self.counters.lock().values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().values() {
+            g.reset();
+        }
+        for h in self.histograms.lock().values() {
+            h.reset();
+        }
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-global collector used by `span!` and the free functions.
+pub fn global() -> &'static Collector {
+    static GLOBAL: OnceLock<Collector> = OnceLock::new();
+    GLOBAL.get_or_init(Collector::new)
+}
+
+/// Adds to a named counter on the global collector (no-op when disabled).
+pub fn counter_add(name: &str, n: u64) {
+    global().counter_add(name, n);
+}
+
+/// Sets a named gauge on the global collector (no-op when disabled).
+pub fn gauge_set(name: &str, v: f64) {
+    global().gauge_set(name, v);
+}
+
+/// Raises a named gauge high-water mark on the global collector (no-op
+/// when disabled).
+pub fn gauge_max(name: &str, v: f64) {
+    global().gauge_max(name, v);
+}
+
+/// Records into a named histogram on the global collector (no-op when
+/// disabled).
+pub fn histogram_record(name: &str, v: f64) {
+    global().histogram_record(name, v);
+}
+
+/// Opens a RAII span on the global collector.
+///
+/// ```
+/// let _span = mist_telemetry::span!("intra.frontier", stage = 3u32);
+/// ```
+///
+/// Arguments are `key = value` pairs evaluated *only when the collector
+/// is enabled*; values may be any type with `Into<ArgValue>` (integers,
+/// floats, strings). The span ends when the guard drops.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::global().span($name, ::std::vec::Vec::new)
+    };
+    ($name:expr, $($key:ident = $val:expr),+ $(,)?) => {
+        $crate::global().span($name, || {
+            ::std::vec![$((stringify!($key), $crate::ArgValue::from($val))),+]
+        })
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let c = Collector::new();
+        {
+            let _g = c.span("x", || vec![("a", ArgValue::U64(1))]);
+        }
+        c.counter_add("n", 5);
+        c.gauge_set("g", 1.0);
+        c.histogram_record("h", 1.0);
+        assert!(c.spans().is_empty());
+        assert!(c.snapshot().is_empty());
+    }
+
+    #[test]
+    fn enabled_collector_records_spans_and_metrics() {
+        let c = Collector::new();
+        c.enable();
+        {
+            let _outer = c.span("outer", Vec::new);
+            let _inner = c.span("inner", || vec![("i", ArgValue::U64(7))]);
+        }
+        c.counter_add("n", 2);
+        c.counter_add("n", 3);
+        c.gauge_max("g", 2.0);
+        c.gauge_max("g", 1.0);
+        c.histogram_record("h", 4.0);
+
+        let spans = c.spans();
+        assert_eq!(spans.len(), 2);
+        // Guards drop inner-first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[1].name, "outer");
+        assert!(spans[0].start_us >= spans[1].start_us);
+        assert!(spans[0].dur_us <= spans[1].dur_us);
+        assert_eq!(spans[0].args, vec![("i", ArgValue::U64(7))]);
+
+        let snap = c.snapshot();
+        assert_eq!(snap.counter("n"), 5);
+        assert_eq!(snap.gauge("g"), 2.0);
+        assert_eq!(snap.histograms["h"].count, 1);
+    }
+
+    #[test]
+    fn reset_preserves_registered_handles() {
+        let c = Collector::new();
+        let n = c.counter("n");
+        n.add(4);
+        c.reset();
+        assert_eq!(c.snapshot().counter("n"), 0);
+        n.add(1);
+        assert_eq!(c.snapshot().counter("n"), 1);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counters() {
+        let c = Collector::new();
+        c.enable();
+        c.counter_add("n", 10);
+        c.histogram_record("h", 1.0);
+        let base = c.snapshot();
+        c.counter_add("n", 7);
+        c.histogram_record("h", 3.0);
+        let delta = c.snapshot_delta(&base);
+        assert_eq!(delta.counter("n"), 7);
+        assert_eq!(delta.histograms["h"].count, 1);
+        assert_eq!(delta.histograms["h"].sum, 3.0);
+    }
+}

@@ -19,6 +19,7 @@ use mist_hardware::{ClusterSpec, DeviceMesh, OpCostDb};
 use mist_interference::InterferenceModel;
 use mist_models::ModelSpec;
 use mist_schedule::{mist_objective, StagePlan, StageStreams, TrainingPlan};
+use mist_telemetry::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
 use crate::inter::solve_inter_stage_with_cutoff;
@@ -29,7 +30,7 @@ use crate::space::{CkptMode, SearchSpace};
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct TuneStats {
     /// Configurations evaluated through the symbolic tapes.
-    pub configs_evaluated: f64,
+    pub configs_evaluated: u64,
     /// Inter-stage MILP solves.
     pub milp_solves: u32,
     /// `(G, S)` outer-loop candidates examined.
@@ -52,6 +53,11 @@ pub struct TuneOutcome {
     pub stage_points: Vec<StagePoint>,
     /// Statistics of the tuning run.
     pub stats: TuneStats,
+    /// Telemetry accumulated during this tune: the tuner's own counters
+    /// plus, when the global collector is enabled, everything the
+    /// instrumented library layers recorded (MILP nodes/pivots, cache
+    /// hits, symbolic program sizes, ...).
+    pub telemetry: MetricsSnapshot,
 }
 
 /// Top-level auto-tuner for one `(model, cluster, search space)`.
@@ -147,6 +153,9 @@ impl<'a> Tuner<'a> {
     pub fn tune(&self, global_batch: u64) -> Option<TuneOutcome> {
         assert!(global_batch >= 1);
         let start = Instant::now();
+        let collector = mist_telemetry::global();
+        let baseline = collector.snapshot();
+        let _tune_span = mist_telemetry::span!("tuner.tune", global_batch = global_batch);
         let intra = IntraStageTuner::new(
             self.model,
             self.cluster,
@@ -161,6 +170,7 @@ impl<'a> Tuner<'a> {
         for g in self.grad_accum_candidates(global_batch) {
             for (s, mesh) in self.pipeline_shapes() {
                 stats.outer_candidates += 1;
+                let _outer_span = mist_telemetry::span!("tuner.outer", grad_accum = g, stages = s);
                 let solution = if self.space.uniform_stages {
                     self.solve_uniform(&intra, g, s, mesh, global_batch)
                 } else {
@@ -183,6 +193,8 @@ impl<'a> Tuner<'a> {
                         frontier_handles.iter().map(|h| h.as_ref()).collect();
                     stats.milp_solves += 1;
                     let cutoff = best.as_ref().map_or(f64::INFINITY, |(b, _, _)| *b);
+                    let _solve_span =
+                        mist_telemetry::span!("inter.solve", stages = s, grad_accum = g);
                     solve_inter_stage_with_cutoff(&refs, l, g, self.space, cutoff).map(|sol| {
                         (
                             sol.selector_objective,
@@ -200,6 +212,32 @@ impl<'a> Tuner<'a> {
 
         stats.configs_evaluated = intra.configs_evaluated();
         stats.elapsed_secs = start.elapsed().as_secs_f64();
+
+        // Publish the tuner's own counters into the global registry, then
+        // capture everything this tune added on top of the baseline. The
+        // explicit inserts keep `telemetry` self-contained even when the
+        // collector is disabled and the publish above was a no-op.
+        collector.counter_add("tuner.configs_evaluated", stats.configs_evaluated);
+        collector.counter_add("tuner.outer_candidates", stats.outer_candidates as u64);
+        collector.counter_add("tuner.inter_solves", stats.milp_solves as u64);
+        let mut telemetry = collector.snapshot_delta(&baseline);
+        telemetry
+            .counters
+            .entry("tuner.configs_evaluated".to_owned())
+            .or_insert(stats.configs_evaluated);
+        telemetry
+            .counters
+            .entry("tuner.outer_candidates".to_owned())
+            .or_insert(stats.outer_candidates as u64);
+        telemetry
+            .counters
+            .entry("tuner.inter_solves".to_owned())
+            .or_insert(stats.milp_solves as u64);
+        telemetry
+            .gauges
+            .entry("tuner.elapsed_secs".to_owned())
+            .or_insert(stats.elapsed_secs);
+
         let (_, points, g) = best?;
 
         let streams: Vec<StageStreams> = points
@@ -224,6 +262,7 @@ impl<'a> Tuner<'a> {
             predicted_throughput: global_batch as f64 / predicted,
             stage_points: points.iter().map(|p| p.point).collect(),
             stats,
+            telemetry,
             plan,
         })
     }
@@ -333,7 +372,15 @@ mod tests {
         assert_eq!(out.plan.global_batch, 8);
         assert_eq!(out.plan.total_layers(), model.num_layers);
         assert!(out.predicted_iteration > 0.0);
-        assert!(out.stats.configs_evaluated > 0.0);
+        assert!(out.stats.configs_evaluated > 0);
+        assert_eq!(
+            out.telemetry.counter("tuner.configs_evaluated"),
+            out.stats.configs_evaluated
+        );
+        assert_eq!(
+            out.telemetry.counter("tuner.outer_candidates"),
+            out.stats.outer_candidates as u64
+        );
     }
 
     #[test]

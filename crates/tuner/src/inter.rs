@@ -411,6 +411,15 @@ pub fn solve_inter_stage_dp(
         prev = next;
     }
 
+    if mist_telemetry::global().is_enabled() {
+        let states: u64 = backs
+            .iter()
+            .flat_map(|table| table.iter())
+            .map(|cell| cell.len() as u64)
+            .sum();
+        mist_telemetry::counter_add("inter.dp_states", states);
+    }
+
     // Pick the best full assignment.
     let finals = &prev[lmax];
     let (best_idx, best_sel) = finals

@@ -24,7 +24,7 @@
 //!   counts share one batch — the frontier for every `l` falls out of a
 //!   single evaluation pass.
 
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -85,7 +85,10 @@ pub struct IntraStageTuner<'a> {
     budget: f64,
     tape_cache: RefCell<HashMap<TapeKey, Rc<StageTapes>>>,
     frontier_cache: RefCell<HashMap<FrontierKey, Rc<Vec<Vec<ParetoPoint>>>>>,
-    configs_evaluated: Cell<f64>,
+    // Per-instance telemetry counter (not the global registry): cache-hit
+    // semantics are part of this type's contract and tests compare exact
+    // counts, so the count must not leak across tuner instances.
+    configs_evaluated: mist_telemetry::Counter,
     // Reused across every fused batch evaluation: register and output
     // columns are allocated once and recycled for the whole search.
     workspace: RefCell<EvalWorkspace>,
@@ -112,7 +115,7 @@ impl<'a> IntraStageTuner<'a> {
             budget: cluster.gpu.memory_bytes,
             tape_cache: RefCell::new(HashMap::new()),
             frontier_cache: RefCell::new(HashMap::new()),
-            configs_evaluated: Cell::new(0.0),
+            configs_evaluated: mist_telemetry::Counter::new(),
             workspace: RefCell::new(EvalWorkspace::new()),
         }
     }
@@ -124,8 +127,8 @@ impl<'a> IntraStageTuner<'a> {
     }
 
     /// Number of configurations evaluated so far (tuning-time studies).
-    pub fn configs_evaluated(&self) -> f64 {
-        self.configs_evaluated.get()
+    pub fn configs_evaluated(&self) -> u64 {
+        self.configs_evaluated.value()
     }
 
     /// The memory budget in use.
@@ -138,6 +141,7 @@ impl<'a> IntraStageTuner<'a> {
     pub fn frontiers(&self, key: FrontierKey, max_layers: u32) -> Rc<Vec<Vec<ParetoPoint>>> {
         if let Some(hit) = self.frontier_cache.borrow().get(&key) {
             if hit.len() >= max_layers as usize {
+                mist_telemetry::counter_add("intra.frontier_cache_hits", 1);
                 return hit.clone();
             }
         }
@@ -152,8 +156,7 @@ impl<'a> IntraStageTuner<'a> {
     /// uniform-stages heuristic and by enumeration-style experiments).
     /// No feasibility filtering — inspect `mem_peak` yourself.
     pub fn evaluate_config(&self, cand: &StageCandidate, cfg: &StageConfigValues) -> ParetoPoint {
-        self.configs_evaluated
-            .set(self.configs_evaluated.get() + 1.0);
+        self.configs_evaluated.inc();
         let tapes = self.tapes(cand);
         let point = tapes.eval_point(cfg);
         let (t, d) = if self.space.overlap_aware {
@@ -187,6 +190,7 @@ impl<'a> IntraStageTuner<'a> {
         if let Some(hit) = self.tape_cache.borrow().get(&key) {
             return hit.clone();
         }
+        mist_telemetry::counter_add("intra.tape_compiles", 1);
         let analyzer = StageAnalyzer::new(self.model, self.cluster, self.db);
         let tapes = Rc::new(analyzer.analyze(cand));
         self.tape_cache.borrow_mut().insert(key, tapes.clone());
@@ -217,6 +221,12 @@ impl<'a> IntraStageTuner<'a> {
 
     fn compute_frontiers(&self, key: FrontierKey, max_layers: u32) -> Vec<Vec<ParetoPoint>> {
         assert!(max_layers >= 1);
+        let _span = mist_telemetry::span!(
+            "intra.frontier",
+            layers = max_layers,
+            inflight = key.inflight,
+            grad_accum = key.grad_accum
+        );
         let mut per_l: Vec<Vec<ParetoPoint>> = vec![Vec::new(); max_layers as usize];
 
         for (dp, tp, b) in self.parallelism_candidates(key.mesh, key.grad_accum) {
@@ -267,8 +277,7 @@ impl<'a> IntraStageTuner<'a> {
             }
         }
         let n = rows.len();
-        self.configs_evaluated
-            .set(self.configs_evaluated.get() + n as f64);
+        self.configs_evaluated.add(n as u64);
 
         let mut batch = BatchBindings::new(n);
         batch.set_values("L", rows.iter().map(|r| r.0 as f64).collect());

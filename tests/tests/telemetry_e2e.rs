@@ -1,0 +1,136 @@
+//! End-to-end observability test: drives the `mist-cli tune` command path
+//! in-process (via `mist::cli::run`) with `--trace`, then validates the
+//! emitted Chrome Trace Event JSON — well-formed, B/E balanced per track,
+//! and containing both producers (tuner phase timeline + pipeline Gantt).
+
+use std::collections::BTreeMap;
+
+use serde_json::Value;
+
+fn get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn str_of(v: &Value) -> &str {
+    match v {
+        Value::Str(s) => s,
+        _ => panic!("expected string, got {v:?}"),
+    }
+}
+
+#[test]
+fn cli_tune_trace_end_to_end() {
+    let trace_path =
+        std::env::temp_dir().join(format!("mist_telemetry_e2e_{}.json", std::process::id()));
+    let argv: Vec<String> = [
+        "tune",
+        "--model",
+        "gpt3-1.3b",
+        "--platform",
+        "l4",
+        "--gpus",
+        "4",
+        "--batch",
+        "32",
+        "--seed",
+        "11",
+        "--execute",
+        "--json",
+        "--trace",
+        trace_path.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    assert_eq!(mist::cli::run(&argv), 0, "mist-cli tune must succeed");
+
+    let text = std::fs::read_to_string(&trace_path).expect("trace written");
+    std::fs::remove_file(&trace_path).ok();
+    let doc: Value = serde_json::from_str(&text).expect("trace is valid JSON");
+    assert_eq!(
+        get(&doc, "displayTimeUnit").map(str_of),
+        Some("ms"),
+        "Chrome trace header"
+    );
+    let Some(Value::Array(events)) = get(&doc, "traceEvents") else {
+        panic!("traceEvents array missing");
+    };
+    assert!(!events.is_empty());
+
+    // Walk every event: metadata names the tracks, B/E must nest per
+    // (pid, tid) with non-decreasing timestamps.
+    let mut processes: BTreeMap<i64, String> = BTreeMap::new();
+    let mut threads: BTreeMap<(i64, i64), String> = BTreeMap::new();
+    let mut depth: BTreeMap<(i64, i64), i64> = BTreeMap::new();
+    let mut last_ts: BTreeMap<(i64, i64), f64> = BTreeMap::new();
+    let mut span_names: Vec<String> = Vec::new();
+    for e in events {
+        let ph = get(e, "ph").map(str_of).expect("ph");
+        let pid = get(e, "pid").and_then(Value::as_i64).expect("pid");
+        let tid = get(e, "tid").and_then(Value::as_i64).expect("tid");
+        match ph {
+            "M" => match get(e, "name").map(str_of).expect("name") {
+                "process_name" => {
+                    let name = str_of(get(get(e, "args").unwrap(), "name").unwrap());
+                    processes.insert(pid, name.to_string());
+                }
+                "thread_name" => {
+                    let name = str_of(get(get(e, "args").unwrap(), "name").unwrap());
+                    threads.insert((pid, tid), name.to_string());
+                }
+                other => panic!("unexpected metadata record {other}"),
+            },
+            "B" | "E" => {
+                let ts = get(e, "ts").and_then(Value::as_f64).expect("ts");
+                let key = (pid, tid);
+                let last = last_ts.insert(key, ts).unwrap_or(f64::NEG_INFINITY);
+                assert!(ts >= last, "timestamps regress on track {key:?}");
+                let d = depth.entry(key).or_insert(0);
+                if ph == "B" {
+                    *d += 1;
+                    span_names.push(get(e, "name").map(str_of).unwrap().to_string());
+                } else {
+                    *d -= 1;
+                    assert!(*d >= 0, "E without matching B on track {key:?}");
+                }
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    for (key, d) in &depth {
+        assert_eq!(*d, 0, "unbalanced B/E on track {key:?}");
+    }
+
+    // Producer 1: the tuner phase timeline under the "mist-tuner" process.
+    assert_eq!(processes.get(&0).map(String::as_str), Some("mist-tuner"));
+    for phase in ["session.calibrate", "tuner.tune", "tuner.outer", "intra.frontier"] {
+        assert!(
+            span_names.iter().any(|n| n == phase),
+            "tuner timeline lacks `{phase}` spans (saw {span_names:?})"
+        );
+    }
+
+    // Producer 2: one process per pipeline stage, with the four stream
+    // lanes as named threads.
+    let stage_pids: Vec<i64> = processes
+        .iter()
+        .filter(|(_, name)| name.starts_with("stage "))
+        .map(|(pid, _)| *pid)
+        .collect();
+    assert!(!stage_pids.is_empty(), "no pipeline-stage processes");
+    for pid in &stage_pids {
+        let lanes: Vec<&str> = threads
+            .iter()
+            .filter(|((p, _), _)| p == pid)
+            .map(|(_, name)| name.as_str())
+            .collect();
+        assert_eq!(lanes, mist_sim::STREAM_LANES.to_vec(), "lanes of pid {pid}");
+    }
+    // The Gantt must actually contain work on compute and NCCL lanes.
+    for lane in ["forward", "backward"] {
+        assert!(span_names.iter().any(|n| n == lane), "no `{lane}` slices");
+    }
+}

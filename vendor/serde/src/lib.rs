@@ -294,6 +294,18 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     }
 }
 
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(Error::msg("expected object")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +333,16 @@ mod tests {
         assert_eq!(u32::from_value(&Value::Float(3.0)).unwrap(), 3);
         assert!(u32::from_value(&Value::Float(3.5)).is_err());
         assert!(u32::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn btreemap_round_trips() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2u64);
+        let back: std::collections::BTreeMap<String, u64> =
+            Deserialize::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
     }
 
     #[test]
