@@ -139,9 +139,7 @@ fn bench_fused_vs_separate(c: &mut Criterion) {
     let mut ws = EvalWorkspace::new();
     group.bench_function(BenchmarkId::new("fused_program", n), |b| {
         b.iter(|| {
-            tapes
-                .eval_batch_fused(black_box(&batch), &mut ws)
-                .unwrap();
+            tapes.eval_batch_fused(black_box(&batch), &mut ws).unwrap();
             black_box(ws.output(0));
         })
     });

@@ -1,0 +1,122 @@
+//! Tuner thread-scaling study: the Fig. 16 fine sweep (the `mist-fine`
+//! offloading grid) re-run at 1/2/4/8 pool threads.
+//!
+//! Two claims are checked and recorded:
+//!
+//! * **Determinism** — the chosen plan and the evaluated-configuration
+//!   count are identical at every thread count (the pool's ordered joins
+//!   and the driver's key dedup make thread count a pure wall-clock
+//!   knob). The run aborts loudly if they diverge.
+//! * **Scaling** — wall-clock per thread count, plus the host's available
+//!   parallelism. Speedups are only physically possible up to the core
+//!   count; the JSON records both so a 1-core CI box producing flat
+//!   numbers is distinguishable from a scaling regression.
+
+use mist::presets::{gpt3, AttentionImpl, ModelSize};
+use mist::{Platform, SearchSpace};
+use mist_bench::{plan_summary, quick_mode, write_json, System, Workload};
+use mist_pool::set_global_threads;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    threads: usize,
+    tuning_secs: f64,
+    intra_secs: f64,
+    inter_secs: f64,
+    speedup_vs_1: f64,
+    configs_evaluated: f64,
+    plan: String,
+}
+
+#[derive(Serialize)]
+struct Output {
+    workload: String,
+    space: String,
+    available_parallelism: usize,
+    deterministic: bool,
+    rows: Vec<Row>,
+}
+
+fn main() {
+    let quick = quick_mode();
+    let (size, gpus, batch, cap) = if quick {
+        (ModelSize::B1_3, 2u32, 8u64, 8u32)
+    } else {
+        (ModelSize::B6_7, 8, 64, 64)
+    };
+    let w = Workload {
+        model: gpt3(size, 2048, AttentionImpl::Flash),
+        platform: Platform::GcpL4,
+        gpus,
+        global_batch: batch,
+    };
+    let system = System::Space(SearchSpace::mist_fine());
+    let cores = mist_pool::default_threads();
+    println!("# Tuner thread scaling ({}, mist-fine space)\n", w.id());
+    println!("host parallelism: {cores} core(s)\n");
+    println!("| threads | tuning (s) | intra (s) | inter (s) | speedup | configs |");
+    println!("|---|---|---|---|---|---|");
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut reference: Option<(String, f64)> = None; // (plan, configs)
+    let mut deterministic = true;
+    for threads in [1usize, 2, 4, 8] {
+        set_global_threads(threads);
+        let session = mist::MistSession::builder(w.model.clone(), w.platform, w.gpus)
+            .space(system.space())
+            .max_grad_accum(cap)
+            .build();
+        let start = std::time::Instant::now();
+        let outcome = session
+            .tune(w.global_batch)
+            .expect("the mist-fine space must be feasible on this workload");
+        let tuning_secs = start.elapsed().as_secs_f64();
+        let plan = plan_summary(&outcome);
+        let configs = outcome.stats.configs_evaluated as f64;
+        match &reference {
+            None => reference = Some((plan.clone(), configs)),
+            Some((ref_plan, ref_configs)) => {
+                if *ref_plan != plan || *ref_configs != configs {
+                    deterministic = false;
+                    eprintln!(
+                        "DETERMINISM VIOLATION at {threads} threads:\n  ref: {ref_plan} \
+                         ({ref_configs} configs)\n  got: {plan} ({configs} configs)"
+                    );
+                }
+            }
+        }
+        let speedup = rows
+            .first()
+            .map(|r: &Row| r.tuning_secs / tuning_secs)
+            .unwrap_or(1.0);
+        println!(
+            "| {threads} | {:.2} | {:.2} | {:.2} | {:.2}x | {:.3e} |",
+            tuning_secs, outcome.stats.intra_secs, outcome.stats.inter_secs, speedup, configs
+        );
+        rows.push(Row {
+            threads,
+            tuning_secs,
+            intra_secs: outcome.stats.intra_secs,
+            inter_secs: outcome.stats.inter_secs,
+            speedup_vs_1: speedup,
+            configs_evaluated: configs,
+            plan,
+        });
+    }
+    set_global_threads(mist_pool::default_threads());
+
+    assert!(deterministic, "plans diverged across thread counts");
+    println!("\n(all thread counts chose the identical plan; speedups above the host's");
+    println!("core count are physically impossible — compare against `available_parallelism`)");
+    write_json(
+        "bench_tuner_threads",
+        &Output {
+            workload: w.id(),
+            space: "mist-fine".into(),
+            available_parallelism: cores,
+            deterministic,
+            rows,
+        },
+    );
+}

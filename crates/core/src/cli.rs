@@ -16,8 +16,8 @@ pub fn usage() -> &'static str {
 USAGE:
     mist-cli tune --model <NAME> --platform <l4|a100> --gpus <N> --batch <B>
                   [--space <mist|mist-fine|megatron|deepspeed|aceso|alpa|uniform>]
-                  [--seq <LEN>] [--seed <N>] [--no-flash] [--execute]
-                  [--trace <FILE>] [--metrics] [--json]
+                  [--seq <LEN>] [--seed <N>] [--threads <N>] [--no-flash]
+                  [--execute] [--trace <FILE>] [--metrics] [--json]
     mist-cli models
     mist-cli spaces
     mist-cli help
@@ -31,6 +31,10 @@ OPTIONS:
     --seed <N>     seed for the interference-calibration benchmarks
                    (default: 0xAB5EED; changes the fitted model, not the
                    search itself)
+    --threads <N>  worker threads for the tuner's parallel phases
+                   (default: the machine's available parallelism; results
+                   are byte-identical at any value, only wall-clock
+                   changes)
     --no-flash     use standard attention instead of FlashAttention
     --execute      run the tuned plan on the cluster simulator and report
                    the measured throughput
@@ -90,6 +94,7 @@ struct Args {
     space: SearchSpace,
     seq: Option<u64>,
     seed: Option<u64>,
+    threads: Option<usize>,
     flash: bool,
     execute: bool,
     trace: Option<String>,
@@ -106,6 +111,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         space: SearchSpace::mist(),
         seq: None,
         seed: None,
+        threads: None,
         flash: true,
         execute: false,
         trace: None,
@@ -153,6 +159,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|_| "--seed expects a non-negative integer".to_string())?,
                 )
             }
+            "--threads" => {
+                let n: usize = need(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                args.threads = Some(n);
+            }
             "--no-flash" => args.flash = false,
             "--execute" => args.execute = true,
             "--trace" => args.trace = Some(need(&mut it, "--trace")?),
@@ -184,12 +199,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 
 fn run_tune(args: Args) -> Result<(), String> {
     // Telemetry must be on before the session is built so the
-    // calibration pass (benchmark + interference fit) is captured too.
+    // calibration pass (benchmark + interference fit) is captured too,
+    // and before the pool is resized so `pool.workers` is recorded.
     let collector = mist_telemetry::global();
     let telemetry_on = args.trace.is_some() || args.metrics;
     if telemetry_on {
         collector.reset();
         collector.enable();
+    }
+    if let Some(n) = args.threads {
+        mist_pool::set_global_threads(n);
     }
     let result = run_tune_inner(&args, telemetry_on);
     if telemetry_on {
@@ -393,8 +412,19 @@ mod tests {
     #[test]
     fn parse_args_accepts_new_flags() {
         let a = parse_args(&sv(&[
-            "--model", "gpt3-1.3b", "--platform", "l4", "--gpus", "2", "--batch", "8", "--seed",
-            "7", "--trace", "/tmp/t.json", "--metrics",
+            "--model",
+            "gpt3-1.3b",
+            "--platform",
+            "l4",
+            "--gpus",
+            "2",
+            "--batch",
+            "8",
+            "--seed",
+            "7",
+            "--trace",
+            "/tmp/t.json",
+            "--metrics",
         ]))
         .unwrap();
         assert_eq!(a.seed, Some(7));
@@ -403,10 +433,53 @@ mod tests {
     }
 
     #[test]
+    fn parse_args_accepts_threads() {
+        let a = parse_args(&sv(&[
+            "--model",
+            "gpt3-1.3b",
+            "--gpus",
+            "2",
+            "--batch",
+            "8",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(a.threads, Some(4));
+        assert!(parse_args(&sv(&[
+            "--model",
+            "gpt3-1.3b",
+            "--gpus",
+            "2",
+            "--batch",
+            "8",
+            "--threads",
+            "0",
+        ]))
+        .is_err());
+    }
+
+    #[test]
     fn parse_args_rejects_missing_values() {
         for flags in [
-            vec!["--model", "gpt3-1.3b", "--gpus", "2", "--batch", "8", "--seed"],
-            vec!["--model", "gpt3-1.3b", "--gpus", "2", "--batch", "8", "--trace"],
+            vec![
+                "--model",
+                "gpt3-1.3b",
+                "--gpus",
+                "2",
+                "--batch",
+                "8",
+                "--seed",
+            ],
+            vec![
+                "--model",
+                "gpt3-1.3b",
+                "--gpus",
+                "2",
+                "--batch",
+                "8",
+                "--trace",
+            ],
         ] {
             assert!(parse_args(&sv(&flags)).is_err());
         }
@@ -415,7 +488,14 @@ mod tests {
     #[test]
     fn usage_documents_every_flag() {
         for flag in [
-            "--seq", "--seed", "--no-flash", "--execute", "--trace", "--metrics", "--json",
+            "--seq",
+            "--seed",
+            "--threads",
+            "--no-flash",
+            "--execute",
+            "--trace",
+            "--metrics",
+            "--json",
         ] {
             assert!(usage().contains(flag), "usage() must document {flag}");
         }

@@ -14,7 +14,8 @@ fn get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
 
 #[test]
 fn cli_tune_writes_trace_and_metrics() {
-    let trace_path = std::env::temp_dir().join(format!("mist_cli_trace_{}.json", std::process::id()));
+    let trace_path =
+        std::env::temp_dir().join(format!("mist_cli_trace_{}.json", std::process::id()));
     let out = Command::new(env!("CARGO_BIN_EXE_mist-cli"))
         .args([
             "tune",

@@ -35,9 +35,7 @@ use mist_hardware::{
     all_gather_time, all_reduce_time, p2p_time, ClusterSpec, DeviceMesh, OpCostDb, OpKind, OpQuery,
 };
 use mist_models::ModelSpec;
-use mist_symbolic::{
-    BatchBindings, CmpOp, Context, EvalWorkspace, Program, SymbolicError, Tape,
-};
+use mist_symbolic::{BatchBindings, CmpOp, Context, EvalWorkspace, Program, SymbolicError, Tape};
 use serde::{Deserialize, Serialize};
 
 use crate::liveness::{profile_layer, LayerProfile};

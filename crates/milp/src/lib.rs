@@ -20,7 +20,7 @@ mod dp;
 mod lp;
 mod simplex;
 
-pub use branch_bound::{solve_milp, Milp, MilpOptions, MilpOutcome};
+pub use branch_bound::{solve_milp, solve_milp_on, Milp, MilpOptions, MilpOutcome};
 pub use dp::partition_min_max;
 pub use lp::{Constraint, ConstraintOp, Lp, LpOutcome};
 pub use simplex::solve_lp;

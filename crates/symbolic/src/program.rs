@@ -143,10 +143,22 @@ pub(crate) enum Op {
     Const(f64),
     /// Reads input slot `u32` of the [`SymbolTable`].
     Sym(u32),
-    Add { start: u32, len: u32 },
-    Mul { start: u32, len: u32 },
-    Min { start: u32, len: u32 },
-    Max { start: u32, len: u32 },
+    Add {
+        start: u32,
+        len: u32,
+    },
+    Mul {
+        start: u32,
+        len: u32,
+    },
+    Min {
+        start: u32,
+        len: u32,
+    },
+    Max {
+        start: u32,
+        len: u32,
+    },
     Div(u32, u32),
     Floor(u32),
     Ceil(u32),
@@ -224,9 +236,9 @@ impl Program {
                         let op = match &nodes[id.0 as usize] {
                             Node::Const(c) => Op::Const(c.to_f64()),
                             Node::Sym(sid) => {
-                                let slot = *sym_slot.entry(*sid).or_insert_with(|| {
-                                    table.intern(&symbol_names[sid.0 as usize])
-                                });
+                                let slot = *sym_slot
+                                    .entry(*sid)
+                                    .or_insert_with(|| table.intern(&symbol_names[sid.0 as usize]));
                                 Op::Sym(slot)
                             }
                             Node::Add(v) => {
@@ -469,7 +481,14 @@ impl Program {
 
     /// Computes one op's lane over the batch, materializing into the
     /// slot's register only when the result varies across rows.
-    fn eval_op(&self, op: Op, slot: usize, n: usize, cols: &[&Column], ws: &mut EvalWorkspace) -> Lane {
+    fn eval_op(
+        &self,
+        op: Op,
+        slot: usize,
+        n: usize,
+        cols: &[&Column],
+        ws: &mut EvalWorkspace,
+    ) -> Lane {
         // Symbols never materialize: a scalar binding is a broadcast
         // lane, a column binding is read in place.
         if let Op::Sym(s) = op {
@@ -512,7 +531,9 @@ impl Program {
                 Op::Div(a, b) => bin_kernel(&mut buf, view(a), view(b), |x, y| x / y),
                 Op::Floor(a) => unary_kernel(&mut buf, view(a), f64::floor),
                 Op::Ceil(a) => unary_kernel(&mut buf, view(a), f64::ceil),
-                Op::Cmp(cmp, a, b) => bin_kernel(&mut buf, view(a), view(b), |x, y| cmp.apply(x, y)),
+                Op::Cmp(cmp, a, b) => {
+                    bin_kernel(&mut buf, view(a), view(b), |x, y| cmp.apply(x, y))
+                }
                 Op::Select(c, a, b) => select_kernel(&mut buf, view(c), view(a), view(b)),
             }
         }
@@ -886,7 +907,7 @@ mod tests {
     }
 
     #[test]
-    fn mixed_lanes_match_all_column_evaluation(){
+    fn mixed_lanes_match_all_column_evaluation() {
         let ctx = Context::new();
         let x = ctx.symbol("x");
         let y = ctx.symbol("y");

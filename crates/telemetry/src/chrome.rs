@@ -153,10 +153,7 @@ impl TraceBuilder {
     /// Serializes the trace to its JSON document form.
     pub fn to_json(&self) -> String {
         let doc = Value::Object(vec![
-            (
-                "traceEvents".to_owned(),
-                Value::Array(self.events.clone()),
-            ),
+            ("traceEvents".to_owned(), Value::Array(self.events.clone())),
             ("displayTimeUnit".to_owned(), Value::Str("ms".to_owned())),
         ]);
         serde_json::to_string(&doc).expect("Value serialization is infallible")

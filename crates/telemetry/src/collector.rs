@@ -290,7 +290,11 @@ impl Collector {
             if let Some(base) = baseline.histograms.get(name) {
                 h.count = h.count.saturating_sub(base.count);
                 h.sum -= base.sum;
-                h.mean = if h.count == 0 { 0.0 } else { h.sum / h.count as f64 };
+                h.mean = if h.count == 0 {
+                    0.0
+                } else {
+                    h.sum / h.count as f64
+                };
             }
         }
         snap

@@ -158,7 +158,11 @@ impl Histogram {
             sum: s.sum,
             min: if s.count == 0 { 0.0 } else { s.min },
             max: if s.count == 0 { 0.0 } else { s.max },
-            mean: if s.count == 0 { 0.0 } else { s.sum / s.count as f64 },
+            mean: if s.count == 0 {
+                0.0
+            } else {
+                s.sum / s.count as f64
+            },
         }
     }
 

@@ -37,6 +37,11 @@ pub struct TuneStats {
     pub outer_candidates: u32,
     /// Wall-clock tuning seconds.
     pub elapsed_secs: f64,
+    /// Seconds spent computing intra-stage frontiers (the pool fan-out;
+    /// for uniform-stage spaces, the whole enumeration).
+    pub intra_secs: f64,
+    /// Seconds spent in inter-stage (MILP/DP) selection.
+    pub inter_secs: f64,
 }
 
 /// The tuner's output: a plan plus its predicted performance.
@@ -165,6 +170,8 @@ impl<'a> Tuner<'a> {
             global_batch,
         );
         let mut stats = TuneStats::default();
+        let pool_stolen0 = intra.pool().tasks_stolen();
+        let pool_executed0 = intra.pool().tasks_executed();
         let mut best: Option<(f64, Vec<ParetoPoint>, u32)> = None; // (selector, points, G)
 
         for g in self.grad_accum_candidates(global_batch) {
@@ -172,21 +179,45 @@ impl<'a> Tuner<'a> {
                 stats.outer_candidates += 1;
                 let _outer_span = mist_telemetry::span!("tuner.outer", grad_accum = g, stages = s);
                 let solution = if self.space.uniform_stages {
-                    self.solve_uniform(&intra, g, s, mesh, global_batch)
+                    let t_intra = Instant::now();
+                    let sol = self.solve_uniform(&intra, g, s, mesh, global_batch);
+                    stats.intra_secs += t_intra.elapsed().as_secs_f64();
+                    sol
                 } else {
                     let l = self.model.num_layers;
                     let max_layers = l - (s - 1);
-                    let frontier_handles: Vec<_> = (0..s)
-                        .map(|i| {
-                            intra.frontiers(
-                                FrontierKey {
-                                    mesh,
-                                    role: StageRole::of(i, s),
-                                    inflight: g.min(s - i),
-                                    grad_accum: g,
-                                },
-                                max_layers,
-                            )
+                    let keys: Vec<FrontierKey> = (0..s)
+                        .map(|i| FrontierKey {
+                            mesh,
+                            role: StageRole::of(i, s),
+                            inflight: g.min(s - i),
+                            grad_accum: g,
+                        })
+                        .collect();
+                    // Dedupe before fanning out (first-seen order): stages
+                    // often share a key, and two concurrent computations of
+                    // the same frontier would bypass the cache — each
+                    // unique key is computed exactly once, matching the
+                    // sequential cache behavior at any thread count.
+                    let mut unique: Vec<FrontierKey> = Vec::new();
+                    for &k in &keys {
+                        if !unique.contains(&k) {
+                            unique.push(k);
+                        }
+                    }
+                    let t_intra = Instant::now();
+                    let pool = std::sync::Arc::clone(intra.pool());
+                    let computed =
+                        pool.map_ordered(unique.clone(), |k| intra.frontiers(k, max_layers));
+                    stats.intra_secs += t_intra.elapsed().as_secs_f64();
+                    let frontier_handles: Vec<_> = keys
+                        .iter()
+                        .map(|k| {
+                            let idx = unique
+                                .iter()
+                                .position(|u| u == k)
+                                .expect("every key was deduped from `keys`");
+                            std::sync::Arc::clone(&computed[idx])
                         })
                         .collect();
                     let refs: Vec<&Vec<Vec<ParetoPoint>>> =
@@ -195,12 +226,16 @@ impl<'a> Tuner<'a> {
                     let cutoff = best.as_ref().map_or(f64::INFINITY, |(b, _, _)| *b);
                     let _solve_span =
                         mist_telemetry::span!("inter.solve", stages = s, grad_accum = g);
-                    solve_inter_stage_with_cutoff(&refs, l, g, self.space, cutoff).map(|sol| {
-                        (
-                            sol.selector_objective,
-                            sol.choices.into_iter().map(|c| c.point).collect::<Vec<_>>(),
-                        )
-                    })
+                    let t_inter = Instant::now();
+                    let sol =
+                        solve_inter_stage_with_cutoff(&refs, l, g, self.space, cutoff).map(|sol| {
+                            (
+                                sol.selector_objective,
+                                sol.choices.into_iter().map(|c| c.point).collect::<Vec<_>>(),
+                            )
+                        });
+                    stats.inter_secs += t_inter.elapsed().as_secs_f64();
+                    sol
                 };
                 if let Some((selector, points)) = solution {
                     if best.as_ref().is_none_or(|(b, _, _)| selector < *b) {
@@ -220,6 +255,14 @@ impl<'a> Tuner<'a> {
         collector.counter_add("tuner.configs_evaluated", stats.configs_evaluated);
         collector.counter_add("tuner.outer_candidates", stats.outer_candidates as u64);
         collector.counter_add("tuner.inter_solves", stats.milp_solves as u64);
+        collector.gauge_set("tuner.elapsed_secs", stats.elapsed_secs);
+        collector.gauge_set("tuner.intra_secs", stats.intra_secs);
+        collector.gauge_set("tuner.inter_secs", stats.inter_secs);
+        // `pool.workers` is set when a pool is constructed, which can
+        // predate the collector being enabled — refresh it here.
+        // (`pool.tasks_stolen` is published by the pool itself as steals
+        // happen, so it is not re-published.)
+        collector.gauge_set("pool.workers", intra.pool().threads() as f64);
         let mut telemetry = collector.snapshot_delta(&baseline);
         telemetry
             .counters
@@ -237,6 +280,30 @@ impl<'a> Tuner<'a> {
             .gauges
             .entry("tuner.elapsed_secs".to_owned())
             .or_insert(stats.elapsed_secs);
+        telemetry
+            .gauges
+            .entry("tuner.intra_secs".to_owned())
+            .or_insert(stats.intra_secs);
+        telemetry
+            .gauges
+            .entry("tuner.inter_secs".to_owned())
+            .or_insert(stats.inter_secs);
+        // Pool stats are scheduling-dependent (like the wall-clocks above,
+        // they vary run to run and with --threads): consumers comparing
+        // outcomes for determinism must strip them alongside the timing
+        // fields.
+        telemetry
+            .gauges
+            .entry("pool.workers".to_owned())
+            .or_insert(intra.pool().threads() as f64);
+        telemetry
+            .counters
+            .entry("pool.tasks_stolen".to_owned())
+            .or_insert(intra.pool().tasks_stolen() - pool_stolen0);
+        telemetry
+            .counters
+            .entry("pool.tasks_executed".to_owned())
+            .or_insert(intra.pool().tasks_executed() - pool_executed0);
 
         let (_, points, g) = best?;
 

@@ -24,9 +24,8 @@
 //!   counts share one batch — the frontier for every `l` falls out of a
 //!   single evaluation pass.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use mist_graph::{
     StageAnalyzer, StageCandidate, StageConfigValues, StagePoint, StageRole, StageTapes,
@@ -34,8 +33,10 @@ use mist_graph::{
 use mist_hardware::{ClusterSpec, DeviceMesh, OpCostDb};
 use mist_interference::InterferenceModel;
 use mist_models::ModelSpec;
+use mist_pool::ThreadPool;
 use mist_schedule::stage_times;
 use mist_symbolic::{BatchBindings, EvalWorkspace};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::pareto::{pareto_frontier, sample_frontier};
@@ -75,6 +76,10 @@ pub struct FrontierKey {
 type TapeKey = (DeviceMesh, u32, u32, u64, StageRole);
 
 /// Intra-stage tuner with tape and frontier caches.
+///
+/// The type is `Sync`: frontier computations fan out over the pool, so
+/// caches sit behind mutexes, shared compiled artifacts are `Arc`s, and
+/// evaluation scratch lives in a pool of per-worker workspaces.
 pub struct IntraStageTuner<'a> {
     model: &'a ModelSpec,
     cluster: &'a ClusterSpec,
@@ -83,15 +88,17 @@ pub struct IntraStageTuner<'a> {
     interference: &'a InterferenceModel,
     global_batch: u64,
     budget: f64,
-    tape_cache: RefCell<HashMap<TapeKey, Rc<StageTapes>>>,
-    frontier_cache: RefCell<HashMap<FrontierKey, Rc<Vec<Vec<ParetoPoint>>>>>,
+    pool: Arc<ThreadPool>,
+    tape_cache: Mutex<HashMap<TapeKey, Arc<StageTapes>>>,
+    frontier_cache: Mutex<HashMap<FrontierKey, Arc<Vec<Vec<ParetoPoint>>>>>,
     // Per-instance telemetry counter (not the global registry): cache-hit
     // semantics are part of this type's contract and tests compare exact
     // counts, so the count must not leak across tuner instances.
     configs_evaluated: mist_telemetry::Counter,
-    // Reused across every fused batch evaluation: register and output
-    // columns are allocated once and recycled for the whole search.
-    workspace: RefCell<EvalWorkspace>,
+    // Reused across batch evaluations: register and output columns are
+    // allocated once per concurrent evaluator and recycled for the whole
+    // search. Tasks check a workspace out, use it, and return it.
+    workspaces: Mutex<Vec<EvalWorkspace>>,
 }
 
 impl<'a> IntraStageTuner<'a> {
@@ -113,10 +120,11 @@ impl<'a> IntraStageTuner<'a> {
             interference,
             global_batch,
             budget: cluster.gpu.memory_bytes,
-            tape_cache: RefCell::new(HashMap::new()),
-            frontier_cache: RefCell::new(HashMap::new()),
+            pool: mist_pool::global(),
+            tape_cache: Mutex::new(HashMap::new()),
+            frontier_cache: Mutex::new(HashMap::new()),
             configs_evaluated: mist_telemetry::Counter::new(),
-            workspace: RefCell::new(EvalWorkspace::new()),
+            workspaces: Mutex::new(Vec::new()),
         }
     }
 
@@ -124,6 +132,27 @@ impl<'a> IntraStageTuner<'a> {
     pub fn with_budget(mut self, budget: f64) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Overrides the thread pool (defaults to the process-global one).
+    pub fn with_pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The pool frontier computations fan out on.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
+    }
+
+    /// Checks a reusable evaluation workspace out of the pool.
+    fn take_workspace(&self) -> EvalWorkspace {
+        self.workspaces.lock().pop().unwrap_or_default()
+    }
+
+    /// Returns a workspace for the next task to reuse.
+    fn put_workspace(&self, ws: EvalWorkspace) {
+        self.workspaces.lock().push(ws);
     }
 
     /// Number of configurations evaluated so far (tuning-time studies).
@@ -138,17 +167,15 @@ impl<'a> IntraStageTuner<'a> {
 
     /// Returns `frontiers[l − 1]` = sampled Pareto points for a stage of
     /// `l` layers, for `l ∈ 1..=max_layers`. Results are cached per key.
-    pub fn frontiers(&self, key: FrontierKey, max_layers: u32) -> Rc<Vec<Vec<ParetoPoint>>> {
-        if let Some(hit) = self.frontier_cache.borrow().get(&key) {
+    pub fn frontiers(&self, key: FrontierKey, max_layers: u32) -> Arc<Vec<Vec<ParetoPoint>>> {
+        if let Some(hit) = self.frontier_cache.lock().get(&key) {
             if hit.len() >= max_layers as usize {
                 mist_telemetry::counter_add("intra.frontier_cache_hits", 1);
                 return hit.clone();
             }
         }
-        let computed = Rc::new(self.compute_frontiers(key, max_layers));
-        self.frontier_cache
-            .borrow_mut()
-            .insert(key, computed.clone());
+        let computed = Arc::new(self.compute_frontiers(key, max_layers));
+        self.frontier_cache.lock().insert(key, computed.clone());
         computed
     }
 
@@ -185,16 +212,17 @@ impl<'a> IntraStageTuner<'a> {
         self.parallelism_candidates(mesh, g)
     }
 
-    fn tapes(&self, cand: &StageCandidate) -> Rc<StageTapes> {
+    fn tapes(&self, cand: &StageCandidate) -> Arc<StageTapes> {
         let key: TapeKey = (cand.mesh, cand.dp, cand.tp, cand.micro_batch, cand.role);
-        if let Some(hit) = self.tape_cache.borrow().get(&key) {
+        if let Some(hit) = self.tape_cache.lock().get(&key) {
             return hit.clone();
         }
         mist_telemetry::counter_add("intra.tape_compiles", 1);
         let analyzer = StageAnalyzer::new(self.model, self.cluster, self.db);
-        let tapes = Rc::new(analyzer.analyze(cand));
-        self.tape_cache.borrow_mut().insert(key, tapes.clone());
-        tapes
+        let tapes = Arc::new(analyzer.analyze(cand));
+        // Two tasks can race to compile the same key; the first insert
+        // wins so every caller shares one allocation (`Arc::ptr_eq`).
+        self.tape_cache.lock().entry(key).or_insert(tapes).clone()
     }
 
     /// Valid `(dp, tp, b)` candidates for a mesh under `G`.
@@ -227,18 +255,35 @@ impl<'a> IntraStageTuner<'a> {
             inflight = key.inflight,
             grad_accum = key.grad_accum
         );
-        let mut per_l: Vec<Vec<ParetoPoint>> = vec![Vec::new(); max_layers as usize];
-
-        for (dp, tp, b) in self.parallelism_candidates(key.mesh, key.grad_accum) {
-            let cand = StageCandidate {
+        let cands: Vec<StageCandidate> = self
+            .parallelism_candidates(key.mesh, key.grad_accum)
+            .into_iter()
+            .map(|(dp, tp, b)| StageCandidate {
                 mesh: key.mesh,
                 dp,
                 tp,
                 micro_batch: b,
                 role: key.role,
-            };
+            })
+            .collect();
+
+        // Fan the candidates out over the pool. Merging the per-candidate
+        // partials in submission order keeps the pareto input sequence —
+        // and therefore the sampled frontier — byte-identical to a
+        // sequential sweep at any thread count.
+        let partials = self.pool.map_ordered(cands, |cand| {
             let tapes = self.tapes(&cand);
-            self.evaluate_candidate(&cand, &tapes, key, max_layers, &mut per_l);
+            let mut ws = self.take_workspace();
+            let mut partial: Vec<Vec<ParetoPoint>> = vec![Vec::new(); max_layers as usize];
+            self.evaluate_candidate(&cand, &tapes, key, max_layers, &mut partial, &mut ws);
+            self.put_workspace(ws);
+            partial
+        });
+        let mut per_l: Vec<Vec<ParetoPoint>> = vec![Vec::new(); max_layers as usize];
+        for partial in partials {
+            for (dst, src) in per_l.iter_mut().zip(partial) {
+                dst.extend(src);
+            }
         }
 
         // Pareto-reduce and sample each layer count.
@@ -265,6 +310,7 @@ impl<'a> IntraStageTuner<'a> {
         key: FrontierKey,
         max_layers: u32,
         per_l: &mut [Vec<ParetoPoint>],
+        ws: &mut EvalWorkspace,
     ) {
         let combos = self.space.offload_combos();
         let zeros = self.space.zero_levels();
@@ -288,8 +334,6 @@ impl<'a> IntraStageTuner<'a> {
         batch.set_values("ao", rows.iter().map(|r| r.2[3]).collect());
         batch.set_scalar("inflight", key.inflight as f64);
 
-        let mut ws = self.workspace.borrow_mut();
-
         // Resolve the checkpoint count per row through the two-root
         // `mem_pair` program (peak memory only — no need to evaluate all
         // 22 roots for the feasibility probes).
@@ -299,7 +343,7 @@ impl<'a> IntraStageTuner<'a> {
             CkptMode::Tuned => {
                 let mut mem_at = |ckpt_of: &dyn Fn(u32) -> f64| -> Vec<f64> {
                     batch.set_values("ckpt", rows.iter().map(|r| ckpt_of(r.0)).collect());
-                    tapes.mem_peak_batch(&batch, &mut ws)
+                    tapes.mem_peak_batch(&batch, ws)
                 };
                 let m0 = mem_at(&|_| 0.0);
                 let m1 = mem_at(&|_| 1.0);
@@ -316,7 +360,7 @@ impl<'a> IntraStageTuner<'a> {
         // counts (cross-root CSE + register reuse in the shared
         // workspace).
         tapes
-            .eval_batch_fused(&batch, &mut ws)
+            .eval_batch_fused(&batch, ws)
             .expect("fused stage program");
 
         for (i, &(l, z, off)) in rows.iter().enumerate() {
@@ -324,7 +368,7 @@ impl<'a> IntraStageTuner<'a> {
             if ckpt.is_infinite() {
                 continue; // No feasible checkpoint count.
             }
-            let point = tapes.point_at(&ws, i);
+            let point = tapes.point_at(ws, i);
             let mem_peak = point.mem_fwd.max(point.mem_bwd);
             if mem_peak > self.budget {
                 continue; // Conservative re-check of the linear solve.
@@ -504,7 +548,7 @@ mod tests {
             evals,
             "second call must hit cache"
         );
-        assert!(Rc::ptr_eq(&f1, &f2));
+        assert!(Arc::ptr_eq(&f1, &f2));
     }
 
     #[test]

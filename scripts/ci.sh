@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Offline CI gate for the Mist workspace. Runs entirely from the repo
+# checkout — no network, no extra tools beyond the Rust toolchain and
+# python3. GitHub Actions (.github/workflows/ci.yml) invokes this same
+# script, so a local `scripts/ci.sh` run reproduces CI exactly.
+#
+# Stages:
+#   1. cargo build --release
+#   2. cargo test -q              (workspace tests, quiet)
+#   3. cargo clippy -D warnings   (whole workspace, incl. vendor)
+#   4. cargo fmt --check          (first-party packages only; rustfmt's
+#      `ignore` option is nightly-only so vendor/ is excluded by listing
+#      packages explicitly)
+#   5. golden drift: regenerate the two cheap committed result files and
+#      fail if any deterministic field changed (wall-clock-only fields
+#      are ignored; see scripts/golden_diff.py)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# First-party packages (everything except vendor/ stand-ins).
+FMT_PACKAGES=(
+    mist mist-baselines mist-bench mist-examples mist-graph mist-hardware
+    mist-integration-tests mist-interference mist-milp mist-models
+    mist-pool mist-schedule mist-sim mist-symbolic mist-telemetry
+    mist-tuner
+)
+
+echo "==> [1/5] cargo build --release"
+cargo build --release
+
+echo "==> [2/5] cargo test -q"
+cargo test -q
+
+echo "==> [3/5] cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> [4/5] cargo fmt --check (first-party packages)"
+fmt_args=()
+for p in "${FMT_PACKAGES[@]}"; do fmt_args+=(-p "$p"); done
+cargo fmt --check "${fmt_args[@]}"
+
+echo "==> [5/5] golden drift check"
+# Regenerating a golden overwrites the committed file in results/, so
+# stash the committed versions first and always restore them — the drift
+# check must leave the working tree untouched whether it passes or fails.
+GOLDENS=(fig02_motivation bench_symbolic)
+tmpdir="$(mktemp -d)"
+trap 'for g in "${GOLDENS[@]}"; do
+          if [ -f "$tmpdir/$g.json" ]; then
+              mv "$tmpdir/$g.json" "results/$g.json"
+          fi
+      done
+      rm -rf "$tmpdir"' EXIT
+
+drift=0
+for g in "${GOLDENS[@]}"; do
+    cp "results/$g.json" "$tmpdir/$g.json"
+    "target/release/$g" >/dev/null
+    if python3 scripts/golden_diff.py "$tmpdir/$g.json" "results/$g.json"; then
+        echo "    $g.json: no drift"
+    else
+        drift=1
+    fi
+done
+if [ "$drift" -ne 0 ]; then
+    echo "golden drift detected — if the change is intentional, regenerate" >&2
+    echo "the files above and commit them with the code change" >&2
+    exit 1
+fi
+
+echo "CI gate passed."

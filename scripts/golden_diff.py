@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Compare two result JSON files, ignoring wall-clock-only fields.
+
+Usage: golden_diff.py <committed.json> <regenerated.json>
+
+Exits 0 when the files agree on every deterministic field, 1 on drift
+(with a short report of the first differences). Timing fields vary run
+to run on shared hardware, so they are stripped recursively before the
+comparison; everything else — plans, configs-evaluated counts, symbolic
+program sizes, memory predictions — must match exactly.
+"""
+
+import json
+import sys
+
+# Fields whose values are wall-clock measurements (or derived from
+# them) or pool-scheduling stats. Everything else in the goldens is
+# deterministic.
+TIMING_FIELDS = {
+    "tuning_secs",
+    "elapsed_secs",
+    "intra_secs",
+    "inter_secs",
+    "tuner.elapsed_secs",
+    "tuner.intra_secs",
+    "tuner.inter_secs",
+    "pool.workers",
+    "pool.tasks_stolen",
+    "pool.tasks_executed",
+    "separate_tapes_ns_per_batch",
+    "fused_program_ns_per_batch",
+    "fused_speedup",
+    "fused_rows_per_sec",
+}
+
+
+def strip(value):
+    if isinstance(value, dict):
+        return {
+            k: strip(v) for k, v in value.items() if k not in TIMING_FIELDS
+        }
+    if isinstance(value, list):
+        return [strip(v) for v in value]
+    return value
+
+
+def diff(path, a, b, out):
+    if len(out) >= 10:
+        return
+    if type(a) is not type(b):
+        out.append(f"{path}: type {type(a).__name__} != {type(b).__name__}")
+    elif isinstance(a, dict):
+        for k in sorted(set(a) | set(b)):
+            if k not in a:
+                out.append(f"{path}.{k}: only in regenerated")
+            elif k not in b:
+                out.append(f"{path}.{k}: only in committed")
+            else:
+                diff(f"{path}.{k}", a[k], b[k], out)
+    elif isinstance(a, list):
+        if len(a) != len(b):
+            out.append(f"{path}: length {len(a)} != {len(b)}")
+        for i, (x, y) in enumerate(zip(a, b)):
+            diff(f"{path}[{i}]", x, y, out)
+    elif a != b:
+        out.append(f"{path}: {a!r} != {b!r}")
+
+
+def main():
+    committed, regenerated = sys.argv[1], sys.argv[2]
+    with open(committed) as f:
+        a = strip(json.load(f))
+    with open(regenerated) as f:
+        b = strip(json.load(f))
+    if a == b:
+        return 0
+    out = []
+    diff("$", a, b, out)
+    print(f"golden drift: {committed} vs {regenerated}", file=sys.stderr)
+    for line in out:
+        print(f"  {line}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -106,7 +106,12 @@ fn cli_tune_trace_end_to_end() {
 
     // Producer 1: the tuner phase timeline under the "mist-tuner" process.
     assert_eq!(processes.get(&0).map(String::as_str), Some("mist-tuner"));
-    for phase in ["session.calibrate", "tuner.tune", "tuner.outer", "intra.frontier"] {
+    for phase in [
+        "session.calibrate",
+        "tuner.tune",
+        "tuner.outer",
+        "intra.frontier",
+    ] {
         assert!(
             span_names.iter().any(|n| n == phase),
             "tuner timeline lacks `{phase}` spans (saw {span_names:?})"

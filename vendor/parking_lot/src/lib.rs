@@ -7,8 +7,10 @@
 //! itself has (it does not poison).
 
 use std::sync::{
-    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard,
+    RwLockWriteGuard,
 };
+use std::time::Duration;
 
 /// Reader-writer lock with non-poisoning guard accessors.
 #[derive(Debug, Default)]
@@ -57,6 +59,53 @@ impl<T> Mutex<T> {
     }
 }
 
+/// Condition variable paired with [`Mutex`].
+///
+/// API deviation from real parking_lot: because the stand-in [`Mutex`]
+/// hands out `std::sync` guards, `wait`/`wait_timeout` consume and
+/// return the guard (std style) instead of taking `&mut guard`.
+#[derive(Debug, Default)]
+pub struct Condvar(StdCondvar);
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub fn new() -> Self {
+        Condvar(StdCondvar::new())
+    }
+
+    /// Blocks until notified, releasing `guard` while waiting. Spurious
+    /// wakeups are possible; callers must re-check their predicate.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// [`Condvar::wait`] with a timeout; the `bool` is true when the wait
+    /// timed out rather than being notified.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        match self.0.wait_timeout(guard, dur) {
+            Ok((g, r)) => (g, r.timed_out()),
+            Err(e) => {
+                let (g, r) = e.into_inner();
+                (g, r.timed_out())
+            }
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +123,33 @@ mod tests {
         let m = Mutex::new(String::from("a"));
         m.lock().push('b');
         assert_eq!(&*m.lock(), "ab");
+    }
+
+    #[test]
+    fn condvar_notifies_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            *lock.lock() = true;
+            cv.notify_one();
+        });
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        while !*ready {
+            ready = cv.wait(ready);
+        }
+        t.join().unwrap();
+        assert!(*ready);
+    }
+
+    #[test]
+    fn condvar_wait_timeout_times_out() {
+        let lock = Mutex::new(());
+        let cv = Condvar::new();
+        let g = lock.lock();
+        let (_g, timed_out) = cv.wait_timeout(g, Duration::from_millis(5));
+        assert!(timed_out);
     }
 }
