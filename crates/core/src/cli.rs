@@ -9,6 +9,8 @@ use mist_telemetry::TraceBuilder;
 use crate::presets::{falcon, gpt3, llama, AttentionImpl, ModelSize, ModelSpec};
 use crate::{Baseline, MistSession, Platform, SearchSpace};
 
+use mist_irlint::{LintReport, Severity};
+
 /// The `mist-cli` help text.
 pub fn usage() -> &'static str {
     "mist-cli — memory-parallelism co-optimization for LLM training
@@ -18,6 +20,9 @@ USAGE:
                   [--space <mist|mist-fine|megatron|deepspeed|aceso|alpa|uniform>]
                   [--seq <LEN>] [--seed <N>] [--threads <N>] [--no-flash]
                   [--execute] [--trace <FILE>] [--metrics] [--json]
+    mist-cli lint-ir [--model <NAME>] [--platform <l4|a100>]
+                     [--space <mist|mist-fine|megatron|deepspeed|aceso|alpa|uniform>]
+                     [--seq <LEN>] [--no-flash] [--json]
     mist-cli models
     mist-cli spaces
     mist-cli help
@@ -44,7 +49,14 @@ OPTIONS:
                    --execute is given
     --metrics      report collected telemetry counters/gauges (a text
                    table, or a `telemetry` section with --json)
-    --json         emit machine-readable JSON instead of text"
+    --json         emit machine-readable JSON instead of text
+
+LINT-IR:
+    Statically verifies the fused symbolic stage programs with the
+    `mist-irlint` analyzer: unit consistency, interval bounds (every cost
+    root provably finite and non-negative over the search space's symbol
+    domains), and dead code. Without --model it sweeps every preset.
+    Exit code 1 if any error-severity diagnostic is found."
 }
 
 fn parse_model(name: &str, seq: u64, flash: bool) -> Result<ModelSpec, String> {
@@ -355,6 +367,171 @@ fn run_tune_inner(args: &Args, telemetry_on: bool) -> Result<(), String> {
     Ok(())
 }
 
+struct LintArgs {
+    model: Option<String>,
+    platform: Platform,
+    space: SearchSpace,
+    seq: Option<u64>,
+    flash: bool,
+    json: bool,
+}
+
+fn parse_lint_args(argv: &[String]) -> Result<LintArgs, String> {
+    let mut args = LintArgs {
+        model: None,
+        platform: Platform::GcpL4,
+        space: SearchSpace::mist(),
+        seq: None,
+        flash: true,
+        json: false,
+    };
+    let mut it = argv.iter();
+    let need = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--model" => args.model = Some(need(&mut it, "--model")?),
+            "--platform" => {
+                args.platform = match need(&mut it, "--platform")?.to_ascii_lowercase().as_str() {
+                    "l4" | "gcp" => Platform::GcpL4,
+                    "a100" | "aws" => Platform::AwsA100,
+                    other => return Err(format!("unknown platform `{other}` (l4|a100)")),
+                }
+            }
+            "--space" => args.space = parse_space(&need(&mut it, "--space")?)?,
+            "--seq" => {
+                let seq: u64 = need(&mut it, "--seq")?
+                    .parse()
+                    .map_err(|_| "--seq expects a positive integer".to_string())?;
+                if seq == 0 {
+                    return Err("--seq must be positive".into());
+                }
+                args.seq = Some(seq);
+            }
+            "--no-flash" => args.flash = false,
+            "--json" => args.json = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn lint_report_json(report: &LintReport) -> serde_json::Value {
+    let diagnostics: Vec<serde_json::Value> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            serde_json::json!({
+                "severity": d.severity.to_string(),
+                "analysis": d.analysis.to_string(),
+                "code": d.code,
+                "slot": d.slot,
+                "root": d.root,
+                "message": d.message,
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "program": report.program,
+        "errors": report.error_count(),
+        "warnings": report.warning_count(),
+        "info": report.info_count(),
+        "diagnostics": diagnostics,
+    })
+}
+
+/// Runs `lint-ir`; `Ok(true)` means no error-severity diagnostics.
+fn run_lint_ir(args: LintArgs) -> Result<bool, String> {
+    let seq = args.seq.unwrap_or(match args.platform {
+        Platform::GcpL4 => 2048,
+        Platform::AwsA100 => 4096,
+    });
+    let models: Vec<ModelSpec> = match &args.model {
+        Some(name) => vec![parse_model(name, seq, args.flash)?],
+        None => {
+            let mut all = Vec::new();
+            for family in ["gpt3", "llama", "falcon"] {
+                for size in ["1.3b", "2.6b", "6.7b", "13b", "22b", "40b"] {
+                    all.push(parse_model(&format!("{family}-{size}"), seq, args.flash)?);
+                }
+            }
+            all
+        }
+    };
+
+    let lints: Vec<crate::ModelLint> = models
+        .iter()
+        .map(|m| crate::lint_model(m, args.platform, &args.space))
+        .collect();
+    let (errors, warnings, info) = lints.iter().fold((0, 0, 0), |(e, w, i), l| {
+        (
+            e + l.error_count(),
+            w + l.warning_count(),
+            i + l.info_count(),
+        )
+    });
+
+    if args.json {
+        let models_json: Vec<serde_json::Value> = lints
+            .iter()
+            .map(|l| {
+                serde_json::json!({
+                    "model": l.model,
+                    "errors": l.error_count(),
+                    "warnings": l.warning_count(),
+                    "info": l.info_count(),
+                    "programs": l.reports.iter().map(lint_report_json)
+                        .collect::<Vec<_>>(),
+                })
+            })
+            .collect();
+        let out = serde_json::json!({
+            "space": args.space.name,
+            "errors": errors,
+            "warnings": warnings,
+            "info": info,
+            "models": models_json,
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).map_err(|e| e.to_string())?
+        );
+        return Ok(errors == 0);
+    }
+
+    println!("space:  {}  (seq {seq})", args.space.name);
+    for lint in &lints {
+        println!(
+            "{}: {} programs, {} error(s), {} warning(s), {} info",
+            lint.model,
+            lint.reports.len(),
+            lint.error_count(),
+            lint.warning_count(),
+            lint.info_count()
+        );
+        // Severity-sorted within each report already; errors and warnings
+        // are worth a line each, info stays in the counts.
+        for report in &lint.reports {
+            for d in report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity != Severity::Info)
+            {
+                println!("  {}: {d}", report.program);
+            }
+        }
+    }
+    println!(
+        "lint-ir: {} model(s), {} programs, {errors} error(s), {warnings} warning(s), {info} info",
+        lints.len(),
+        lints.iter().map(|l| l.reports.len()).sum::<usize>(),
+    );
+    Ok(errors == 0)
+}
+
 /// Runs the CLI on already-split arguments (excluding the program name)
 /// and returns the process exit code.
 pub fn run(argv: &[String]) -> u8 {
@@ -365,6 +542,14 @@ pub fn run(argv: &[String]) -> u8 {
                 if e != "infeasible" {
                     eprintln!("error: {e}\n\n{}", usage());
                 }
+                2
+            }
+        },
+        Some("lint-ir") => match parse_lint_args(&argv[1..]).and_then(run_lint_ir) {
+            Ok(true) => 0,
+            Ok(false) => 1,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", usage());
                 2
             }
         },

@@ -37,9 +37,11 @@
 //! ```
 
 pub mod cli;
+mod lint;
 mod report;
 mod session;
 
+pub use lint::{lint_model, ModelLint};
 pub use report::{AccuracyReport, AccuracySample};
 pub use session::{MistSession, SessionBuilder};
 

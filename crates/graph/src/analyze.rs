@@ -34,6 +34,7 @@
 use mist_hardware::{
     all_gather_time, all_reduce_time, p2p_time, ClusterSpec, DeviceMesh, OpCostDb, OpKind, OpQuery,
 };
+use mist_irlint::{DomainMap, SymbolDomain, Unit, UnitRegistry};
 use mist_models::ModelSpec;
 use mist_symbolic::{BatchBindings, CmpOp, Context, EvalWorkspace, Program, SymbolicError, Tape};
 use serde::{Deserialize, Serialize};
@@ -50,6 +51,83 @@ use crate::trace::{trace_embedding, trace_head, trace_layer};
 /// `inflight` — in-flight microbatches at this stage under 1F1B
 /// (`min(G, S − stage_index)`).
 pub const SYMS: [&str; 8] = ["L", "ckpt", "zero", "wo", "go", "oo", "ao", "inflight"];
+
+/// Declared units of the [`SYMS`] symbols and the stage roots, for the
+/// `mist-irlint` static analyzer.
+///
+/// The byte and second scales of the stage cost model live in *constant*
+/// coefficients (bytes per parameter, seconds per byte, ...), which the
+/// SSA IR does not annotate; the residual symbolic dimension of every
+/// root is therefore a pure count (`elements`, carried by `L` and
+/// `ckpt`). Declaring that residual still catches the regressions that
+/// matter at this layer: a raw offload ratio summed into a memory
+/// estimate, an `L²` term sneaking into a linear cost, or a guard
+/// comparing a ZeRO level against a layer count.
+pub fn stage_unit_registry() -> UnitRegistry {
+    let mut registry = UnitRegistry::new()
+        .declare_symbol("L", Unit::ELEMENTS)
+        .declare_symbol("ckpt", Unit::ELEMENTS)
+        .declare_symbol("zero", Unit::DIMENSIONLESS)
+        .declare_symbol("wo", Unit::DIMENSIONLESS)
+        .declare_symbol("go", Unit::DIMENSIONLESS)
+        .declare_symbol("oo", Unit::DIMENSIONLESS)
+        .declare_symbol("ao", Unit::DIMENSIONLESS)
+        // Microbatch counts multiply activation footprints (bytes · count),
+        // so they are declared dimensionless rather than as a second,
+        // incompatible count dimension.
+        .declare_symbol("inflight", Unit::DIMENSIONLESS);
+    for root in [
+        "mem_fwd",
+        "mem_bwd",
+        "mem_resident",
+        "mem_act_per_mb",
+        "mem_transient_fwd",
+        "mem_transient_bwd",
+        "fwd_compute",
+        "fwd_nccl",
+        "fwd_d2h",
+        "fwd_h2d",
+        "bwd_compute",
+        "bwd_nccl",
+        "bwd_d2h",
+        "bwd_h2d",
+        "first_compute",
+        "first_nccl",
+        "first_d2h",
+        "first_h2d",
+        "last_compute",
+        "last_nccl",
+        "last_d2h",
+        "last_h2d",
+    ] {
+        registry = registry.declare_root(root, Unit::ELEMENTS);
+    }
+    registry
+}
+
+/// The widest symbol domains any tuning sweep can bind for a model with
+/// `num_layers` transformer layers, including the ordering fact
+/// `ckpt <= L` (you cannot checkpoint more layers than the stage holds).
+///
+/// Restricted search spaces narrow these further (see
+/// `SearchSpace::symbol_domains` in `mist-tuner`); this default is what
+/// the debug-build lint inside [`StageAnalyzer::analyze`] verifies
+/// against, so its guarantees hold for *every* sweep.
+pub fn stage_domains(num_layers: u32) -> DomainMap {
+    let l = f64::from(num_layers.max(1));
+    DomainMap::new()
+        .declare("L", SymbolDomain::new(1.0, l, true))
+        .declare("ckpt", SymbolDomain::new(0.0, l, true))
+        .declare("zero", SymbolDomain::new(0.0, 3.0, true))
+        .declare("wo", SymbolDomain::new(0.0, 1.0, false))
+        .declare("go", SymbolDomain::new(0.0, 1.0, false))
+        .declare("oo", SymbolDomain::new(0.0, 1.0, false))
+        .declare("ao", SymbolDomain::new(0.0, 1.0, false))
+        // 1F1B keeps at most `num_stages` microbatches in flight; bound it
+        // by a generous constant so the proof covers any pipeline depth.
+        .declare("inflight", SymbolDomain::new(1.0, 4096.0, true))
+        .declare_le("ckpt", "L")
+}
 
 /// Where a stage sits in the pipeline (decides embedding/head ownership).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -556,6 +634,20 @@ impl<'a> StageAnalyzer<'a> {
         debug_assert_eq!(program.num_roots(), stage_roots::COUNT);
         let mem_pair = ctx.compile_program(&[("mem_fwd", mem_fwd), ("mem_bwd", mem_bwd)]);
 
+        // Debug/CI builds statically verify every fused program: units
+        // line up and all roots are provably finite and non-negative over
+        // the widest knob domain any sweep can bind.
+        #[cfg(debug_assertions)]
+        for (prog, label) in [(&program, "stage"), (&mem_pair, "stage.mem_pair")] {
+            let report = mist_irlint::lint_program(
+                prog,
+                &stage_unit_registry(),
+                &stage_domains(self.model.num_layers),
+                label,
+            );
+            debug_assert!(report.is_clean(), "IR lint errors in `{label}`:\n{report}");
+        }
+
         StageTapes {
             candidate: *cand,
             program,
@@ -732,6 +824,44 @@ mod tests {
             micro_batch: 1,
             role: StageRole::Only,
         })
+    }
+
+    #[test]
+    fn stage_programs_lint_clean_over_widest_domains() {
+        let (model, cluster) = setup();
+        let db = OpCostDb::new(GpuSpec::l4());
+        let analyzer = StageAnalyzer::new(&model, &cluster, &db);
+        let registry = stage_unit_registry();
+        let domains = stage_domains(model.num_layers);
+        for role in [
+            StageRole::Only,
+            StageRole::First,
+            StageRole::Middle,
+            StageRole::Last,
+        ] {
+            let t = analyzer.analyze(&StageCandidate {
+                mesh: DeviceMesh::new(1, 4),
+                dp: 2,
+                tp: 2,
+                micro_batch: 2,
+                role,
+            });
+            for (prog, label) in [(&t.program, "stage"), (&t.mem_pair, "mem_pair")] {
+                let report = mist_irlint::lint_program(prog, &registry, &domains, label);
+                assert_eq!(report.error_count(), 0, "{role:?}/{label}:\n{report}");
+                assert_eq!(report.warning_count(), 0, "{role:?}/{label}:\n{report}");
+                // Interval analysis must prove every root finite and
+                // non-negative over the whole sweep, not just error-free.
+                for rb in &report.root_bounds {
+                    assert!(rb.lo >= 0.0, "{role:?}/{label} root {}: {rb:?}", rb.label);
+                    assert!(
+                        rb.hi.is_finite(),
+                        "{role:?}/{label} root {}: {rb:?}",
+                        rb.label
+                    );
+                }
+            }
+        }
     }
 
     #[test]

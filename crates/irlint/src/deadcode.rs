@@ -1,0 +1,133 @@
+//! Dead-code and unused-symbol detection.
+//!
+//! The interpreter executes every SSA slot, so "dead" here means *the
+//! value can never influence any root over the declared domain*. Slots
+//! are marked live by a DFS from the roots; a `Select` whose guard the
+//! interval analysis proved constant contributes only its guard and the
+//! taken branch, so the untaken subtree — and any symbol read only from
+//! it — surfaces as dead. In a freshly compiled program with no constant
+//! guards everything is live by construction (programs are built by DFS
+//! from the roots), which is exactly what makes a dead-code finding a
+//! signal and not noise.
+
+use mist_symbolic::{Instr, Program};
+
+use crate::diag::{Analysis, Diagnostic, Severity};
+use crate::interval::{guard_constant, AbstractValue};
+use crate::unit::UnitRegistry;
+
+pub(crate) fn analyze(
+    program: &Program,
+    registry: &UnitRegistry,
+    values: &[AbstractValue],
+) -> Vec<Diagnostic> {
+    let n = program.len();
+    let mut live = vec![false; n];
+    let mut stack: Vec<u32> = program.root_slots().to_vec();
+    while let Some(slot) = stack.pop() {
+        let s = slot as usize;
+        if live[s] {
+            continue;
+        }
+        live[s] = true;
+        match program.instr(s) {
+            Instr::Select(c, a, b) => match guard_constant(values[c as usize]) {
+                Some(true) => stack.extend([c, a]),
+                Some(false) => stack.extend([c, b]),
+                None => stack.extend([c, a, b]),
+            },
+            other => other.for_each_operand(|op| stack.push(op)),
+        }
+    }
+
+    let mut diags = Vec::new();
+
+    // One warning per live Select whose guard cannot vary over the domain.
+    for (slot, instr) in program.instrs().enumerate() {
+        if !live[slot] {
+            continue;
+        }
+        if let Instr::Select(c, _, _) = instr {
+            if let Some(taken_then) = guard_constant(values[c as usize]) {
+                let (taken, dead) = if taken_then {
+                    ("then", "else")
+                } else {
+                    ("else", "then")
+                };
+                diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    analysis: Analysis::DeadCode,
+                    code: "dead-branch",
+                    slot: Some(slot as u32),
+                    root: None,
+                    message: format!(
+                        "select guard is constant over the domain; always takes the \
+                         {taken}-branch, {dead}-branch is dead"
+                    ),
+                });
+            }
+        }
+    }
+
+    let dead: Vec<usize> = (0..n).filter(|&s| !live[s]).collect();
+    if !dead.is_empty() {
+        let shown: Vec<String> = dead.iter().take(8).map(|s| s.to_string()).collect();
+        let ellipsis = if dead.len() > 8 { ", …" } else { "" };
+        diags.push(Diagnostic {
+            severity: Severity::Info,
+            analysis: Analysis::DeadCode,
+            code: "dead-code",
+            slot: Some(dead[0] as u32),
+            root: None,
+            message: format!(
+                "{} instruction(s) cannot influence any root over the domain \
+                 (slots {}{ellipsis})",
+                dead.len(),
+                shown.join(", ")
+            ),
+        });
+    }
+
+    // Symbols whose every read sits in dead code still demand a binding
+    // from the caller but never affect an output.
+    let table = program.symbols();
+    for (idx, name) in table.names().iter().enumerate() {
+        let mut reads = 0usize;
+        let mut live_reads = 0usize;
+        for (slot, instr) in program.instrs().enumerate() {
+            if instr == Instr::Sym(idx as u32) {
+                reads += 1;
+                if live[slot] {
+                    live_reads += 1;
+                }
+            }
+        }
+        if reads > 0 && live_reads == 0 {
+            diags.push(Diagnostic {
+                severity: Severity::Warning,
+                analysis: Analysis::DeadCode,
+                code: "unused-symbol",
+                slot: None,
+                root: None,
+                message: format!("symbol `{name}` is only read by dead code"),
+            });
+        }
+    }
+
+    // Registry declarations the program never reads: usually a stale
+    // registry, occasionally a symbol the analyzer dropped by mistake.
+    for name in registry.symbol_names() {
+        if table.index_of(name).is_none() {
+            diags.push(Diagnostic {
+                severity: Severity::Info,
+                analysis: Analysis::DeadCode,
+                code: "undeclared-read",
+                slot: None,
+                root: None,
+                message: format!("declared symbol `{name}` is not read by the program"),
+            });
+        }
+    }
+
+    diags
+}

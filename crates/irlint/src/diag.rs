@@ -1,0 +1,170 @@
+//! Diagnostics and lint reports.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// Ordered by declaration so that ascending sort puts the most serious
+/// first: `Error < Warning < Info`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The program is provably wrong over the declared domain (unit
+    /// mismatch, reachable division by zero, a root that can evaluate
+    /// negative or non-finite). CI fails on these.
+    Error,
+    /// Suspicious but not provably wrong: a root whose non-negativity
+    /// cannot be proved, a `Select` branch dead over the whole domain, a
+    /// symbol only read by dead code.
+    Warning,
+    /// Informational findings such as dead instruction counts or
+    /// registry declarations the program never reads.
+    Info,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        })
+    }
+}
+
+/// Which of the three cooperating analyses produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Analysis {
+    /// Unit/dimension inference.
+    Units,
+    /// Interval (abstract value) analysis over the symbol domains.
+    Intervals,
+    /// Dead-code and unused-symbol detection.
+    DeadCode,
+}
+
+impl fmt::Display for Analysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Analysis::Units => "units",
+            Analysis::Intervals => "intervals",
+            Analysis::DeadCode => "dead-code",
+        })
+    }
+}
+
+/// One finding of the linter, anchored to an instruction slot and the
+/// first root whose subtree reaches it (when either is known).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Which analysis produced it.
+    pub analysis: Analysis,
+    /// Stable machine-readable code, e.g. `unit-mismatch` or `div-by-zero`.
+    pub code: &'static str,
+    /// SSA slot of the offending instruction, if the finding is local.
+    pub slot: Option<u32>,
+    /// Label of the first root whose subtree contains `slot`.
+    pub root: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] ({})", self.severity, self.code, self.analysis)?;
+        if let Some(slot) = self.slot {
+            write!(f, " slot {slot}")?;
+        }
+        if let Some(root) = &self.root {
+            write!(f, " root `{root}`")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Proven bounds of one root over the declared symbol domains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RootBounds {
+    /// The root's label.
+    pub label: String,
+    /// Lower bound (`-inf` when unbounded below).
+    pub lo: f64,
+    /// Upper bound (`+inf` when unbounded above).
+    pub hi: f64,
+    /// True when evaluation may produce NaN or infinity on some point of
+    /// the domain (e.g. through a division whose denominator can be zero).
+    pub may_nonfinite: bool,
+}
+
+/// The result of linting one [`Program`](mist_symbolic::Program):
+/// severity-sorted diagnostics plus the proven bounds of every root.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Caller-supplied name of the linted program (e.g. `stage`).
+    pub program: String,
+    /// All findings, sorted most-severe first.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Interval-analysis bounds per root, in root order.
+    pub root_bounds: Vec<RootBounds>,
+}
+
+impl LintReport {
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of info-severity diagnostics.
+    pub fn info_count(&self) -> usize {
+        self.count(Severity::Info)
+    }
+
+    /// True when the report contains no error-severity diagnostics.
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "program `{}`: {} error(s), {} warning(s), {} info",
+            self.program,
+            self.error_count(),
+            self.warning_count(),
+            self.info_count()
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        for rb in &self.root_bounds {
+            writeln!(
+                f,
+                "  bounds `{}`: [{}, {}]{}",
+                rb.label,
+                rb.lo,
+                rb.hi,
+                if rb.may_nonfinite {
+                    " (may be non-finite)"
+                } else {
+                    ""
+                }
+            )?;
+        }
+        Ok(())
+    }
+}

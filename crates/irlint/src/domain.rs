@@ -1,0 +1,106 @@
+//! Symbol domains: the value ranges the tuner will sweep.
+
+use std::collections::HashMap;
+
+/// The range of values one symbol takes over a tuning sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymbolDomain {
+    /// Smallest value the symbol can be bound to.
+    pub lo: f64,
+    /// Largest value the symbol can be bound to.
+    pub hi: f64,
+    /// True when every binding is a mathematical integer (layer counts,
+    /// ZeRO levels, ...), which unlocks exact `Cmp` provability.
+    pub integral: bool,
+}
+
+impl SymbolDomain {
+    /// An inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi` or either bound is NaN — a domain that
+    /// contains no values would make every lint claim vacuous.
+    pub fn new(lo: f64, hi: f64, integral: bool) -> Self {
+        assert!(lo <= hi, "empty symbol domain [{lo}, {hi}]");
+        SymbolDomain { lo, hi, integral }
+    }
+
+    /// A single-point domain.
+    pub fn point(v: f64, integral: bool) -> Self {
+        Self::new(v, v, integral)
+    }
+}
+
+/// Domains for a program's symbols plus ordering facts between them.
+///
+/// The ordering constraints (`a <= b`) let the interval analysis prove
+/// differences non-negative where naive per-symbol intervals cannot:
+/// e.g. with `ckpt <= L` the stage expression `L - ckpt` (layers left
+/// unticked by activation checkpointing) is provably `>= 0` even though
+/// `lo(L) - hi(ckpt)` is negative.
+#[derive(Debug, Clone, Default)]
+pub struct DomainMap {
+    symbols: HashMap<String, SymbolDomain>,
+    le: Vec<(String, String)>,
+}
+
+impl DomainMap {
+    /// An empty map (every symbol is unbounded).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares the domain of `name`; returns `self` for chaining.
+    pub fn declare(mut self, name: &str, domain: SymbolDomain) -> Self {
+        self.symbols.insert(name.to_owned(), domain);
+        self
+    }
+
+    /// Declares the ordering fact `a <= b` (for all swept bindings);
+    /// returns `self` for chaining.
+    pub fn declare_le(mut self, a: &str, b: &str) -> Self {
+        self.le.push((a.to_owned(), b.to_owned()));
+        self
+    }
+
+    /// Domain of symbol `name`, if declared.
+    pub fn get(&self, name: &str) -> Option<SymbolDomain> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All declared `a <= b` ordering facts.
+    pub fn le_pairs(&self) -> &[(String, String)] {
+        &self.le
+    }
+
+    /// Names of all declared symbols, sorted.
+    pub fn symbol_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.symbols.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declares_and_reads_back() {
+        let d = DomainMap::new()
+            .declare("L", SymbolDomain::new(1.0, 96.0, true))
+            .declare("wo", SymbolDomain::new(0.0, 1.0, false))
+            .declare_le("ckpt", "L");
+        assert_eq!(d.get("L"), Some(SymbolDomain::new(1.0, 96.0, true)));
+        assert_eq!(d.get("missing"), None);
+        assert_eq!(d.le_pairs(), &[("ckpt".to_owned(), "L".to_owned())]);
+        assert_eq!(d.symbol_names(), vec!["L", "wo"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty symbol domain")]
+    fn empty_domain_panics() {
+        let _ = SymbolDomain::new(2.0, 1.0, false);
+    }
+}

@@ -1,0 +1,429 @@
+//! Interval (abstract value) analysis over the SSA stream.
+//!
+//! Each slot is mapped to an [`AbstractValue`]: an interval `[lo, hi]`
+//! guaranteed to contain every value the instruction can produce when
+//! the symbols range over their declared [`DomainMap`](crate::DomainMap)
+//! domains, plus an *integrality* bit and a *may-be-non-finite* bit.
+//!
+//! Soundness under round-to-nearest: every transfer function evaluates
+//! the same floating-point operations the interpreter runs, at interval
+//! endpoints (or 4-corner products/quotients). Because IEEE-754
+//! round-to-nearest is monotone and these operations are coordinatewise
+//! monotone, interior points cannot escape the endpoint results — no
+//! directed rounding is needed. Whenever a bound overflows to infinity
+//! the `may_nonfinite` bit is set, so "provably finite" claims survive
+//! overflow too.
+
+use mist_symbolic::{CmpOp, Instr, Program};
+
+use crate::diag::{Analysis, Diagnostic, Severity};
+use crate::domain::DomainMap;
+
+/// What the analysis knows about one slot's value over the whole domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbstractValue {
+    /// Lower bound (`-inf` when unbounded below).
+    pub lo: f64,
+    /// Upper bound (`+inf` when unbounded above).
+    pub hi: f64,
+    /// True when the value is a mathematical integer at every point of
+    /// the domain.
+    pub integral: bool,
+    /// True when evaluation may produce NaN or ±infinity somewhere in
+    /// the domain (division by zero, overflow, undeclared symbol).
+    pub may_nonfinite: bool,
+}
+
+impl AbstractValue {
+    /// The unbounded, possibly-non-finite value (top of the lattice).
+    pub fn top() -> Self {
+        AbstractValue {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+            integral: false,
+            may_nonfinite: true,
+        }
+    }
+
+    /// The abstract value of a constant.
+    pub fn constant(c: f64) -> Self {
+        AbstractValue {
+            lo: c,
+            hi: c,
+            integral: c.is_finite() && c.fract() == 0.0,
+            may_nonfinite: !c.is_finite(),
+        }
+    }
+
+    /// True when both bounds are finite and no non-finite evaluation is
+    /// possible.
+    pub fn provably_finite(&self) -> bool {
+        !self.may_nonfinite && self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    /// True when the interval contains `v` (NaN is never contained).
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    fn bounded(lo: f64, hi: f64, integral: bool, child_mnf: bool) -> Self {
+        AbstractValue {
+            lo,
+            hi,
+            integral,
+            may_nonfinite: child_mnf || !(lo.is_finite() && hi.is_finite()),
+        }
+    }
+}
+
+/// Per-slot abstract values plus the diagnostics found along the way.
+pub(crate) struct IntervalOutcome {
+    pub values: Vec<AbstractValue>,
+    pub diags: Vec<Diagnostic>,
+}
+
+/// A `coeff * symbol` term inside an `Add`, for ordering refinement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LinearTerm {
+    coeff: f64,
+    sym: u32,
+}
+
+pub(crate) fn analyze(program: &Program, domains: &DomainMap) -> IntervalOutcome {
+    let table = program.symbols();
+    let mut diags = Vec::new();
+    let sym_values: Vec<AbstractValue> = table
+        .names()
+        .iter()
+        .map(|name| match domains.get(name) {
+            Some(d) => AbstractValue::bounded(d.lo, d.hi, d.integral, false),
+            None => {
+                diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    analysis: Analysis::Intervals,
+                    code: "no-domain",
+                    slot: None,
+                    root: None,
+                    message: format!("symbol `{name}` has no declared domain; assuming unbounded"),
+                });
+                AbstractValue::top()
+            }
+        })
+        .collect();
+    // Ordering facts resolved to symbol-table indices: (a, b) means a <= b.
+    let le: Vec<(u32, u32)> = domains
+        .le_pairs()
+        .iter()
+        .filter_map(|(a, b)| Some((table.index_of(a)? as u32, table.index_of(b)? as u32)))
+        .collect();
+
+    let mut values: Vec<AbstractValue> = Vec::with_capacity(program.len());
+    for (slot, instr) in program.instrs().enumerate() {
+        let v = match instr {
+            Instr::Const(c) => AbstractValue::constant(c),
+            Instr::Sym(i) => sym_values[i as usize],
+            Instr::Add(ops) => transfer_add(program, ops, &values, &sym_values, &le),
+            Instr::Mul(ops) => ops
+                .iter()
+                .map(|&op| values[op as usize])
+                .reduce(mul_pair)
+                .unwrap_or(AbstractValue::constant(1.0)),
+            Instr::Min(ops) => fold_minmax(ops, &values, f64::min),
+            Instr::Max(ops) => fold_minmax(ops, &values, f64::max),
+            Instr::Div(a, b) => {
+                transfer_div(values[a as usize], values[b as usize], slot, &mut diags)
+            }
+            Instr::Floor(a) => {
+                let x = values[a as usize];
+                AbstractValue::bounded(x.lo.floor(), x.hi.floor(), true, x.may_nonfinite)
+            }
+            Instr::Ceil(a) => {
+                let x = values[a as usize];
+                AbstractValue::bounded(x.lo.ceil(), x.hi.ceil(), true, x.may_nonfinite)
+            }
+            Instr::Cmp(op, a, b) => transfer_cmp(
+                program,
+                op,
+                a,
+                b,
+                values[a as usize],
+                values[b as usize],
+                &le,
+            ),
+            Instr::Select(c, a, b) => {
+                let (cv, av, bv) = (values[c as usize], values[a as usize], values[b as usize]);
+                match guard_constant(cv) {
+                    Some(true) => av,
+                    Some(false) => bv,
+                    None => AbstractValue {
+                        lo: av.lo.min(bv.lo),
+                        hi: av.hi.max(bv.hi),
+                        integral: av.integral && bv.integral,
+                        may_nonfinite: av.may_nonfinite || bv.may_nonfinite,
+                    },
+                }
+            }
+        };
+        values.push(v);
+    }
+
+    IntervalOutcome { values, diags }
+}
+
+/// `Some(taken_then)` when the guard is provably constant over the domain.
+pub(crate) fn guard_constant(cv: AbstractValue) -> Option<bool> {
+    if cv.may_nonfinite {
+        return None;
+    }
+    if cv.lo > 0.0 || cv.hi < 0.0 {
+        Some(true) // never zero: `Select` always takes the then-branch
+    } else if cv.lo == 0.0 && cv.hi == 0.0 {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// A product of interval endpoints, with `0 * inf` resolved to `0`: a
+/// zero *endpoint* that is attained means the product is exactly zero,
+/// and an infinite endpoint is a bound, not an attained value.
+fn corner_mul(a: f64, b: f64) -> f64 {
+    if a == 0.0 || b == 0.0 {
+        0.0
+    } else {
+        a * b
+    }
+}
+
+fn mul_pair(x: AbstractValue, y: AbstractValue) -> AbstractValue {
+    let corners = [
+        corner_mul(x.lo, y.lo),
+        corner_mul(x.lo, y.hi),
+        corner_mul(x.hi, y.lo),
+        corner_mul(x.hi, y.hi),
+    ];
+    let lo = corners.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = corners.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    AbstractValue::bounded(
+        lo,
+        hi,
+        x.integral && y.integral,
+        x.may_nonfinite || y.may_nonfinite,
+    )
+}
+
+fn fold_minmax(ops: &[u32], values: &[AbstractValue], pick: fn(f64, f64) -> f64) -> AbstractValue {
+    let mut it = ops.iter().map(|&op| values[op as usize]);
+    let first = it.next().expect("min/max has at least one operand");
+    it.fold(first, |acc, x| AbstractValue {
+        lo: pick(acc.lo, x.lo),
+        hi: pick(acc.hi, x.hi),
+        integral: acc.integral && x.integral,
+        may_nonfinite: acc.may_nonfinite || x.may_nonfinite,
+    })
+}
+
+fn transfer_div(
+    num: AbstractValue,
+    den: AbstractValue,
+    slot: usize,
+    diags: &mut Vec<Diagnostic>,
+) -> AbstractValue {
+    if den.lo <= 0.0 && den.hi >= 0.0 {
+        let nan_note = if num.lo <= 0.0 && num.hi >= 0.0 {
+            " (0/0 would be NaN)"
+        } else {
+            ""
+        };
+        diags.push(Diagnostic {
+            severity: Severity::Error,
+            analysis: Analysis::Intervals,
+            code: "div-by-zero",
+            slot: Some(slot as u32),
+            root: None,
+            message: format!(
+                "denominator range [{}, {}] contains zero{nan_note}",
+                den.lo, den.hi
+            ),
+        });
+        return AbstractValue::top();
+    }
+    let corners = [
+        num.lo / den.lo,
+        num.lo / den.hi,
+        num.hi / den.lo,
+        num.hi / den.hi,
+    ];
+    let lo = corners.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = corners.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    AbstractValue::bounded(lo, hi, false, num.may_nonfinite || den.may_nonfinite)
+}
+
+fn transfer_cmp(
+    program: &Program,
+    op: CmpOp,
+    a_slot: u32,
+    b_slot: u32,
+    a: AbstractValue,
+    b: AbstractValue,
+    le: &[(u32, u32)],
+) -> AbstractValue {
+    let bool_interval = |lo: f64, hi: f64| AbstractValue {
+        lo,
+        hi,
+        integral: true,
+        may_nonfinite: false,
+    };
+    // Ordering facts between raw symbols can decide a comparison even
+    // when the per-symbol intervals overlap.
+    let (a_le_b_known, b_le_a_known) = match (
+        program.instr(a_slot as usize),
+        program.instr(b_slot as usize),
+    ) {
+        (Instr::Sym(sa), Instr::Sym(sb)) => (le.contains(&(sa, sb)), le.contains(&(sb, sa))),
+        _ => (false, false),
+    };
+    let sound = !a.may_nonfinite && !b.may_nonfinite;
+    let decided = match op {
+        CmpOp::Le => {
+            if (sound && a.hi <= b.lo) || a_le_b_known {
+                Some(true)
+            } else if sound && a.lo > b.hi {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        CmpOp::Lt => {
+            if sound && a.hi < b.lo {
+                Some(true)
+            } else if (sound && a.lo >= b.hi) || b_le_a_known {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        CmpOp::Ge => {
+            if (sound && a.lo >= b.hi) || b_le_a_known {
+                Some(true)
+            } else if sound && a.hi < b.lo {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        CmpOp::Gt => {
+            if sound && a.lo > b.hi {
+                Some(true)
+            } else if (sound && a.hi <= b.lo) || a_le_b_known {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        CmpOp::Eq => {
+            if sound && a.lo == a.hi && b.lo == b.hi && a.lo == b.lo {
+                Some(true)
+            } else if sound && (a.hi < b.lo || b.hi < a.lo) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+    };
+    match decided {
+        Some(true) => bool_interval(1.0, 1.0),
+        Some(false) => bool_interval(0.0, 0.0),
+        None => bool_interval(0.0, 1.0),
+    }
+}
+
+/// N-ary sum with ordering-constraint refinement of the lower bound.
+///
+/// The naive bound folds endpoint sums in operand order (sound under
+/// monotone rounding). On top of that, operand pairs of the shape
+/// `c*x + (-c)*y` with a declared fact `y <= x` and `c > 0` are known to
+/// contribute at least `c * max(0, lo(x) - hi(y))`, which is what proves
+/// stage expressions like `L - ckpt` non-negative.
+fn transfer_add(
+    program: &Program,
+    ops: &[u32],
+    values: &[AbstractValue],
+    sym_values: &[AbstractValue],
+    le: &[(u32, u32)],
+) -> AbstractValue {
+    let mut lo = 0.0f64;
+    let mut hi = 0.0f64;
+    let mut integral = true;
+    let mut mnf = false;
+    for &op in ops {
+        let v = values[op as usize];
+        lo += v.lo;
+        hi += v.hi;
+        integral &= v.integral;
+        mnf |= v.may_nonfinite;
+    }
+
+    if !le.is_empty() && ops.len() >= 2 {
+        let terms: Vec<Option<LinearTerm>> =
+            ops.iter().map(|&op| linear_term(program, op)).collect();
+        let mut used = vec![false; ops.len()];
+        let mut refined = 0.0f64;
+        let mut any_pair = false;
+        for i in 0..ops.len() {
+            if used[i] {
+                continue;
+            }
+            let Some(ti) = terms[i] else { continue };
+            if !ti.coeff.is_finite() || ti.coeff <= 0.0 {
+                continue;
+            }
+            for j in 0..ops.len() {
+                if i == j || used[j] {
+                    continue;
+                }
+                let Some(tj) = terms[j] else { continue };
+                // Pair `c*x + (-c)*y` with the fact `y <= x`.
+                if tj.coeff == -ti.coeff && le.contains(&(tj.sym, ti.sym)) {
+                    let x = sym_values[ti.sym as usize];
+                    let y = sym_values[tj.sym as usize];
+                    refined += ti.coeff * (x.lo - y.hi).max(0.0);
+                    used[i] = true;
+                    used[j] = true;
+                    any_pair = true;
+                    break;
+                }
+            }
+        }
+        if any_pair {
+            for (i, &op) in ops.iter().enumerate() {
+                if !used[i] {
+                    refined += values[op as usize].lo;
+                }
+            }
+            lo = lo.max(refined);
+        }
+    }
+
+    AbstractValue::bounded(lo, hi, integral, mnf)
+}
+
+/// Recognizes an `Add` operand as `coeff * symbol`: a bare `Sym`, or a
+/// two-operand `Mul` of a `Sym` and a `Const`.
+fn linear_term(program: &Program, slot: u32) -> Option<LinearTerm> {
+    match program.instr(slot as usize) {
+        Instr::Sym(s) => Some(LinearTerm { coeff: 1.0, sym: s }),
+        Instr::Mul(ops) if ops.len() == 2 => {
+            match (
+                program.instr(ops[0] as usize),
+                program.instr(ops[1] as usize),
+            ) {
+                (Instr::Sym(s), Instr::Const(c)) | (Instr::Const(c), Instr::Sym(s)) => {
+                    Some(LinearTerm { coeff: c, sym: s })
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}

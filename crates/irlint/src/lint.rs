@@ -1,0 +1,137 @@
+//! The lint driver: runs the three analyses and assembles the report.
+
+use mist_symbolic::{Instr, Program};
+
+use crate::deadcode;
+use crate::diag::{Analysis, Diagnostic, LintReport, RootBounds, Severity};
+use crate::domain::DomainMap;
+use crate::interval;
+use crate::unit::{self, UnitRegistry};
+
+/// Lints `program` against declared units and symbol domains.
+///
+/// Runs interval analysis first (unit inference consumes its
+/// integrality facts for `==`, dead-code detection its constant-guard
+/// facts), checks every root for provable finiteness and
+/// non-negativity, anchors each local diagnostic to the first root
+/// whose subtree reaches it, and emits `irlint.*` telemetry. `label`
+/// names the program in the report (e.g. `stage`).
+pub fn lint_program(
+    program: &Program,
+    registry: &UnitRegistry,
+    domains: &DomainMap,
+    label: &str,
+) -> LintReport {
+    let interval::IntervalOutcome {
+        values,
+        diags: interval_diags,
+    } = interval::analyze(program, domains);
+    let (_units, mut diags) = unit::analyze(program, registry, &values);
+    diags.extend(interval_diags);
+    diags.extend(deadcode::analyze(program, registry, &values));
+
+    let mut root_bounds = Vec::with_capacity(program.num_roots());
+    for (i, root_label) in program.root_labels().iter().enumerate() {
+        let slot = program.root_slots()[i];
+        let v = values[slot as usize];
+        root_bounds.push(RootBounds {
+            label: root_label.clone(),
+            lo: v.lo,
+            hi: v.hi,
+            may_nonfinite: v.may_nonfinite,
+        });
+        if !v.provably_finite() {
+            diags.push(Diagnostic {
+                severity: Severity::Error,
+                analysis: Analysis::Intervals,
+                code: "root-nonfinite",
+                slot: Some(slot),
+                root: Some(root_label.clone()),
+                message: format!(
+                    "root `{root_label}` is not provably finite over the domain \
+                     (bounds [{}, {}])",
+                    v.lo, v.hi
+                ),
+            });
+        } else if v.hi < 0.0 {
+            diags.push(Diagnostic {
+                severity: Severity::Error,
+                analysis: Analysis::Intervals,
+                code: "root-negative",
+                slot: Some(slot),
+                root: Some(root_label.clone()),
+                message: format!(
+                    "root `{root_label}` is provably negative (bounds [{}, {}])",
+                    v.lo, v.hi
+                ),
+            });
+        } else if v.lo < 0.0 {
+            diags.push(Diagnostic {
+                severity: Severity::Warning,
+                analysis: Analysis::Intervals,
+                code: "root-maybe-negative",
+                slot: Some(slot),
+                root: Some(root_label.clone()),
+                message: format!(
+                    "cannot prove root `{root_label}` non-negative (bounds [{}, {}])",
+                    v.lo, v.hi
+                ),
+            });
+        }
+    }
+
+    let anchors = root_anchors(program);
+    for d in &mut diags {
+        if d.root.is_none() {
+            if let Some(slot) = d.slot {
+                if let Some(root_idx) = anchors[slot as usize] {
+                    d.root = Some(program.root_labels()[root_idx as usize].clone());
+                }
+            }
+        }
+    }
+
+    diags.sort_by(|a, b| {
+        (a.severity, a.analysis, a.slot, a.code).cmp(&(b.severity, b.analysis, b.slot, b.code))
+    });
+
+    mist_telemetry::counter_add("irlint.programs", 1);
+    let report = LintReport {
+        program: label.to_owned(),
+        diagnostics: diags,
+        root_bounds,
+    };
+    mist_telemetry::counter_add("irlint.diags.error", report.error_count() as u64);
+    mist_telemetry::counter_add("irlint.diags.warning", report.warning_count() as u64);
+    mist_telemetry::counter_add("irlint.diags.info", report.info_count() as u64);
+    for rb in &report.root_bounds {
+        if rb.hi.is_finite() {
+            mist_telemetry::gauge_max(&format!("irlint.root_hi.{}", rb.label), rb.hi);
+        }
+    }
+    report
+}
+
+/// For each slot, the index of the first root whose subtree contains it.
+///
+/// Anchoring is structural (no constant-guard pruning): a diagnostic on
+/// a dead branch should still point at the root that owns the `Select`.
+fn root_anchors(program: &Program) -> Vec<Option<u32>> {
+    let mut anchor: Vec<Option<u32>> = vec![None; program.len()];
+    let mut stack: Vec<u32> = Vec::new();
+    for (root_idx, &root_slot) in program.root_slots().iter().enumerate() {
+        stack.push(root_slot);
+        while let Some(slot) = stack.pop() {
+            let s = slot as usize;
+            if anchor[s].is_some() {
+                continue;
+            }
+            anchor[s] = Some(root_idx as u32);
+            match program.instr(s) {
+                Instr::Select(c, a, b) => stack.extend([c, a, b]),
+                other => other.for_each_operand(|op| stack.push(op)),
+            }
+        }
+    }
+    anchor
+}

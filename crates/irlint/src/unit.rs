@@ -1,0 +1,357 @@
+//! Unit/dimension inference over the SSA stream.
+//!
+//! The unit lattice is deliberately small: a unit is either [`Unit::Any`]
+//! — the polymorphic unknown that every constant carries and that
+//! unifies with everything — or a vector of integer exponents over the
+//! three base dimensions Mist's cost models use (**bytes**, **seconds**,
+//! **elements**). "Dimensionless" is the all-zero exponent vector, which
+//! is *concrete*: it unifies only with itself and `Any`.
+//!
+//! Transfer functions per opcode:
+//!
+//! * `Add`/`Min`/`Max` unify all operands (mismatch → error);
+//! * `Mul`/`Div` compose exponents, treating `Any` as dimensionless
+//!   unless *every* operand is `Any`;
+//! * `Floor`/`Ceil` pass the operand unit through;
+//! * `Cmp` requires unifiable operands and yields dimensionless;
+//!   `CmpOp::Eq` additionally requires both operands to be provably
+//!   integral over the domain (per the documented `Node::Cmp` invariant),
+//!   which is checked against the interval analysis results;
+//! * `Select` unifies its two branches (the guard may have any unit).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mist_symbolic::{CmpOp, Instr, Program};
+
+use crate::diag::{Analysis, Diagnostic, Severity};
+use crate::interval::AbstractValue;
+
+/// Exponents over the base dimensions `[bytes, seconds, elements]`.
+pub type DimExponents = [i8; 3];
+
+/// A unit in the inference lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unit {
+    /// Polymorphic unknown: unifies with every unit. All constants are
+    /// `Any`, as are symbols without a registry declaration.
+    Any,
+    /// A concrete dimension vector; all-zero means dimensionless.
+    Dim(DimExponents),
+}
+
+impl Unit {
+    /// The `bytes` base unit.
+    pub const BYTES: Unit = Unit::Dim([1, 0, 0]);
+    /// The `seconds` base unit.
+    pub const SECONDS: Unit = Unit::Dim([0, 1, 0]);
+    /// The `elements` base unit (counts: layers, micro-batches, ...).
+    pub const ELEMENTS: Unit = Unit::Dim([0, 0, 1]);
+    /// The concrete dimensionless unit (ratios, levels, flags).
+    pub const DIMENSIONLESS: Unit = Unit::Dim([0, 0, 0]);
+
+    /// Unifies two units: `Any` yields the other side, equal dimension
+    /// vectors yield themselves, and concrete mismatches yield `None`.
+    pub fn unify(self, other: Unit) -> Option<Unit> {
+        match (self, other) {
+            (Unit::Any, u) | (u, Unit::Any) => Some(u),
+            (Unit::Dim(a), Unit::Dim(b)) if a == b => Some(Unit::Dim(a)),
+            _ => None,
+        }
+    }
+
+    /// Unit of a product. `Any` operands act as dimensionless unless both
+    /// sides are `Any`.
+    pub fn multiply(self, other: Unit) -> Unit {
+        match (self, other) {
+            (Unit::Any, Unit::Any) => Unit::Any,
+            (Unit::Any, Unit::Dim(d)) | (Unit::Dim(d), Unit::Any) => Unit::Dim(d),
+            (Unit::Dim(a), Unit::Dim(b)) => Unit::Dim([
+                a[0].saturating_add(b[0]),
+                a[1].saturating_add(b[1]),
+                a[2].saturating_add(b[2]),
+            ]),
+        }
+    }
+
+    /// Unit of a quotient. `Any` operands act as dimensionless unless
+    /// both sides are `Any`.
+    pub fn divide(self, other: Unit) -> Unit {
+        let neg = match other {
+            Unit::Any => Unit::Any,
+            Unit::Dim(b) => Unit::Dim([
+                0i8.saturating_sub(b[0]),
+                0i8.saturating_sub(b[1]),
+                0i8.saturating_sub(b[2]),
+            ]),
+        };
+        self.multiply(neg)
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = match self {
+            Unit::Any => return f.write_str("any"),
+            Unit::Dim(d) => d,
+        };
+        match *d {
+            [0, 0, 0] => f.write_str("dimensionless"),
+            [1, 0, 0] => f.write_str("bytes"),
+            [0, 1, 0] => f.write_str("seconds"),
+            [0, 0, 1] => f.write_str("elements"),
+            _ => {
+                let mut first = true;
+                for (name, e) in [("bytes", d[0]), ("seconds", d[1]), ("elements", d[2])] {
+                    if e == 0 {
+                        continue;
+                    }
+                    if !first {
+                        f.write_str("·")?;
+                    }
+                    first = false;
+                    if e == 1 {
+                        f.write_str(name)?;
+                    } else {
+                        write!(f, "{name}^{e}")?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Declared units for a program's symbols and roots.
+///
+/// Populated by whoever compiled the program — for the stage cost models
+/// that is `StageAnalyzer` (`mist-graph`), which knows that `mem_*` roots
+/// are bytes, `*_compute` roots are seconds, and so on.
+#[derive(Debug, Clone, Default)]
+pub struct UnitRegistry {
+    symbols: HashMap<String, Unit>,
+    roots: HashMap<String, Unit>,
+}
+
+impl UnitRegistry {
+    /// An empty registry (every symbol and root is `Any`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares the unit of a symbol; returns `self` for chaining.
+    pub fn declare_symbol(mut self, name: &str, unit: Unit) -> Self {
+        self.symbols.insert(name.to_owned(), unit);
+        self
+    }
+
+    /// Declares the unit a root must have; returns `self` for chaining.
+    pub fn declare_root(mut self, name: &str, unit: Unit) -> Self {
+        self.roots.insert(name.to_owned(), unit);
+        self
+    }
+
+    /// Declared unit of symbol `name`, if any.
+    pub fn symbol(&self, name: &str) -> Option<Unit> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Declared unit of root `name`, if any.
+    pub fn root(&self, name: &str) -> Option<Unit> {
+        self.roots.get(name).copied()
+    }
+
+    /// Names of all declared symbols, sorted.
+    pub fn symbol_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.symbols.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Runs unit inference; returns the per-slot units and diagnostics.
+pub(crate) fn analyze(
+    program: &Program,
+    registry: &UnitRegistry,
+    values: &[AbstractValue],
+) -> (Vec<Unit>, Vec<Diagnostic>) {
+    let table = program.symbols();
+    let mut diags = Vec::new();
+    let sym_units: Vec<Unit> = table
+        .names()
+        .iter()
+        .map(|name| match registry.symbol(name) {
+            Some(u) => u,
+            None => {
+                diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    analysis: Analysis::Units,
+                    code: "no-unit",
+                    slot: None,
+                    root: None,
+                    message: format!("symbol `{name}` has no declared unit"),
+                });
+                Unit::Any
+            }
+        })
+        .collect();
+
+    let mut units: Vec<Unit> = Vec::with_capacity(program.len());
+    for (slot, instr) in program.instrs().enumerate() {
+        let u = match instr {
+            Instr::Const(_) => Unit::Any,
+            Instr::Sym(i) => sym_units[i as usize],
+            Instr::Add(ops) | Instr::Min(ops) | Instr::Max(ops) => {
+                let name = match instr {
+                    Instr::Add(_) => "add",
+                    Instr::Min(_) => "min",
+                    _ => "max",
+                };
+                unify_operands(name, ops, &units, slot, &mut diags)
+            }
+            Instr::Mul(ops) => ops
+                .iter()
+                .fold(Unit::Any, |acc, &op| acc.multiply(units[op as usize])),
+            Instr::Div(a, b) => units[a as usize].divide(units[b as usize]),
+            Instr::Floor(a) | Instr::Ceil(a) => units[a as usize],
+            Instr::Cmp(op, a, b) => {
+                let (ua, ub) = (units[a as usize], units[b as usize]);
+                if ua.unify(ub).is_none() {
+                    diags.push(Diagnostic {
+                        severity: Severity::Error,
+                        analysis: Analysis::Units,
+                        code: "unit-mismatch",
+                        slot: Some(slot as u32),
+                        root: None,
+                        message: format!("cmp compares `{ua}` with `{ub}`"),
+                    });
+                }
+                if op == CmpOp::Eq {
+                    let (va, vb) = (&values[a as usize], &values[b as usize]);
+                    if !(va.integral && vb.integral) {
+                        diags.push(Diagnostic {
+                            severity: Severity::Error,
+                            analysis: Analysis::Units,
+                            code: "eq-nonintegral",
+                            slot: Some(slot as u32),
+                            root: None,
+                            message: "`==` on operands not provably integral over the domain \
+                                      (exact float equality is unreliable)"
+                                .to_owned(),
+                        });
+                    }
+                }
+                Unit::DIMENSIONLESS
+            }
+            Instr::Select(_, a, b) => {
+                let (ua, ub) = (units[a as usize], units[b as usize]);
+                match ua.unify(ub) {
+                    Some(u) => u,
+                    None => {
+                        diags.push(Diagnostic {
+                            severity: Severity::Error,
+                            analysis: Analysis::Units,
+                            code: "unit-mismatch",
+                            slot: Some(slot as u32),
+                            root: None,
+                            message: format!("select branches have units `{ua}` and `{ub}`"),
+                        });
+                        Unit::Any
+                    }
+                }
+            }
+        };
+        units.push(u);
+    }
+
+    for (i, label) in program.root_labels().iter().enumerate() {
+        let Some(declared) = registry.root(label) else {
+            diags.push(Diagnostic {
+                severity: Severity::Info,
+                analysis: Analysis::Units,
+                code: "no-root-unit",
+                slot: None,
+                root: Some(label.clone()),
+                message: format!("root `{label}` has no declared unit"),
+            });
+            continue;
+        };
+        let slot = program.root_slots()[i];
+        let inferred = units[slot as usize];
+        if inferred.unify(declared).is_none() {
+            diags.push(Diagnostic {
+                severity: Severity::Error,
+                analysis: Analysis::Units,
+                code: "root-unit-mismatch",
+                slot: Some(slot),
+                root: Some(label.clone()),
+                message: format!("root `{label}` has unit `{inferred}`, declared `{declared}`"),
+            });
+        }
+    }
+
+    (units, diags)
+}
+
+fn unify_operands(
+    op_name: &str,
+    ops: &[u32],
+    units: &[Unit],
+    slot: usize,
+    diags: &mut Vec<Diagnostic>,
+) -> Unit {
+    let mut acc = Unit::Any;
+    for &op in ops {
+        let u = units[op as usize];
+        match acc.unify(u) {
+            Some(v) => acc = v,
+            None => {
+                diags.push(Diagnostic {
+                    severity: Severity::Error,
+                    analysis: Analysis::Units,
+                    code: "unit-mismatch",
+                    slot: Some(slot as u32),
+                    root: None,
+                    message: format!("{op_name} mixes `{acc}` and `{u}`"),
+                });
+                return Unit::Any;
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unify_and_compose() {
+        assert_eq!(Unit::Any.unify(Unit::BYTES), Some(Unit::BYTES));
+        assert_eq!(Unit::BYTES.unify(Unit::BYTES), Some(Unit::BYTES));
+        assert_eq!(Unit::BYTES.unify(Unit::SECONDS), None);
+        assert_eq!(Unit::DIMENSIONLESS.unify(Unit::BYTES), None);
+
+        // bytes / seconds * seconds == bytes
+        let rate = Unit::BYTES.divide(Unit::SECONDS);
+        assert_eq!(rate, Unit::Dim([1, -1, 0]));
+        assert_eq!(rate.multiply(Unit::SECONDS), Unit::BYTES);
+        // constants (Any) are transparent in products
+        assert_eq!(Unit::Any.multiply(Unit::BYTES), Unit::BYTES);
+        assert_eq!(Unit::Any.multiply(Unit::Any), Unit::Any);
+        assert_eq!(Unit::Any.divide(Unit::SECONDS), Unit::Dim([0, -1, 0]));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Unit::BYTES.to_string(), "bytes");
+        assert_eq!(Unit::SECONDS.to_string(), "seconds");
+        assert_eq!(Unit::ELEMENTS.to_string(), "elements");
+        assert_eq!(Unit::DIMENSIONLESS.to_string(), "dimensionless");
+        assert_eq!(Unit::Any.to_string(), "any");
+        assert_eq!(
+            Unit::BYTES.divide(Unit::SECONDS).to_string(),
+            "bytes·seconds^-1"
+        );
+    }
+}

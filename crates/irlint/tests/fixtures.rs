@@ -1,0 +1,260 @@
+//! Seeded defect fixtures: each of the three analyses must demonstrably
+//! catch a planted bug, and must stay silent on the corrected program.
+
+use mist_irlint::{lint_program, DomainMap, Severity, SymbolDomain, Unit, UnitRegistry};
+use mist_symbolic::{CmpOp, Context};
+
+fn has(report: &mist_irlint::LintReport, code: &str) -> bool {
+    report.diagnostics.iter().any(|d| d.code == code)
+}
+
+#[test]
+fn unit_inference_catches_bytes_plus_seconds() {
+    let ctx = Context::new();
+    let mem = ctx.symbol("mem");
+    let time = ctx.symbol("time");
+    // Planted bug: adds a memory footprint to a latency.
+    let program = ctx.compile_program(&[("total", mem + time)]);
+
+    let registry = UnitRegistry::new()
+        .declare_symbol("mem", Unit::BYTES)
+        .declare_symbol("time", Unit::SECONDS)
+        .declare_root("total", Unit::BYTES);
+    let domains = DomainMap::new()
+        .declare("mem", SymbolDomain::new(0.0, 1e12, true))
+        .declare("time", SymbolDomain::new(0.0, 100.0, false));
+
+    let report = lint_program(&program, &registry, &domains, "fixture");
+    assert!(!report.is_clean());
+    assert!(has(&report, "unit-mismatch"), "{report}");
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "unit-mismatch")
+        .unwrap();
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.root.as_deref(), Some("total"), "anchored to its root");
+
+    // Corrected program: scale seconds by a bytes/second bandwidth.
+    let bw = ctx.symbol("bw");
+    let fixed = ctx.compile_program(&[("total", mem + time * bw)]);
+    let registry = registry.declare_symbol("bw", Unit::BYTES.divide(Unit::SECONDS));
+    let domains = domains.declare("bw", SymbolDomain::new(1.0, 1e12, false));
+    let report = lint_program(&fixed, &registry, &domains, "fixture");
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn unit_inference_catches_root_declaration_mismatch() {
+    let ctx = Context::new();
+    let time = ctx.symbol("time");
+    let program = ctx.compile_program(&[("mem_peak", time * 2.0)]);
+    let registry = UnitRegistry::new()
+        .declare_symbol("time", Unit::SECONDS)
+        .declare_root("mem_peak", Unit::BYTES);
+    let domains = DomainMap::new().declare("time", SymbolDomain::new(0.0, 10.0, false));
+    let report = lint_program(&program, &registry, &domains, "fixture");
+    assert!(has(&report, "root-unit-mismatch"), "{report}");
+}
+
+#[test]
+fn unit_inference_catches_eq_on_nonintegral_operands() {
+    let ctx = Context::new();
+    let ratio = ctx.symbol("ratio");
+    let cond = ctx.cmp(CmpOp::Eq, ratio, ctx.constant(0.5));
+    let program = ctx.compile_program(&[(
+        "flag",
+        ctx.select(cond, ctx.constant(1.0), ctx.constant(0.0)),
+    )]);
+    let registry = UnitRegistry::new()
+        .declare_symbol("ratio", Unit::DIMENSIONLESS)
+        .declare_root("flag", Unit::DIMENSIONLESS);
+    let domains = DomainMap::new().declare("ratio", SymbolDomain::new(0.0, 1.0, false));
+    let report = lint_program(&program, &registry, &domains, "fixture");
+    assert!(has(&report, "eq-nonintegral"), "{report}");
+
+    // Integral operands satisfy the documented `Eq` invariant.
+    let level = ctx.symbol("level");
+    let cond = ctx.cmp(CmpOp::Eq, level, ctx.constant(2.0));
+    let ok = ctx.compile_program(&[(
+        "flag",
+        ctx.select(cond, ctx.constant(1.0), ctx.constant(0.0)),
+    )]);
+    let registry = UnitRegistry::new()
+        .declare_symbol("level", Unit::DIMENSIONLESS)
+        .declare_root("flag", Unit::DIMENSIONLESS);
+    let domains = DomainMap::new().declare("level", SymbolDomain::new(0.0, 3.0, true));
+    let report = lint_program(&ok, &registry, &domains, "fixture");
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn interval_analysis_catches_division_by_zero_in_domain() {
+    let ctx = Context::new();
+    let work = ctx.symbol("work");
+    let workers = ctx.symbol("workers");
+    let program = ctx.compile_program(&[("per_worker", work / workers)]);
+    let registry = UnitRegistry::new()
+        .declare_symbol("work", Unit::ELEMENTS)
+        .declare_symbol("workers", Unit::ELEMENTS)
+        .declare_root("per_worker", Unit::DIMENSIONLESS);
+    // Planted bug: the sweep includes workers = 0.
+    let bad = DomainMap::new()
+        .declare("work", SymbolDomain::new(0.0, 1e6, true))
+        .declare("workers", SymbolDomain::new(0.0, 64.0, true));
+    let report = lint_program(&program, &registry, &bad, "fixture");
+    assert!(has(&report, "div-by-zero"), "{report}");
+    // The division also poisons the root's finiteness proof.
+    assert!(has(&report, "root-nonfinite"), "{report}");
+
+    let good = DomainMap::new()
+        .declare("work", SymbolDomain::new(0.0, 1e6, true))
+        .declare("workers", SymbolDomain::new(1.0, 64.0, true));
+    let report = lint_program(&program, &registry, &good, "fixture");
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.root_bounds[0].lo, 0.0);
+    assert_eq!(report.root_bounds[0].hi, 1e6);
+}
+
+#[test]
+fn interval_analysis_catches_provably_negative_root() {
+    let ctx = Context::new();
+    let x = ctx.symbol("x");
+    let program = ctx.compile_program(&[("deficit", x - 100.0)]);
+    let registry = UnitRegistry::new()
+        .declare_symbol("x", Unit::ELEMENTS)
+        .declare_root("deficit", Unit::ELEMENTS);
+    let domains = DomainMap::new().declare("x", SymbolDomain::new(0.0, 10.0, true));
+    let report = lint_program(&program, &registry, &domains, "fixture");
+    assert!(has(&report, "root-negative"), "{report}");
+    assert_eq!(report.error_count(), 1);
+}
+
+#[test]
+fn ordering_constraint_proves_difference_nonnegative() {
+    let ctx = Context::new();
+    let l = ctx.symbol("L");
+    let ckpt = ctx.symbol("ckpt");
+    let program = ctx.compile_program(&[("unticked", (l - ckpt) * 3.0)]);
+    let registry = UnitRegistry::new()
+        .declare_symbol("L", Unit::ELEMENTS)
+        .declare_symbol("ckpt", Unit::ELEMENTS)
+        .declare_root("unticked", Unit::ELEMENTS);
+    let base = DomainMap::new()
+        .declare("L", SymbolDomain::new(1.0, 96.0, true))
+        .declare("ckpt", SymbolDomain::new(0.0, 96.0, true));
+
+    // Without the ordering fact the difference may look negative...
+    let report = lint_program(&program, &registry, &base, "fixture");
+    assert!(has(&report, "root-maybe-negative"), "{report}");
+
+    // ...but ckpt <= L proves it non-negative over the sweep.
+    let with_le = base.declare_le("ckpt", "L");
+    let report = lint_program(&program, &registry, &with_le, "fixture");
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.warning_count(), 0, "{report}");
+    assert_eq!(report.root_bounds[0].lo, 0.0);
+}
+
+#[test]
+fn dead_code_detection_catches_constant_guard_branch() {
+    let ctx = Context::new();
+    let zero = ctx.symbol("zero");
+    let shard = ctx.symbol("shard");
+    let full = ctx.symbol("full");
+    // Guard `zero >= 1` is constant when the space only sweeps levels 1..=3,
+    // so the else-branch (and `full`, read only there) is dead.
+    let cond = ctx.cmp(CmpOp::Ge, zero, ctx.constant(1.0));
+    let program = ctx.compile_program(&[("opt_mem", ctx.select(cond, shard, full))]);
+    let registry = UnitRegistry::new()
+        .declare_symbol("zero", Unit::DIMENSIONLESS)
+        .declare_symbol("shard", Unit::BYTES)
+        .declare_symbol("full", Unit::BYTES)
+        .declare_root("opt_mem", Unit::BYTES);
+    let narrow = DomainMap::new()
+        .declare("zero", SymbolDomain::new(1.0, 3.0, true))
+        .declare("shard", SymbolDomain::new(0.0, 1e9, true))
+        .declare("full", SymbolDomain::new(0.0, 1e9, true));
+
+    let report = lint_program(&program, &registry, &narrow, "fixture");
+    assert!(has(&report, "dead-branch"), "{report}");
+    assert!(has(&report, "dead-code"), "{report}");
+    assert!(has(&report, "unused-symbol"), "{report}");
+    let unused = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "unused-symbol")
+        .unwrap();
+    assert!(unused.message.contains("`full`"), "{}", unused.message);
+    // Dead code is suspicious, not wrong: no errors.
+    assert!(report.is_clean(), "{report}");
+
+    // Over the full 0..=3 sweep both branches are live and nothing fires.
+    let wide = DomainMap::new()
+        .declare("zero", SymbolDomain::new(0.0, 3.0, true))
+        .declare("shard", SymbolDomain::new(0.0, 1e9, true))
+        .declare("full", SymbolDomain::new(0.0, 1e9, true));
+    let report = lint_program(&program, &registry, &wide, "fixture");
+    assert!(!has(&report, "dead-branch"), "{report}");
+    assert!(!has(&report, "dead-code"), "{report}");
+    assert!(!has(&report, "unused-symbol"), "{report}");
+}
+
+#[test]
+fn report_sorts_errors_first_and_counts_by_severity() {
+    let ctx = Context::new();
+    let mem = ctx.symbol("mem");
+    let time = ctx.symbol("time");
+    let x = ctx.symbol("x");
+    let program = ctx.compile_program(&[
+        ("bad_sum", mem + time), // unit error
+        ("ratio", mem / x),      // div-by-zero error over [0, 4]
+    ]);
+    let registry = UnitRegistry::new()
+        .declare_symbol("mem", Unit::BYTES)
+        .declare_symbol("time", Unit::SECONDS)
+        .declare_symbol("x", Unit::DIMENSIONLESS)
+        .declare_root("bad_sum", Unit::BYTES)
+        .declare_root("ratio", Unit::BYTES);
+    let domains = DomainMap::new()
+        .declare("mem", SymbolDomain::new(0.0, 1e9, true))
+        .declare("time", SymbolDomain::new(0.0, 9.0, false))
+        .declare("x", SymbolDomain::new(0.0, 4.0, true));
+    let report = lint_program(&program, &registry, &domains, "fixture");
+    assert!(report.error_count() >= 2, "{report}");
+    let sevs: Vec<Severity> = report.diagnostics.iter().map(|d| d.severity).collect();
+    let mut sorted = sevs.clone();
+    sorted.sort();
+    assert_eq!(sevs, sorted, "diagnostics must be severity-sorted");
+    let text = report.to_string();
+    assert!(text.contains("error(s)"), "{text}");
+}
+
+#[test]
+fn lint_emits_telemetry_counters_and_bound_gauges() {
+    let ctx = Context::new();
+    let cap = ctx.symbol("cap");
+    let program = ctx.compile_program(&[("headroom", cap * 2.0)]);
+    let registry = UnitRegistry::new()
+        .declare_symbol("cap", Unit::BYTES)
+        .declare_root("headroom", Unit::BYTES);
+    let domains = DomainMap::new().declare("cap", SymbolDomain::new(0.0, 1e9, true));
+
+    let collector = mist_telemetry::global();
+    let baseline = collector.snapshot();
+    collector.enable();
+    let report = lint_program(&program, &registry, &domains, "telemetry-fixture");
+    collector.disable();
+    let delta = collector.snapshot_delta(&baseline);
+
+    assert!(report.is_clean(), "{report}");
+    // `>=` rather than `==`: the collector is process-global and other
+    // tests in this binary may lint concurrently while it is enabled.
+    assert!(delta.counters.get("irlint.programs").copied().unwrap_or(0) >= 1);
+    let hi = delta
+        .gauges
+        .get("irlint.root_hi.headroom")
+        .copied()
+        .expect("per-root upper-bound gauge");
+    assert_eq!(hi, 2e9);
+}

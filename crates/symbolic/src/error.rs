@@ -5,10 +5,29 @@
 pub enum SymbolicError {
     /// A symbol appearing in the expression had no binding.
     UnboundSymbol(String),
+    /// A scalar binding named a symbol the program does not read.
+    UnknownBinding(String),
+    /// The same symbol was bound twice with different values.
+    ConflictingBinding {
+        /// The symbol bound more than once.
+        name: String,
+        /// Value of the first binding of `name`.
+        first: f64,
+        /// Conflicting value of a later binding of `name`.
+        second: f64,
+    },
     /// Evaluation produced a non-finite value (NaN or infinity).
-    NonFinite { detail: String },
+    NonFinite {
+        /// Which root or tape produced the non-finite value.
+        detail: String,
+    },
     /// A batched evaluation received columns of mismatched lengths.
-    BatchLengthMismatch { expected: usize, got: usize },
+    BatchLengthMismatch {
+        /// The batch length every column must match.
+        expected: usize,
+        /// The offending column's length.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for SymbolicError {
@@ -16,6 +35,20 @@ impl std::fmt::Display for SymbolicError {
         match self {
             SymbolicError::UnboundSymbol(name) => {
                 write!(f, "unbound symbol `{name}` during evaluation")
+            }
+            SymbolicError::UnknownBinding(name) => {
+                write!(f, "binding `{name}` matches no symbol in the program")
+            }
+            SymbolicError::ConflictingBinding {
+                name,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "symbol `{name}` bound twice with conflicting values \
+                     ({first} then {second})"
+                )
             }
             SymbolicError::NonFinite { detail } => {
                 write!(f, "evaluation produced a non-finite value: {detail}")

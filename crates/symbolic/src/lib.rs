@@ -45,6 +45,8 @@
 //! assert_eq!(got, 4.0 * 4096.0 * 2.0 / 2.0);
 //! ```
 
+#![warn(missing_docs)]
+
 mod context;
 mod display;
 mod error;
@@ -55,5 +57,5 @@ mod tape;
 pub use context::{Context, Expr};
 pub use error::SymbolicError;
 pub use node::{CmpOp, ExprId, Node, SymbolId};
-pub use program::{EvalWorkspace, Program, SymbolTable};
+pub use program::{EvalWorkspace, Instr, Program, SymbolTable};
 pub use tape::{BatchBindings, Column, Tape};

@@ -75,26 +75,45 @@ impl SymbolTable {
     }
 
     /// Resolves scalar `(name, value)` bindings into input-slot order in
-    /// one pass over `bindings` (first binding of a name wins, matching
-    /// linear-scan resolution order).
+    /// one pass over `bindings`.
+    ///
+    /// Every binding must name a symbol the program actually reads, and
+    /// a symbol may be bound more than once only with the same value —
+    /// a binding that silently went nowhere (or silently lost to an
+    /// earlier conflicting one) is almost always a caller bug.
     ///
     /// # Errors
     ///
     /// [`SymbolicError::UnboundSymbol`] if any interned symbol has no
-    /// binding.
+    /// binding; [`SymbolicError::UnknownBinding`] if a binding names a
+    /// symbol that is not interned; [`SymbolicError::ConflictingBinding`]
+    /// if a symbol is bound twice with different values.
     pub fn resolve_scalars(&self, bindings: &[(&str, f64)]) -> Result<Vec<f64>, SymbolicError> {
         let mut inputs = vec![f64::NAN; self.names.len()];
         let mut filled = vec![false; self.names.len()];
         let mut remaining = self.names.len();
         for (name, v) in bindings {
-            if let Some(&i) = self.index.get(*name) {
-                let i = i as usize;
-                if !filled[i] {
-                    filled[i] = true;
-                    remaining -= 1;
-                    inputs[i] = *v;
+            let Some(&i) = self.index.get(*name) else {
+                return Err(SymbolicError::UnknownBinding((*name).to_owned()));
+            };
+            let i = i as usize;
+            if filled[i] {
+                // Duplicate bindings are tolerated only when they agree
+                // (NaN agreeing with NaN, so a repeat never conflicts
+                // with itself).
+                let same = inputs[i] == *v || (inputs[i].is_nan() && v.is_nan());
+                if !same {
+                    return Err(SymbolicError::ConflictingBinding {
+                        name: (*name).to_owned(),
+                        first: inputs[i],
+                        second: *v,
+                    });
                 }
+                continue;
             }
+            filled[i] = true;
+            remaining -= 1;
+            inputs[i] = *v;
         }
         if remaining > 0 {
             let missing = self
@@ -164,6 +183,61 @@ pub(crate) enum Op {
     Ceil(u32),
     Cmp(CmpOp, u32, u32),
     Select(u32, u32, u32),
+}
+
+/// A read-only view of one SSA instruction of a [`Program`], for
+/// analysis passes (e.g. the `mist-irlint` static analyzer).
+///
+/// Scalar `u32` operands and the borrowed slices hold *slot* indices
+/// into the instruction stream; [`Instr::Sym`] holds an input slot of
+/// the program's [`SymbolTable`]. The variants mirror the evaluation
+/// semantics documented on [`crate::Node`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr<'p> {
+    /// A finite constant.
+    Const(f64),
+    /// Reads input slot `u32` of the symbol table.
+    Sym(u32),
+    /// N-ary sum over the operand slots.
+    Add(&'p [u32]),
+    /// N-ary product over the operand slots.
+    Mul(&'p [u32]),
+    /// N-ary minimum over the operand slots.
+    Min(&'p [u32]),
+    /// N-ary maximum over the operand slots.
+    Max(&'p [u32]),
+    /// `lhs / rhs`.
+    Div(u32, u32),
+    /// `floor(x)`.
+    Floor(u32),
+    /// `ceil(x)`.
+    Ceil(u32),
+    /// Comparison producing `1.0` / `0.0`.
+    Cmp(CmpOp, u32, u32),
+    /// `if cond != 0 { then } else { other }` as `Select(cond, then, other)`.
+    Select(u32, u32, u32),
+}
+
+impl Instr<'_> {
+    /// Calls `f` for every operand slot, in evaluation order.
+    pub fn for_each_operand(&self, mut f: impl FnMut(u32)) {
+        match *self {
+            Instr::Const(_) | Instr::Sym(_) => {}
+            Instr::Add(v) | Instr::Mul(v) | Instr::Min(v) | Instr::Max(v) => {
+                v.iter().copied().for_each(&mut f)
+            }
+            Instr::Div(a, b) | Instr::Cmp(_, a, b) => {
+                f(a);
+                f(b);
+            }
+            Instr::Floor(a) | Instr::Ceil(a) => f(a),
+            Instr::Select(c, a, b) => {
+                f(c);
+                f(a);
+                f(b);
+            }
+        }
+    }
 }
 
 /// A fused, immutable multi-root evaluation program.
@@ -321,6 +395,38 @@ impl Program {
     /// Root index of the root labeled `name`.
     pub fn root_index(&self, name: &str) -> Option<usize> {
         self.labels.iter().position(|l| l == name)
+    }
+
+    /// Output slot per root, in root-index order.
+    pub fn root_slots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// Read-only view of the instruction at `slot` (analysis passes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.len()`.
+    pub fn instr(&self, slot: usize) -> Instr<'_> {
+        let arena = |start: u32, len: u32| &self.operands[start as usize..(start + len) as usize];
+        match self.ops[slot] {
+            Op::Const(c) => Instr::Const(c),
+            Op::Sym(s) => Instr::Sym(s),
+            Op::Add { start, len } => Instr::Add(arena(start, len)),
+            Op::Mul { start, len } => Instr::Mul(arena(start, len)),
+            Op::Min { start, len } => Instr::Min(arena(start, len)),
+            Op::Max { start, len } => Instr::Max(arena(start, len)),
+            Op::Div(a, b) => Instr::Div(a, b),
+            Op::Floor(a) => Instr::Floor(a),
+            Op::Ceil(a) => Instr::Ceil(a),
+            Op::Cmp(op, a, b) => Instr::Cmp(op, a, b),
+            Op::Select(c, a, b) => Instr::Select(c, a, b),
+        }
+    }
+
+    /// Iterates over every instruction in stream (slot) order.
+    pub fn instrs(&self) -> impl ExactSizeIterator<Item = Instr<'_>> + '_ {
+        (0..self.ops.len()).map(|i| self.instr(i))
     }
 
     /// Instruction stream (crate-internal introspection for tests).
@@ -988,6 +1094,65 @@ mod tests {
         program.eval_batch(&batch, &mut ws).unwrap();
         assert_eq!(ws.output(0), ws.output(1));
         assert_eq!(program.len(), ctx.compile(e).len());
+    }
+
+    #[test]
+    fn resolve_scalars_rejects_unknown_and_conflicting_bindings() {
+        let ctx = Context::new();
+        let x = ctx.symbol("x");
+        let y = ctx.symbol("y");
+        let program = ctx.compile_program(&[("r", x + y)]);
+        let table = program.symbols();
+
+        let ok = table.resolve_scalars(&[("y", 2.0), ("x", 1.0)]).unwrap();
+        assert_eq!(ok[table.index_of("x").unwrap()], 1.0);
+        assert_eq!(ok[table.index_of("y").unwrap()], 2.0);
+
+        assert!(matches!(
+            table.resolve_scalars(&[("x", 1.0), ("y", 2.0), ("z", 3.0)]),
+            Err(SymbolicError::UnknownBinding(name)) if name == "z"
+        ));
+        assert!(matches!(
+            table.resolve_scalars(&[("x", 1.0), ("x", 4.0), ("y", 2.0)]),
+            Err(SymbolicError::ConflictingBinding { ref name, first, second })
+                if name == "x" && first == 1.0 && second == 4.0
+        ));
+        // Agreeing duplicates (including NaN with NaN) are accepted.
+        assert!(table
+            .resolve_scalars(&[("x", 1.0), ("x", 1.0), ("y", 2.0)])
+            .is_ok());
+        assert!(table
+            .resolve_scalars(&[("x", f64::NAN), ("x", f64::NAN), ("y", 2.0)])
+            .is_ok());
+    }
+
+    #[test]
+    fn instr_view_exposes_the_stream() {
+        let ctx = Context::new();
+        let x = ctx.symbol("x");
+        let y = ctx.symbol("y");
+        let cond = ctx.cmp(CmpOp::Gt, x, y);
+        let e = ctx.select(cond, x + y, x / y).floor();
+        let program = ctx.compile_program(&[("e", e)]);
+
+        assert_eq!(program.instrs().len(), program.len());
+        assert_eq!(program.root_slots().len(), 1);
+        let root = program.root_slots()[0] as usize;
+        assert!(matches!(program.instr(root), Instr::Floor(_)));
+
+        // Every operand referenced by any instruction is an earlier slot
+        // (SSA stream order), and each opcode appears as expected.
+        let mut saw_select = false;
+        for (slot, instr) in program.instrs().enumerate() {
+            instr.for_each_operand(|s| assert!((s as usize) < slot));
+            if let Instr::Select(c, a, b) = instr {
+                saw_select = true;
+                assert!(matches!(program.instr(c as usize), Instr::Cmp(..)));
+                assert!(matches!(program.instr(a as usize), Instr::Add(_)));
+                assert!(matches!(program.instr(b as usize), Instr::Div(..)));
+            }
+        }
+        assert!(saw_select);
     }
 
     #[test]

@@ -67,6 +67,10 @@ impl Tape {
 
     /// Evaluates the tape against scalar `(name, value)` bindings.
     ///
+    /// Bindings must name exactly the tape's symbols: unknown names and
+    /// conflicting duplicates are rejected (see
+    /// [`SymbolTable::resolve_scalars`](crate::SymbolTable::resolve_scalars)).
+    ///
     /// # Errors
     ///
     /// See [`SymbolicError`].
@@ -275,16 +279,24 @@ mod tests {
     }
 
     #[test]
-    fn scalar_binding_resolution_ignores_extras_and_duplicates() {
+    fn scalar_binding_resolution_is_strict() {
         let ctx = Context::new();
         let x = ctx.symbol("x");
         let y = ctx.symbol("y");
         let tape = ctx.compile(x * 10.0 + y);
-        // Extra names are ignored; the first binding of a name wins.
-        let got = tape
-            .eval(&[("unused", 9.0), ("x", 2.0), ("y", 5.0), ("x", 7.0)])
-            .unwrap();
+        // A binding that names no symbol is a caller bug, not a no-op.
+        assert!(matches!(
+            tape.eval(&[("unused", 9.0), ("x", 2.0), ("y", 5.0)]),
+            Err(SymbolicError::UnknownBinding(name)) if name == "unused"
+        ));
+        // Agreeing duplicates are fine; conflicting ones are an error.
+        let got = tape.eval(&[("x", 2.0), ("y", 5.0), ("x", 2.0)]).unwrap();
         assert_eq!(got, 25.0);
+        assert!(matches!(
+            tape.eval(&[("x", 2.0), ("y", 5.0), ("x", 7.0)]),
+            Err(SymbolicError::ConflictingBinding { ref name, first, second })
+                if name == "x" && first == 2.0 && second == 7.0
+        ));
         assert!(matches!(
             tape.eval(&[("x", 1.0)]),
             Err(SymbolicError::UnboundSymbol(name)) if name == "y"

@@ -6,6 +6,7 @@
 //! Table 1 and the Fig. 13 incremental-space methodology).
 
 use mist_hardware::{ClusterSpec, DeviceMesh};
+use mist_irlint::{DomainMap, SymbolDomain};
 use mist_models::ModelSpec;
 use serde::{Deserialize, Serialize};
 
@@ -220,6 +221,45 @@ impl SearchSpace {
         &self.zero_levels
     }
 
+    /// The exact value ranges this space sweeps for the stage symbols
+    /// (`mist_graph::SYMS`), for the `mist-irlint` interval analysis.
+    ///
+    /// Narrower than the widest-case `mist_graph::stage_domains`:
+    /// a space with offloading disabled pins `wo`/`go`/`oo`/`ao` to zero
+    /// (so the linter can prove offload `Select` branches dead), a
+    /// restricted ZeRO ladder narrows `zero`, and `CkptMode::Full` pins
+    /// `ckpt` to at least one layer. Always carries the `ckpt <= L`
+    /// ordering fact.
+    pub fn symbol_domains(&self, model: &ModelSpec) -> DomainMap {
+        let l = f64::from(model.num_layers.max(1));
+        let (ckpt_lo, ckpt_hi) = match self.ckpt {
+            CkptMode::None => (0.0, 0.0),
+            CkptMode::Full => (1.0, l), // every stage recomputes all its layers
+            CkptMode::Tuned => (0.0, l),
+        };
+        let zero_lo = self.zero_levels.iter().copied().min().unwrap_or(0);
+        let zero_hi = self.zero_levels.iter().copied().max().unwrap_or(0);
+        let grid_hi = self.offload_grid.iter().copied().fold(0.0, f64::max);
+        let mut domains = DomainMap::new()
+            .declare("L", SymbolDomain::new(1.0, l, true))
+            .declare("ckpt", SymbolDomain::new(ckpt_lo, ckpt_hi, true))
+            .declare(
+                "zero",
+                SymbolDomain::new(f64::from(zero_lo), f64::from(zero_hi), true),
+            )
+            .declare("inflight", SymbolDomain::new(1.0, l, true))
+            .declare_le("ckpt", "L");
+        for (knob, name) in ["wo", "go", "oo", "ao"].into_iter().enumerate() {
+            let hi = if self.offload_enabled[knob] {
+                grid_hi
+            } else {
+                0.0
+            };
+            domains = domains.declare(name, SymbolDomain::new(0.0, hi, false));
+        }
+        domains
+    }
+
     /// Rough size of the full configuration space for a workload — the
     /// quantity plotted in Fig. 5. Counted per stage-partitioning
     /// candidate: parallelism choices × per-stage optimization choices,
@@ -325,6 +365,65 @@ mod tests {
     fn disabled_offload_yields_single_zero_combo() {
         let combos = SearchSpace::megatron().offload_combos();
         assert_eq!(combos, vec![[0.0; 4]]);
+    }
+
+    #[test]
+    fn symbol_domains_narrow_with_the_space() {
+        let model = gpt3(ModelSize::B2_6, 2048, AttentionImpl::Flash);
+        let mist = SearchSpace::mist().symbol_domains(&model);
+        assert_eq!(mist.get("wo").unwrap().hi, 1.0);
+        assert_eq!(mist.get("zero").unwrap().hi, 3.0);
+        assert_eq!(mist.get("ckpt").unwrap().lo, 0.0);
+        assert_eq!(
+            mist.le_pairs(),
+            &[("ckpt".to_owned(), "L".to_owned())],
+            "ordering fact ckpt <= L always declared"
+        );
+
+        let megatron = SearchSpace::megatron().symbol_domains(&model);
+        assert_eq!(megatron.get("wo").unwrap().hi, 0.0, "offloading disabled");
+        assert_eq!(megatron.get("ao").unwrap().hi, 0.0);
+        assert_eq!(megatron.get("zero").unwrap().hi, 1.0, "no ZeRO-2/3");
+        assert_eq!(megatron.get("ckpt").unwrap().lo, 1.0, "full recomputation");
+        let l = f64::from(model.num_layers);
+        assert_eq!(megatron.get("L").unwrap().hi, l);
+    }
+
+    #[test]
+    fn restricted_space_proves_offload_branches_dead() {
+        use mist_graph::{stage_unit_registry, StageAnalyzer, StageCandidate, StageRole};
+        use mist_hardware::{DeviceMesh, GpuSpec, OpCostDb};
+
+        let model = gpt3(ModelSize::B2_6, 2048, AttentionImpl::Flash);
+        let cluster = ClusterSpec::for_gpu_count(Platform::GcpL4, 4);
+        let db = OpCostDb::new(GpuSpec::l4());
+        let analyzer = StageAnalyzer::new(&model, &cluster, &db);
+        let tapes = analyzer.analyze(&StageCandidate {
+            mesh: DeviceMesh::new(1, 4),
+            dp: 2,
+            tp: 2,
+            micro_batch: 2,
+            role: StageRole::Only,
+        });
+        let registry = stage_unit_registry();
+
+        // Megatron's space pins every offload ratio to zero, so the
+        // offloading Select guards are constant over its sweep and their
+        // taken-branch subtrees shrink to dead code.
+        let narrow = SearchSpace::megatron().symbol_domains(&model);
+        let report =
+            mist_irlint::lint_program(&tapes.program, &registry, &narrow, "stage@megatron");
+        assert_eq!(report.error_count(), 0, "{report}");
+        assert!(
+            report.diagnostics.iter().any(|d| d.code == "dead-branch"),
+            "expected dead offload branches under a no-offload sweep:\n{report}"
+        );
+
+        // Mist's full space keeps every branch live.
+        let wide = SearchSpace::mist().symbol_domains(&model);
+        let report = mist_irlint::lint_program(&tapes.program, &registry, &wide, "stage@mist");
+        assert_eq!(report.error_count(), 0, "{report}");
+        assert_eq!(report.warning_count(), 0, "{report}");
     }
 
     #[test]

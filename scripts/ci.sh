@@ -14,6 +14,10 @@
 #   5. golden drift: regenerate the two cheap committed result files and
 #      fail if any deterministic field changed (wall-clock-only fields
 #      are ignored; see scripts/golden_diff.py)
+#   6. IR lint: run the mist-irlint static analyzer over the fused stage
+#      programs of every model preset; any error-severity diagnostic
+#      (unit mismatch, reachable division by zero, a cost root not
+#      provably finite and non-negative) fails the gate
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,26 +25,26 @@ cd "$(dirname "$0")/.."
 # First-party packages (everything except vendor/ stand-ins).
 FMT_PACKAGES=(
     mist mist-baselines mist-bench mist-examples mist-graph mist-hardware
-    mist-integration-tests mist-interference mist-milp mist-models
-    mist-pool mist-schedule mist-sim mist-symbolic mist-telemetry
-    mist-tuner
+    mist-integration-tests mist-interference mist-irlint mist-milp
+    mist-models mist-pool mist-schedule mist-sim mist-symbolic
+    mist-telemetry mist-tuner
 )
 
-echo "==> [1/5] cargo build --release"
+echo "==> [1/6] cargo build --release"
 cargo build --release
 
-echo "==> [2/5] cargo test -q"
+echo "==> [2/6] cargo test -q"
 cargo test -q
 
-echo "==> [3/5] cargo clippy --workspace --all-targets -- -D warnings"
+echo "==> [3/6] cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [4/5] cargo fmt --check (first-party packages)"
+echo "==> [4/6] cargo fmt --check (first-party packages)"
 fmt_args=()
 for p in "${FMT_PACKAGES[@]}"; do fmt_args+=(-p "$p"); done
 cargo fmt --check "${fmt_args[@]}"
 
-echo "==> [5/5] golden drift check"
+echo "==> [5/6] golden drift check"
 # Regenerating a golden overwrites the committed file in results/, so
 # stash the committed versions first and always restore them — the drift
 # check must leave the working tree untouched whether it passes or fails.
@@ -68,5 +72,8 @@ if [ "$drift" -ne 0 ]; then
     echo "the files above and commit them with the code change" >&2
     exit 1
 fi
+
+echo "==> [6/6] IR lint (mist-irlint over every preset's stage programs)"
+target/release/mist-cli lint-ir
 
 echo "CI gate passed."
