@@ -146,11 +146,64 @@ fn bench_fused_vs_separate(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-sweep specialized residual vs the fused program at batch 10 000:
+/// one `(zero, offload)` tuner group frozen, only `L` and `ckpt` varying
+/// (with `ckpt <= L`, keeping every row inside the sweep domain the
+/// residual's interval facts assume).
+fn bench_specialized_vs_fused(c: &mut Criterion) {
+    let (model, cluster, db) = setup();
+    let analyzer = StageAnalyzer::new(&model, &cluster, &db);
+    let tapes = analyzer.analyze(&candidate());
+    let space = mist::SearchSpace::mist();
+    let domains = space.symbol_domains(&model);
+    let frozen = mist_graph::sweep_frozen_symbols(0, [0.0; 4], 2, None);
+    let specializer = mist_tuner::Specializer::new();
+    let specialized = specializer.specialized(&tapes.program, &frozen, &domains);
+
+    let n = 10_000usize;
+    let mut batch = BatchBindings::new(n);
+    let ls: Vec<f64> = (0..n).map(|i| 1.0 + (i % 32) as f64).collect();
+    let ckpts: Vec<f64> = ls
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| ((i % 8) as f64).min(l))
+        .collect();
+    batch.set_values("L", ls);
+    batch.set_values("ckpt", ckpts);
+    batch.set_scalar("zero", 0.0);
+    batch.set_scalar("wo", 0.0);
+    batch.set_scalar("go", 0.0);
+    batch.set_scalar("oo", 0.0);
+    batch.set_scalar("ao", 0.0);
+    batch.set_scalar("inflight", 2.0);
+
+    let mut group = c.benchmark_group("specialized_vs_fused");
+    group.throughput(Throughput::Elements(n as u64));
+    let mut ws = EvalWorkspace::new();
+    group.bench_function(BenchmarkId::new("fused_program", n), |b| {
+        b.iter(|| {
+            tapes.eval_batch_fused(black_box(&batch), &mut ws).unwrap();
+            black_box(ws.output(0));
+        })
+    });
+    let mut ws_spec = EvalWorkspace::new();
+    group.bench_function(BenchmarkId::new("specialized_residual", n), |b| {
+        b.iter(|| {
+            specialized
+                .eval_batch(black_box(&batch), &mut ws_spec)
+                .unwrap();
+            black_box(ws_spec.output(0));
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_reanalysis,
     bench_substitution,
     bench_batched,
-    bench_fused_vs_separate
+    bench_fused_vs_separate,
+    bench_specialized_vs_fused
 );
 criterion_main!(benches);

@@ -1,21 +1,25 @@
 //! Smoke-run of the symbolic-evaluation benchmark (paper Fig. 16's
 //! substrate): times the fused 22-root stage program against the 22
-//! separate per-expression tapes at batch 10 000 and records the speedup
-//! in `results/bench_symbolic.json`.
+//! separate per-expression tapes at batch 10 000, then the per-sweep
+//! specialized residual against the fused program, and records both
+//! speedups in `results/bench_symbolic.json`.
 //!
 //! This is the cheap, always-runnable counterpart of the Criterion bench
-//! in `benches/symbolic_eval.rs`; the verify recipe runs it to catch
-//! regressions of the fusion speedup.
+//! in `benches/symbolic_eval.rs`; the verify recipe and the CI golden
+//! gate run it to catch regressions of the fusion and specialization
+//! speedups (`scripts/golden_diff.py` fails on a >10% rows/sec drop).
 
 use std::time::Instant;
 
 use mist::presets::{gpt3, AttentionImpl, ModelSize};
 use mist::{
-    ClusterSpec, DeviceMesh, GpuSpec, OpCostDb, Platform, StageAnalyzer, StageCandidate, StageRole,
-    StageTapes,
+    ClusterSpec, DeviceMesh, GpuSpec, OpCostDb, Platform, SearchSpace, StageAnalyzer,
+    StageCandidate, StageRole, StageTapes,
 };
 use mist_bench::write_json;
+use mist_graph::sweep_frozen_symbols;
 use mist_symbolic::{BatchBindings, EvalWorkspace};
+use mist_tuner::Specializer;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -26,9 +30,14 @@ struct BenchResult {
     fused_program_ns_per_batch: f64,
     fused_speedup: f64,
     fused_rows_per_sec: f64,
+    specialized_ns_per_batch: f64,
+    specialized_speedup: f64,
+    specialized_rows_per_sec: f64,
     program_instructions: usize,
     separate_instructions: usize,
+    specialized_instructions: usize,
     program_registers: usize,
+    specialized_registers: usize,
 }
 
 fn grid_batch(n: usize) -> BatchBindings {
@@ -42,6 +51,22 @@ fn grid_batch(n: usize) -> BatchBindings {
     batch.set_values("ao", (0..n).map(|i| (i % 4) as f64 * 0.25).collect());
     batch.set_scalar("inflight", 2.0);
     batch
+}
+
+/// Times `f` once per iteration and returns the fastest observed
+/// per-iteration time in nanoseconds. The minimum — not the mean — is
+/// what the CI throughput gate needs on shared runners: a single
+/// descheduling inside one iteration can double a 20-iteration mean,
+/// while the fastest iteration is the closest observation of the true
+/// cost of the code under test and is stable run to run.
+fn min_time_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    best
 }
 
 fn eval_separate(tapes: &StageTapes, batch: &BatchBindings) -> f64 {
@@ -73,29 +98,72 @@ fn main() {
     });
 
     let n = 10_000usize;
-    let iters = 20usize;
+    let iters = 40usize;
     let batch = grid_batch(n);
     let mut ws = EvalWorkspace::new();
-    let mut sink = 0.0;
 
     // Warm-up: populate the workspace's register/output pools and fault
     // in the tapes, then time.
     tapes.eval_batch_fused(&batch, &mut ws).unwrap();
-    sink += eval_separate(&tapes, &batch);
+    std::hint::black_box(eval_separate(&tapes, &batch));
 
-    let t0 = Instant::now();
-    for _ in 0..iters {
-        sink += eval_separate(&tapes, &batch);
-    }
-    let separate_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    let separate_ns = min_time_ns(iters, || {
+        std::hint::black_box(eval_separate(&tapes, &batch));
+    });
 
-    let t0 = Instant::now();
-    for _ in 0..iters {
-        tapes.eval_batch_fused(&batch, &mut ws).unwrap();
-        sink += ws.output(0)[0];
+    let fused_ns = min_time_ns(iters, || {
+        tapes
+            .eval_batch_fused(std::hint::black_box(&batch), &mut ws)
+            .unwrap();
+        std::hint::black_box(ws.output(0)[0]);
+    });
+
+    // Per-sweep specialization: freeze one `(zero, offload)` group the
+    // way the intra-stage tuner does (only `L` and `ckpt` vary inside a
+    // group) and evaluate the residual. The group batch keeps `ckpt`
+    // inside the declared sweep domain (`ckpt <= L`) so the interval
+    // facts backing the residual hold on every row.
+    let space = SearchSpace::mist();
+    let domains = space.symbol_domains(&model);
+    let frozen = sweep_frozen_symbols(0, [0.0; 4], 2, None);
+    let specializer = Specializer::new();
+    let specialized = specializer.specialized(&tapes.program, &frozen, &domains);
+
+    let mut group_batch = BatchBindings::new(n);
+    let ls: Vec<f64> = (0..n).map(|i| 1.0 + (i % 32) as f64).collect();
+    let ckpts: Vec<f64> = ls
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| ((i % 8) as f64).min(l))
+        .collect();
+    group_batch.set_values("L", ls);
+    group_batch.set_values("ckpt", ckpts);
+    group_batch.set_scalar("zero", 0.0);
+    group_batch.set_scalar("wo", 0.0);
+    group_batch.set_scalar("go", 0.0);
+    group_batch.set_scalar("oo", 0.0);
+    group_batch.set_scalar("ao", 0.0);
+    group_batch.set_scalar("inflight", 2.0);
+
+    // Exactness spot-check before timing: the residual must reproduce
+    // the fused outputs on every root and row of the group batch.
+    let mut ws_spec = EvalWorkspace::new();
+    tapes.eval_batch_fused(&group_batch, &mut ws).unwrap();
+    specialized.eval_batch(&group_batch, &mut ws_spec).unwrap();
+    for root in 0..tapes.program.num_roots() {
+        assert_eq!(
+            ws.output(root),
+            ws_spec.output(root),
+            "specialized outputs drifted from fused at root {root}"
+        );
     }
-    let fused_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
-    std::hint::black_box(sink);
+
+    let specialized_ns = min_time_ns(iters, || {
+        specialized
+            .eval_batch(std::hint::black_box(&group_batch), &mut ws_spec)
+            .unwrap();
+        std::hint::black_box(ws_spec.output(0)[0]);
+    });
 
     let separate_instructions = [
         tapes.mem_fwd.len(),
@@ -131,24 +199,44 @@ fn main() {
         fused_program_ns_per_batch: fused_ns,
         fused_speedup: separate_ns / fused_ns,
         fused_rows_per_sec: n as f64 / (fused_ns * 1e-9),
+        specialized_ns_per_batch: specialized_ns,
+        specialized_speedup: fused_ns / specialized_ns,
+        specialized_rows_per_sec: n as f64 / (specialized_ns * 1e-9),
         program_instructions: tapes.program.len(),
         separate_instructions,
+        specialized_instructions: specialized.len(),
         program_registers: tapes.program.num_regs(),
+        specialized_registers: specialized.num_regs(),
     };
     println!(
-        "separate: {:.2} ms/batch  fused: {:.2} ms/batch  speedup: {:.1}x  \
-         ({} fused instrs vs {} separate, {} registers)",
+        "separate: {:.2} ms/batch  fused: {:.2} ms/batch  specialized: {:.2} ms/batch",
         result.separate_tapes_ns_per_batch / 1e6,
         result.fused_program_ns_per_batch / 1e6,
+        result.specialized_ns_per_batch / 1e6,
+    );
+    println!(
+        "fused speedup: {:.1}x over separate ({} instrs vs {}, {} registers)",
         result.fused_speedup,
         result.program_instructions,
         result.separate_instructions,
         result.program_registers,
+    );
+    println!(
+        "specialized speedup: {:.1}x over fused ({} instrs, {} registers, \
+         {:.1}M rows/sec)",
+        result.specialized_speedup,
+        result.specialized_instructions,
+        result.specialized_registers,
+        result.specialized_rows_per_sec / 1e6,
     );
     write_json("bench_symbolic", &result);
 
     assert!(
         result.fused_speedup >= 1.0,
         "fused evaluation must not be slower than separate tapes"
+    );
+    assert!(
+        result.specialized_speedup >= 1.0,
+        "specialized evaluation must not be slower than the fused program"
     );
 }

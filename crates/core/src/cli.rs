@@ -485,6 +485,14 @@ fn run_lint_ir(args: LintArgs) -> Result<bool, String> {
                     "info": l.info_count(),
                     "programs": l.reports.iter().map(lint_report_json)
                         .collect::<Vec<_>>(),
+                    "avg_specialized_instrs": l.avg_specialized_instrs(),
+                    "specialized": l.specialized.iter().map(|s| {
+                        serde_json::json!({
+                            "instructions": s.instructions,
+                            "original_instructions": s.original_instructions,
+                            "report": lint_report_json(&s.report),
+                        })
+                    }).collect::<Vec<_>>(),
                 })
             })
             .collect();
@@ -505,9 +513,11 @@ fn run_lint_ir(args: LintArgs) -> Result<bool, String> {
     println!("space:  {}  (seq {seq})", args.space.name);
     for lint in &lints {
         println!(
-            "{}: {} programs, {} error(s), {} warning(s), {} info",
+            "{}: {} programs ({} specialized, avg {:.1} instrs), {} error(s), {} warning(s), {} info",
             lint.model,
             lint.reports.len(),
+            lint.specialized.len(),
+            lint.avg_specialized_instrs(),
             lint.error_count(),
             lint.warning_count(),
             lint.info_count()
@@ -523,11 +533,22 @@ fn run_lint_ir(args: LintArgs) -> Result<bool, String> {
                 println!("  {}: {d}", report.program);
             }
         }
+        for s in &lint.specialized {
+            for d in s
+                .report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity != Severity::Info)
+            {
+                println!("  {}: {d}", s.report.program);
+            }
+        }
     }
     println!(
-        "lint-ir: {} model(s), {} programs, {errors} error(s), {warnings} warning(s), {info} info",
+        "lint-ir: {} model(s), {} programs (+{} specialized residuals), {errors} error(s), {warnings} warning(s), {info} info",
         lints.len(),
         lints.iter().map(|l| l.reports.len()).sum::<usize>(),
+        lints.iter().map(|l| l.specialized.len()).sum::<usize>(),
     );
     Ok(errors == 0)
 }

@@ -60,6 +60,31 @@ fn cli_lint_ir_matches_golden_snapshot() {
         panic!("programs is not an array");
     };
     assert_eq!(programs.len(), 8);
+
+    // The per-sweep specialized residuals ride along in the report: all
+    // corner groups lint clean and the issue's acceptance bar of an
+    // average residual under 60 instructions holds.
+    let avg = get(&models[0], "avg_specialized_instrs")
+        .and_then(Value::as_f64)
+        .expect("avg_specialized_instrs");
+    assert!(avg < 60.0, "avg specialized residual {avg} instrs");
+    let Some(Value::Array(specialized)) = get(&models[0], "specialized") else {
+        panic!("specialized array missing");
+    };
+    assert_eq!(specialized.len(), 8);
+    for s in specialized {
+        let report = get(s, "report").expect("specialized report");
+        assert_eq!(get(report, "errors").and_then(Value::as_i64), Some(0));
+        assert_eq!(get(report, "warnings").and_then(Value::as_i64), Some(0));
+        let instrs = get(s, "instructions").and_then(Value::as_i64).unwrap();
+        let original = get(s, "original_instructions")
+            .and_then(Value::as_i64)
+            .unwrap();
+        assert!(
+            instrs < original,
+            "residual must shrink: {instrs} vs {original}"
+        );
+    }
 }
 
 #[test]

@@ -27,8 +27,9 @@ mod op;
 mod trace;
 
 pub use analyze::{
-    stage_domains, stage_roots, stage_unit_registry, StageAnalyzer, StageCandidate,
-    StageConfigValues, StagePoint, StageRole, StageTapes, StreamTapes, SYMS,
+    stage_domains, stage_roots, stage_unit_registry, sweep_frozen_symbols, StageAnalyzer,
+    StageCandidate, StageConfigValues, StagePoint, StageRole, StageTapes, StreamTapes,
+    SWEEP_VARYING, SYMS,
 };
 pub use liveness::{profile_layer, LayerProfile};
 pub use op::{TracedOp, TracedOpKind};

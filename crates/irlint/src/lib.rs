@@ -54,6 +54,6 @@ mod unit;
 
 pub use diag::{Analysis, Diagnostic, LintReport, RootBounds, Severity};
 pub use domain::{DomainMap, SymbolDomain};
-pub use interval::AbstractValue;
+pub use interval::{constant_guards, sweep_facts, AbstractValue};
 pub use lint::lint_program;
 pub use unit::{DimExponents, Unit, UnitRegistry};

@@ -29,6 +29,11 @@
 //!   ([`Tape::eval_batch`]) entry points. Hot paths that evaluate many
 //!   roots per batch should fuse them via
 //!   [`Context::compile_program`] instead of looping over tapes.
+//! * [`specialize`] — the partial-evaluation pass pipeline: freezing
+//!   the symbols a tuner sweep holds constant folds, simplifies and
+//!   branch-deletes the program down to a residual over just the
+//!   varying knobs, with byte-identical results (see the
+//!   `passes` module docs for the pipeline and exactness rules).
 //!
 //! # Example
 //!
@@ -51,11 +56,16 @@ mod context;
 mod display;
 mod error;
 mod node;
+mod passes;
 mod program;
 mod tape;
 
 pub use context::{Context, Expr};
 pub use error::SymbolicError;
 pub use node::{CmpOp, ExprId, Node, SymbolId};
+pub use passes::{
+    specialize, specialize_with_stats, FrozenSymbols, GuardFact, SlotRange, SpecializeStats,
+    SweepFacts,
+};
 pub use program::{EvalWorkspace, Instr, Program, SymbolTable};
 pub use tape::{BatchBindings, Column, Tape};

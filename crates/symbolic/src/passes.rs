@@ -1,0 +1,1134 @@
+//! Specialization pass pipeline: partial evaluation of a [`Program`]
+//! against a frozen symbol assignment.
+//!
+//! The tuner's frontier sweeps freeze most of a stage program's symbols
+//! (zero level, offload ratios, in-flight micro-batches, …) and vary
+//! only a couple of search knobs per batch. Specializing the fused
+//! program once per sweep and evaluating the shrunken stream thousands
+//! of times is the classic partial-evaluation win; this module is the
+//! pipeline that produces the residual program:
+//!
+//! 1. **Freeze + constant folding** — frozen symbols become known
+//!    scalars; any instruction whose operands are all known folds at
+//!    specialization time with the *exact* kernel semantics (same
+//!    left-to-right fold order, `f64::min`/`f64::max` NaN behavior,
+//!    IEEE division).
+//! 2. **Algebraic simplification** — identity operands are dropped
+//!    (`x * 1`, `x + 0`, `x / 1`, `min(x, +inf)`, `max(x, -inf)`),
+//!    absorbing elements collapse whole folds (`min` with a known
+//!    `-inf`, NaN in `+`/`*`), and single-operand folds alias their
+//!    operand. Only transforms that preserve results bit-for-bit (for
+//!    every row value, finite or not) are applied — see
+//!    ["Exactness"](#exactness) below.
+//! 3. **Branch deletion** — a `Select` whose condition is known (or
+//!    proven constant over the sweep domain by an external analysis
+//!    such as `mist-irlint` interval analysis, supplied as
+//!    [`GuardFact`]s) is replaced by the taken branch; the untaken
+//!    branch becomes dead.
+//! 4. **Dead-slot elimination** — instructions no root transitively
+//!    uses (untaken branches, subtrees folded away) are removed and the
+//!    stream is compacted; the symbol table is rebuilt so the residual
+//!    program only *requires* bindings for symbols it still reads.
+//! 5. **Register re-allocation** — the linear-scan allocator runs
+//!    again over the compacted stream, so the residual program's
+//!    workspace footprint shrinks with it.
+//!
+//! Passes 1–3 are one forward rewrite over the SSA stream (the stream
+//! is a DAG in topological order, so a single pass reaches a fixpoint);
+//! emission hash-conses rewritten instructions, which both dedupes the
+//! constants the rewrite materializes and gives residual CSE for free.
+//!
+//! # Exactness
+//!
+//! Specialized evaluation must be **byte-identical** to running the
+//! original program with the frozen symbols bound as scalars — the
+//! tuner's golden outputs may not drift. Every rewrite is individually
+//! bit-exact for all row values (including non-finite ones), with one
+//! documented exception:
+//!
+//! * frozen `Sym` → known scalar: identical by definition (a
+//!   scalar-bound symbol is a broadcast lane of that value).
+//! * all-known folds run the same scalar kernel in the same operand
+//!   order as the batched evaluator's uniform fast path.
+//! * a known *prefix* of a fold is collapsed left-to-right — exactly
+//!   the prefix of the runtime fold — and the residual fold continues
+//!   from that value. Known operands *after* the first unknown are
+//!   kept in place (floating-point folds do not re-associate).
+//! * `x * 1.0`, `x / 1.0` are bit-exact for every `x` (including NaN,
+//!   infinities and signed zero). `min(x, +inf)`/`max(x, -inf)` are
+//!   dropped only when another known **finite** operand remains in the
+//!   fold: that operand already pins a possible NaN row the same way
+//!   the infinity would have (`f64::min(NaN, y) = y`), making the drop
+//!   exact. A known `-inf` in `min` (`+inf` in `max`) absorbs the
+//!   whole fold regardless of other rows, again matching
+//!   `f64::min`/`max` NaN semantics; a known NaN operand is the
+//!   identity of `min`/`max` and poisons `+`/`*` entirely.
+//! * `Select` with a known or domain-constant condition evaluates the
+//!   untaken branch nowhere — at runtime a uniform condition picks one
+//!   branch for the whole batch, so deleting the other is unobservable.
+//! * a `Mul` with a known `+0.0` factor collapses to `+0.0` **only**
+//!   when externally supplied interval facts ([`SweepFacts`] ranges)
+//!   prove every other factor finite and non-negative and the partial
+//!   products before the zero cannot overflow — `0 * inf = NaN` and
+//!   `0 * -x = -0.0` make the bare rewrite inexact, so without such
+//!   facts the multiplication is kept.
+//! * **Exception (signed zero):** dropping a known `±0.0` from an
+//!   `Add` maps a row result of `-0.0` to `+0.0` or vice versa when
+//!   the remaining operand is itself a zero. `-0.0` never survives the
+//!   expression builder's constant interning and the tuner's outputs
+//!   are compared with `==` (where `-0.0 == 0.0`), so the pipeline
+//!   accepts this; equivalence tests compare with `==` semantics, not
+//!   raw bits, for exactly this case. The zero-product collapse shares
+//!   the exception: a range-proved non-negative factor may still
+//!   evaluate to `-0.0`, whose product with `+0.0` is `-0.0`.
+//!
+//! Rows that evaluate non-finite still flow through the same
+//! `finite_or_inf` root materialization as before — the mapping lives
+//! outside the instruction stream and is untouched by specialization.
+
+use std::collections::HashMap;
+
+use crate::node::CmpOp;
+use crate::program::{allocate_registers, next_program_id, Op, Program, SymbolTable};
+
+/// A frozen symbol assignment for [`specialize`]: the symbols a sweep
+/// holds constant, with their values.
+///
+/// Names are deduplicated and kept sorted so that fingerprints are
+/// order-independent.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrozenSymbols {
+    /// Sorted `(name, value)` pairs.
+    pairs: Vec<(String, f64)>,
+}
+
+impl FrozenSymbols {
+    /// Builds a frozen set from `(name, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name appears twice with a different bit
+    /// pattern — a sweep that freezes one symbol at two values is a
+    /// caller bug.
+    pub fn new<N: Into<String>>(pairs: impl IntoIterator<Item = (N, f64)>) -> Self {
+        let mut pairs: Vec<(String, f64)> = pairs.into_iter().map(|(n, v)| (n.into(), v)).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        pairs.dedup_by(|dup, kept| {
+            if dup.0 != kept.0 {
+                return false;
+            }
+            assert!(
+                dup.1.to_bits() == kept.1.to_bits(),
+                "symbol `{}` frozen at both {} and {}",
+                dup.0,
+                kept.1,
+                dup.1
+            );
+            true
+        });
+        FrozenSymbols { pairs }
+    }
+
+    /// The frozen value of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.pairs
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.pairs[i].1)
+    }
+
+    /// Sorted `(name, value)` pairs.
+    pub fn pairs(&self) -> &[(String, f64)] {
+        &self.pairs
+    }
+
+    /// Number of frozen symbols.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no symbols are frozen.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The subset of this assignment that `table` actually reads.
+    /// Restricting before fingerprinting keeps cache keys stable across
+    /// sweeps that freeze irrelevant symbols.
+    pub fn restricted_to(&self, table: &SymbolTable) -> FrozenSymbols {
+        FrozenSymbols {
+            pairs: self
+                .pairs
+                .iter()
+                .filter(|(n, _)| table.index_of(n).is_some())
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Content fingerprint (FNV-1a over the sorted `(name, bits)`
+    /// pairs): stable across processes, suitable as a cache key next to
+    /// [`Program::id`].
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for (name, v) in &self.pairs {
+            eat(name.as_bytes());
+            eat(&[0xff]);
+            eat(&v.to_bits().to_le_bytes());
+        }
+        h
+    }
+}
+
+/// A `Select` whose condition an external analysis proved constant for
+/// every binding the caller will evaluate (e.g. `mist-irlint` interval
+/// analysis over the sweep's symbol domains).
+///
+/// `slot` is the **slot index of the `Select` instruction** in the
+/// original program; `taken` tells which branch the condition always
+/// picks (`true` = the `then` branch). Supplying a fact that does not
+/// actually hold for an evaluated binding silently changes results —
+/// facts are trusted, not re-checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardFact {
+    /// Slot of the `Select` instruction the fact applies to.
+    pub slot: u32,
+    /// `true` when the condition is always non-zero (then-branch).
+    pub taken: bool,
+}
+
+/// Externally proven value range of one slot of the original program,
+/// over every binding the caller will evaluate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotRange {
+    /// Lower bound of the slot's value.
+    pub lo: f64,
+    /// Upper bound of the slot's value.
+    pub hi: f64,
+    /// True when the slot provably never evaluates to NaN or ±infinity.
+    pub finite: bool,
+}
+
+/// Facts an external analysis (typically `mist-irlint` interval
+/// analysis over the tuner's sweep domains) proved about the original
+/// program, consumed by [`specialize`]:
+///
+/// * [`GuardFact`]s delete `Select` branches whose condition is
+///   constant over the sweep even though it is not frozen.
+/// * [`SlotRange`]s license the zero-product collapse: `x * 0` is *not*
+///   exact in general (`inf * 0 = NaN`, `-x * 0 = -0`), but when every
+///   other operand is provably finite and non-negative — and the
+///   partial products cannot overflow — the product is exactly `+0.0`
+///   for every in-domain row.
+///
+/// Like guard facts, ranges are trusted, not re-checked, and are sound
+/// only for in-domain bindings; rows evaluated out of domain (e.g. the
+/// tuner's `ckpt = ∞` infeasibility marker) must be discarded by the
+/// caller, never read back.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepFacts {
+    guards: Vec<GuardFact>,
+    /// Indexed by original slot; empty when no interval facts exist.
+    ranges: Vec<SlotRange>,
+}
+
+impl SweepFacts {
+    /// Builds a fact set from guard facts and per-slot ranges (`ranges`
+    /// may be empty, or shorter than the program).
+    pub fn new(guards: Vec<GuardFact>, ranges: Vec<SlotRange>) -> Self {
+        SweepFacts { guards, ranges }
+    }
+
+    /// Guard facts only (no interval information).
+    pub fn from_guards(guards: impl Into<Vec<GuardFact>>) -> Self {
+        SweepFacts {
+            guards: guards.into(),
+            ranges: Vec::new(),
+        }
+    }
+
+    /// The proven-constant `Select` guards.
+    pub fn guards(&self) -> &[GuardFact] {
+        &self.guards
+    }
+
+    /// The proven value ranges, indexed by original slot.
+    pub fn ranges(&self) -> &[SlotRange] {
+        &self.ranges
+    }
+
+    fn range(&self, slot: u32) -> Option<SlotRange> {
+        self.ranges.get(slot as usize).copied()
+    }
+}
+
+/// Counters describing what [`specialize`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpecializeStats {
+    /// Instructions in the input program.
+    pub original_instrs: usize,
+    /// Instructions in the residual program.
+    pub specialized_instrs: usize,
+    /// Slots whose value became a compile-time constant.
+    pub folded_slots: usize,
+    /// `Select` instructions deleted (known or domain-constant guard,
+    /// or both branches identical).
+    pub deleted_selects: usize,
+    /// Emitted instructions removed again by dead-slot elimination
+    /// (mostly untaken branches).
+    pub dead_slots: usize,
+}
+
+/// Result of one slot's rewrite: a compile-time constant, or an alias
+/// to a slot of the residual stream.
+#[derive(Debug, Clone, Copy)]
+enum Val {
+    Known(f64),
+    Slot(u32),
+}
+
+impl Val {
+    fn same_as(self, other: Val) -> bool {
+        match (self, other) {
+            (Val::Known(a), Val::Known(b)) => a.to_bits() == b.to_bits(),
+            (Val::Slot(a), Val::Slot(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Structural key for hash-consing emitted instructions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Const(u64),
+    Sym(u32),
+    Nary(FoldKind, Vec<u32>),
+    Div(u32, u32),
+    Floor(u32),
+    Ceil(u32),
+    Cmp(CmpOp, u32, u32),
+    Select(u32, u32, u32),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum FoldKind {
+    Add,
+    Mul,
+    Min,
+    Max,
+}
+
+impl FoldKind {
+    /// The scalar fold step — must match the batched kernels exactly.
+    fn apply(self, x: f64, y: f64) -> f64 {
+        match self {
+            FoldKind::Add => x + y,
+            FoldKind::Mul => x * y,
+            FoldKind::Min => f64::min(x, y),
+            FoldKind::Max => f64::max(x, y),
+        }
+    }
+
+    /// The identity operand this fold may drop (`x + 0`, `x * 1`,
+    /// `min(x, +inf)`, `max(x, -inf)`).
+    fn identity(self) -> f64 {
+        match self {
+            FoldKind::Add => 0.0,
+            FoldKind::Mul => 1.0,
+            FoldKind::Min => f64::INFINITY,
+            FoldKind::Max => f64::NEG_INFINITY,
+        }
+    }
+
+    /// The absorbing element: a known operand equal to this collapses
+    /// the entire fold for every row (`min` with `-inf`, `max` with
+    /// `+inf`). `Add`/`Mul` have no absorber that is exact for
+    /// non-finite rows (`0 * inf = NaN`), so only NaN poisoning
+    /// applies to them.
+    fn absorber(self) -> Option<f64> {
+        match self {
+            FoldKind::Add | FoldKind::Mul => None,
+            FoldKind::Min => Some(f64::NEG_INFINITY),
+            FoldKind::Max => Some(f64::INFINITY),
+        }
+    }
+
+    /// True when a known NaN operand forces the whole fold to NaN
+    /// (`Add`/`Mul`); for `min`/`max` NaN is instead the *identity*.
+    fn nan_poisons(self) -> bool {
+        matches!(self, FoldKind::Add | FoldKind::Mul)
+    }
+}
+
+/// The residual instruction stream under construction.
+#[derive(Default)]
+struct Emitter {
+    ops: Vec<Op>,
+    operands: Vec<u32>,
+    table: SymbolTable,
+    cse: HashMap<Key, u32>,
+}
+
+impl Emitter {
+    fn emit(&mut self, key: Key) -> u32 {
+        if let Some(&slot) = self.cse.get(&key) {
+            return slot;
+        }
+        let op = match &key {
+            Key::Const(bits) => Op::Const(f64::from_bits(*bits)),
+            Key::Sym(s) => Op::Sym(*s),
+            Key::Nary(kind, args) => {
+                let start = self.operands.len() as u32;
+                self.operands.extend_from_slice(args);
+                let len = args.len() as u32;
+                match kind {
+                    FoldKind::Add => Op::Add { start, len },
+                    FoldKind::Mul => Op::Mul { start, len },
+                    FoldKind::Min => Op::Min { start, len },
+                    FoldKind::Max => Op::Max { start, len },
+                }
+            }
+            Key::Div(a, b) => Op::Div(*a, *b),
+            Key::Floor(a) => Op::Floor(*a),
+            Key::Ceil(a) => Op::Ceil(*a),
+            Key::Cmp(c, a, b) => Op::Cmp(*c, *a, *b),
+            Key::Select(c, a, b) => Op::Select(*c, *a, *b),
+        };
+        let slot = self.ops.len() as u32;
+        self.ops.push(op);
+        self.cse.insert(key, slot);
+        slot
+    }
+
+    fn konst(&mut self, v: f64) -> u32 {
+        self.emit(Key::Const(v.to_bits()))
+    }
+
+    fn sym(&mut self, name: &str) -> u32 {
+        let idx = self.table.intern(name);
+        self.emit(Key::Sym(idx))
+    }
+
+    fn resolve(&mut self, v: Val) -> u32 {
+        match v {
+            Val::Known(c) => self.konst(c),
+            Val::Slot(s) => s,
+        }
+    }
+}
+
+/// Rewrites one n-ary fold given its operands' rewrite results.
+fn rewrite_fold(kind: FoldKind, args: &[Val], em: &mut Emitter) -> Val {
+    // All-known: run the exact scalar fold at specialization time.
+    let known: Option<Vec<f64>> = args
+        .iter()
+        .map(|v| match v {
+            Val::Known(c) => Some(*c),
+            Val::Slot(_) => None,
+        })
+        .collect();
+    if let Some(ks) = known {
+        let mut acc = ks[0];
+        for &k in &ks[1..] {
+            acc = kind.apply(acc, k);
+        }
+        return Val::Known(acc);
+    }
+
+    // Absorbing / poisoning known operands collapse the fold outright.
+    for v in args {
+        if let Val::Known(c) = v {
+            if kind.nan_poisons() && c.is_nan() {
+                return Val::Known(f64::NAN);
+            }
+            if let Some(abs) = kind.absorber() {
+                if c.to_bits() == abs.to_bits() {
+                    return Val::Known(abs);
+                }
+            }
+        }
+    }
+
+    // Collapse the known *prefix* left-to-right — exactly the prefix of
+    // the runtime fold — then keep the rest in order.
+    let mut prefix: Option<f64> = None;
+    let mut rest = args;
+    while let Some((&Val::Known(c), tail)) = rest.split_first() {
+        prefix = Some(prefix.map_or(c, |a| kind.apply(a, c)));
+        rest = tail;
+    }
+
+    // Identity dropping in the tail. min/max identity infinities are
+    // only droppable when a known finite operand stays in the fold to
+    // pin NaN rows the same way (see module docs); +-0 / 1 / NaN
+    // identities are unconditional.
+    let keeps_known_finite = prefix.is_some_and(f64::is_finite)
+        || rest
+            .iter()
+            .any(|v| matches!(v, Val::Known(c) if c.is_finite()));
+    let mut kept: Vec<Val> = Vec::with_capacity(rest.len() + 1);
+    if let Some(p) = prefix {
+        kept.push(Val::Known(p));
+    }
+    for v in rest {
+        if let Val::Known(c) = v {
+            let droppable = match kind {
+                FoldKind::Add => *c == 0.0,
+                FoldKind::Mul => c.to_bits() == 1.0f64.to_bits(),
+                FoldKind::Min | FoldKind::Max => {
+                    c.is_nan() || (c.to_bits() == kind.identity().to_bits() && keeps_known_finite)
+                }
+            };
+            if droppable {
+                continue;
+            }
+        }
+        kept.push(*v);
+    }
+    // A leading known identity also drops once something follows it
+    // (`0 + x` -> `x` is exact except for the documented signed-zero
+    // case; `1 * x` and NaN-identity min/max are exact everywhere).
+    if kept.len() > 1 {
+        if let Val::Known(c) = kept[0] {
+            let droppable = match kind {
+                FoldKind::Add => c == 0.0,
+                FoldKind::Mul => c.to_bits() == 1.0f64.to_bits(),
+                FoldKind::Min | FoldKind::Max => c.is_nan(),
+            };
+            if droppable {
+                kept.remove(0);
+            }
+        }
+    }
+
+    match kept.len() {
+        0 => unreachable!("an all-known fold returned before simplification"),
+        // A single operand folds to itself (`fold` of one column is a
+        // copy) — alias instead of emitting.
+        1 => kept[0],
+        _ => {
+            let slots: Vec<u32> = kept.iter().map(|v| em.resolve(*v)).collect();
+            Val::Slot(em.emit(Key::Nary(kind, slots)))
+        }
+    }
+}
+
+/// Whether a `Mul` with the given original operand `slots` and rewritten
+/// `args` provably evaluates to `+0.0` for every in-domain row.
+///
+/// Requires a `Known(+0.0)` factor, and for *every* operand either a
+/// known finite non-negative value or a [`SlotRange`] proving the slot
+/// finite with `lo >= 0.0`. The sequential product is then non-negative
+/// at every step; the running upper bound of the partial products
+/// *before* the zero factor must additionally stay finite (folding upper
+/// bounds left-to-right is conservative under round-to-nearest), ruling
+/// out `inf * 0 = NaN` from intermediate overflow. After the zero the
+/// partial product is `+0.0` and stays `+0.0` under finite non-negative
+/// factors.
+///
+/// One documented inexactness, mirroring the `+0.0` identity drop for
+/// `Add`: a slot with `lo >= 0.0` may still evaluate to `-0.0`, whose
+/// product with `+0.0` is `-0.0`, not the `+0.0` this collapse yields.
+/// The two compare equal under `==`; callers needing bit-exact `-0.0`
+/// must not supply ranges.
+fn mul_collapses_to_zero(slots: &[u32], args: &[Val], facts: &SweepFacts) -> bool {
+    let Some(zero_pos) = args
+        .iter()
+        .position(|v| matches!(v, Val::Known(c) if c.to_bits() == 0))
+    else {
+        return false;
+    };
+    let mut partial_hi = 1.0f64;
+    for (i, (&slot, arg)) in slots.iter().zip(args).enumerate() {
+        let (lo, hi) = match *arg {
+            Val::Known(c) => {
+                if !c.is_finite() || c.is_sign_negative() {
+                    return false;
+                }
+                (c, c)
+            }
+            Val::Slot(_) => match facts.range(slot) {
+                Some(r) if r.finite && r.lo >= 0.0 => (r.lo, r.hi),
+                _ => return false,
+            },
+        };
+        debug_assert!(lo >= 0.0);
+        if i < zero_pos {
+            partial_hi *= hi;
+            if !partial_hi.is_finite() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Specializes `program` against `frozen`, returning the residual
+/// program. See the [module docs](self) for the pass pipeline and the
+/// exactness guarantees.
+///
+/// `facts` may carry externally proven [`GuardFact`]s and
+/// [`SlotRange`]s (typically from `mist-irlint` interval analysis over
+/// the sweep's symbol domains); pass `&SweepFacts::default()` to
+/// specialize on frozen symbols alone. The residual program keeps every
+/// root, in order, under the same labels.
+pub fn specialize(program: &Program, frozen: &FrozenSymbols, facts: &SweepFacts) -> Program {
+    specialize_with_stats(program, frozen, facts).0
+}
+
+/// [`specialize`], also returning pass statistics.
+pub fn specialize_with_stats(
+    program: &Program,
+    frozen: &FrozenSymbols,
+    facts: &SweepFacts,
+) -> (Program, SpecializeStats) {
+    let guard_of: HashMap<u32, bool> = facts.guards().iter().map(|g| (g.slot, g.taken)).collect();
+    let mut stats = SpecializeStats {
+        original_instrs: program.ops.len(),
+        ..SpecializeStats::default()
+    };
+
+    // Passes 1-3: forward rewrite (fold, simplify, delete branches).
+    let mut em = Emitter::default();
+    let mut vals: Vec<Val> = Vec::with_capacity(program.ops.len());
+    for (slot, op) in program.ops.iter().enumerate() {
+        let arena =
+            |start: u32, len: u32| &program.operands[start as usize..(start + len) as usize];
+        let val = match *op {
+            Op::Const(c) => Val::Known(c),
+            Op::Sym(s) => {
+                let name = &program.table.names()[s as usize];
+                match frozen.get(name) {
+                    Some(v) => Val::Known(v),
+                    None => Val::Slot(em.sym(name)),
+                }
+            }
+            Op::Add { start, len } => {
+                let args: Vec<Val> = arena(start, len)
+                    .iter()
+                    .map(|&s| vals[s as usize])
+                    .collect();
+                rewrite_fold(FoldKind::Add, &args, &mut em)
+            }
+            Op::Mul { start, len } => {
+                let slots = arena(start, len);
+                let args: Vec<Val> = slots.iter().map(|&s| vals[s as usize]).collect();
+                // A residual (non-all-known) product with a known +0.0
+                // factor collapses to +0.0 when the interval facts prove
+                // the collapse exact; otherwise fall through to the
+                // generic rewrite (which, for all-known args, folds the
+                // exact sequential product anyway).
+                if args.iter().any(|v| matches!(v, Val::Slot(_)))
+                    && mul_collapses_to_zero(slots, &args, facts)
+                {
+                    Val::Known(0.0)
+                } else {
+                    rewrite_fold(FoldKind::Mul, &args, &mut em)
+                }
+            }
+            Op::Min { start, len } => {
+                let args: Vec<Val> = arena(start, len)
+                    .iter()
+                    .map(|&s| vals[s as usize])
+                    .collect();
+                rewrite_fold(FoldKind::Min, &args, &mut em)
+            }
+            Op::Max { start, len } => {
+                let args: Vec<Val> = arena(start, len)
+                    .iter()
+                    .map(|&s| vals[s as usize])
+                    .collect();
+                rewrite_fold(FoldKind::Max, &args, &mut em)
+            }
+            Op::Div(a, b) => match (vals[a as usize], vals[b as usize]) {
+                (Val::Known(x), Val::Known(y)) => Val::Known(x / y),
+                // x / NaN and NaN / x are NaN for every x.
+                (Val::Known(x), _) if x.is_nan() => Val::Known(f64::NAN),
+                (_, Val::Known(y)) if y.is_nan() => Val::Known(f64::NAN),
+                // x / 1 is bit-exact for every x.
+                (va, Val::Known(y)) if y.to_bits() == 1.0f64.to_bits() => va,
+                (va, vb) => {
+                    let (sa, sb) = (em.resolve(va), em.resolve(vb));
+                    Val::Slot(em.emit(Key::Div(sa, sb)))
+                }
+            },
+            Op::Floor(a) => match vals[a as usize] {
+                Val::Known(x) => Val::Known(x.floor()),
+                Val::Slot(s) => Val::Slot(em.emit(Key::Floor(s))),
+            },
+            Op::Ceil(a) => match vals[a as usize] {
+                Val::Known(x) => Val::Known(x.ceil()),
+                Val::Slot(s) => Val::Slot(em.emit(Key::Ceil(s))),
+            },
+            Op::Cmp(cmp, a, b) => match (vals[a as usize], vals[b as usize]) {
+                (Val::Known(x), Val::Known(y)) => Val::Known(cmp.apply(x, y)),
+                (va, vb) => {
+                    let (sa, sb) = (em.resolve(va), em.resolve(vb));
+                    Val::Slot(em.emit(Key::Cmp(cmp, sa, sb)))
+                }
+            },
+            Op::Select(c, a, b) => {
+                let (vc, va, vb) = (vals[c as usize], vals[a as usize], vals[b as usize]);
+                if let Val::Known(cv) = vc {
+                    stats.deleted_selects += 1;
+                    // NaN conditions compare `!= 0.0` as true, same as
+                    // the runtime kernels.
+                    if cv != 0.0 {
+                        va
+                    } else {
+                        vb
+                    }
+                } else if let Some(&taken) = guard_of.get(&(slot as u32)) {
+                    stats.deleted_selects += 1;
+                    if taken {
+                        va
+                    } else {
+                        vb
+                    }
+                } else if va.same_as(vb) {
+                    // Both branches produce the same value row-for-row.
+                    stats.deleted_selects += 1;
+                    va
+                } else {
+                    let (sc, sa, sb) = (em.resolve(vc), em.resolve(va), em.resolve(vb));
+                    Val::Slot(em.emit(Key::Select(sc, sa, sb)))
+                }
+            }
+        };
+        vals.push(val);
+    }
+    stats.folded_slots = vals.iter().filter(|v| matches!(v, Val::Known(_))).count();
+
+    // Known roots still need an output slot: materialize them as
+    // constants (appending is safe — constants have no operands).
+    let roots: Vec<u32> = program
+        .roots
+        .iter()
+        .map(|&r| em.resolve(vals[r as usize]))
+        .collect();
+
+    // Pass 4: dead-slot elimination + compaction + symbol-table rebuild.
+    let emitted = em.ops.len();
+    let (ops, operands, roots, table) = sweep_dead_slots(em, &roots);
+    stats.dead_slots = emitted - ops.len();
+    stats.specialized_instrs = ops.len();
+
+    // Pass 5: register re-allocation over the compacted stream.
+    let (regs, num_regs) = allocate_registers(&ops, &operands, &roots);
+
+    mist_telemetry::gauge_max("symbolic.program.specialized_instrs", ops.len() as f64);
+    let specialized = Program {
+        id: next_program_id(),
+        ops,
+        operands,
+        regs,
+        num_regs,
+        table,
+        roots,
+        labels: program.labels.clone(),
+    };
+    (specialized, stats)
+}
+
+/// Removes instructions unreachable from the roots, compacts the
+/// stream and operand arena, and rebuilds the symbol table so only
+/// symbols still read remain interned (and thus required at binding
+/// time).
+fn sweep_dead_slots(em: Emitter, roots: &[u32]) -> (Vec<Op>, Vec<u32>, Vec<u32>, SymbolTable) {
+    let Emitter {
+        ops: old_ops,
+        operands: old_operands,
+        table: old_table,
+        ..
+    } = em;
+
+    let mut live = vec![false; old_ops.len()];
+    for &r in roots {
+        live[r as usize] = true;
+    }
+    let each_operand = |op: &Op, f: &mut dyn FnMut(u32)| match *op {
+        Op::Const(_) | Op::Sym(_) => {}
+        Op::Add { start, len }
+        | Op::Mul { start, len }
+        | Op::Min { start, len }
+        | Op::Max { start, len } => {
+            for &s in &old_operands[start as usize..(start + len) as usize] {
+                f(s);
+            }
+        }
+        Op::Div(a, b) | Op::Cmp(_, a, b) => {
+            f(a);
+            f(b);
+        }
+        Op::Floor(a) | Op::Ceil(a) => f(a),
+        Op::Select(c, a, b) => {
+            f(c);
+            f(a);
+            f(b);
+        }
+    };
+    for slot in (0..old_ops.len()).rev() {
+        if live[slot] {
+            each_operand(&old_ops[slot], &mut |s| live[s as usize] = true);
+        }
+    }
+
+    let mut remap = vec![u32::MAX; old_ops.len()];
+    let mut sym_remap: HashMap<u32, u32> = HashMap::new();
+    let mut table = SymbolTable::default();
+    let mut ops: Vec<Op> = Vec::new();
+    let mut operands: Vec<u32> = Vec::new();
+    for (slot, op) in old_ops.iter().enumerate() {
+        if !live[slot] {
+            continue;
+        }
+        let new_op = match *op {
+            Op::Const(c) => Op::Const(c),
+            Op::Sym(s) => {
+                let idx = *sym_remap
+                    .entry(s)
+                    .or_insert_with(|| table.intern(&old_table.names()[s as usize]));
+                Op::Sym(idx)
+            }
+            Op::Add { start, len }
+            | Op::Mul { start, len }
+            | Op::Min { start, len }
+            | Op::Max { start, len } => {
+                let new_start = operands.len() as u32;
+                operands.extend(
+                    old_operands[start as usize..(start + len) as usize]
+                        .iter()
+                        .map(|&s| remap[s as usize]),
+                );
+                match *op {
+                    Op::Add { .. } => Op::Add {
+                        start: new_start,
+                        len,
+                    },
+                    Op::Mul { .. } => Op::Mul {
+                        start: new_start,
+                        len,
+                    },
+                    Op::Min { .. } => Op::Min {
+                        start: new_start,
+                        len,
+                    },
+                    _ => Op::Max {
+                        start: new_start,
+                        len,
+                    },
+                }
+            }
+            Op::Div(a, b) => Op::Div(remap[a as usize], remap[b as usize]),
+            Op::Floor(a) => Op::Floor(remap[a as usize]),
+            Op::Ceil(a) => Op::Ceil(remap[a as usize]),
+            Op::Cmp(c, a, b) => Op::Cmp(c, remap[a as usize], remap[b as usize]),
+            Op::Select(c, a, b) => {
+                Op::Select(remap[c as usize], remap[a as usize], remap[b as usize])
+            }
+        };
+        remap[slot] = ops.len() as u32;
+        ops.push(new_op);
+    }
+    let roots: Vec<u32> = roots.iter().map(|&r| remap[r as usize]).collect();
+    (ops, operands, roots, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::BatchBindings;
+    use crate::{Context, EvalWorkspace};
+
+    fn outputs(p: &Program, batch: &BatchBindings) -> Vec<Vec<f64>> {
+        let mut ws = EvalWorkspace::new();
+        p.eval_batch(batch, &mut ws).unwrap();
+        (0..p.num_roots()).map(|i| ws.output(i).to_vec()).collect()
+    }
+
+    #[test]
+    fn freezing_folds_constants_and_deletes_branches() {
+        let ctx = Context::new();
+        let x = ctx.symbol("x");
+        let z = ctx.symbol("z");
+        let guard = ctx.cmp(CmpOp::Ge, z, ctx.constant(2.0));
+        let e = ctx.select(guard, x * 3.0, x * 5.0) + z * 10.0;
+        let program = ctx.compile_program(&[("e", e)]);
+
+        let frozen = FrozenSymbols::new([("z", 3.0)]);
+        let (spec, stats) = specialize_with_stats(&program, &frozen, &SweepFacts::default());
+        assert!(
+            spec.len() < program.len(),
+            "specialized {} vs original {}",
+            spec.len(),
+            program.len()
+        );
+        assert_eq!(stats.deleted_selects, 1);
+        assert!(stats.folded_slots > 0);
+        // The untaken branch (x * 5.0) must be gone entirely.
+        assert!(!spec.instrs().any(|i| matches!(i, crate::Instr::Select(..))));
+
+        let mut batch = BatchBindings::new(3);
+        batch.set_values("x", vec![1.0, 2.0, -4.5]);
+        let mut full = batch.clone();
+        full.set_scalar("z", 3.0);
+        assert_eq!(outputs(&spec, &batch), outputs(&program, &full));
+    }
+
+    #[test]
+    fn identity_operands_are_dropped() {
+        let ctx = Context::new();
+        let x = ctx.symbol("x");
+        let k = ctx.symbol("k");
+        let z = ctx.symbol("z");
+        // k freezes to 1 and z to 0: x * 1, + 0 and / 1 are all
+        // identity operations and must reduce to the bare symbol read.
+        let e = (x * k + z) / k;
+        let program = ctx.compile_program(&[("e", e)]);
+        let frozen = FrozenSymbols::new([("k", 1.0), ("z", 0.0)]);
+        let spec = specialize(&program, &frozen, &SweepFacts::default());
+        assert_eq!(spec.len(), 1, "{:?}", spec.instrs().collect::<Vec<_>>());
+
+        let mut batch = BatchBindings::new(4);
+        batch.set_values("x", vec![-0.0, 7.25, f64::INFINITY, f64::NAN]);
+        let mut full = batch.clone();
+        full.set_scalar("k", 1.0);
+        full.set_scalar("z", 0.0);
+        assert_eq!(outputs(&spec, &batch), outputs(&program, &full));
+    }
+
+    #[test]
+    fn min_identity_drop_requires_finite_witness() {
+        let ctx = Context::new();
+        let x = ctx.symbol("x");
+        let cap = ctx.symbol("cap");
+        let with_witness = x.min(cap).min(ctx.constant(100.0));
+        let without_witness = x.min(cap);
+        let program = ctx.compile_program(&[("with", with_witness), ("without", without_witness)]);
+        let frozen = FrozenSymbols::new([("cap", f64::INFINITY)]);
+        let spec = specialize(&program, &frozen, &SweepFacts::default());
+
+        // NaN rows are where the drop rules bite: min(NaN, inf) = inf
+        // must be preserved when no finite witness exists.
+        let mut batch = BatchBindings::new(3);
+        batch.set_values("x", vec![5.0, f64::NAN, -1.0]);
+        let mut full = batch.clone();
+        full.set_scalar("cap", f64::INFINITY);
+        assert_eq!(outputs(&spec, &batch), outputs(&program, &full));
+    }
+
+    #[test]
+    fn zero_product_collapses_only_with_interval_facts() {
+        let ctx = Context::new();
+        let x = ctx.symbol("x");
+        let w = ctx.symbol("w");
+        let e = x * w + 1.0;
+        let program = ctx.compile_program(&[("e", e)]);
+        let frozen = FrozenSymbols::new([("w", 0.0)]);
+
+        // Without facts the multiplication survives: a row of `x` could
+        // be infinite (0 * inf = NaN) or negative (sign of the zero).
+        let bare = specialize(&program, &frozen, &SweepFacts::default());
+        assert!(bare.instrs().any(|i| matches!(i, crate::Instr::Mul(..))));
+
+        // With every slot proven finite and non-negative the product is
+        // exactly +0.0 and the whole root folds to the constant 1.0.
+        let ranges = vec![
+            SlotRange {
+                lo: 0.0,
+                hi: 1e6,
+                finite: true
+            };
+            program.len()
+        ];
+        let spec = specialize(&program, &frozen, &SweepFacts::new(Vec::new(), ranges));
+        assert_eq!(spec.len(), 1, "{:?}", spec.instrs().collect::<Vec<_>>());
+
+        let mut batch = BatchBindings::new(3);
+        batch.set_values("x", vec![0.0, 3.5, 1e6]); // in-domain rows
+        let mut full = batch.clone();
+        full.set_scalar("w", 0.0);
+        assert_eq!(outputs(&spec, &batch), outputs(&program, &full));
+    }
+
+    #[test]
+    fn zero_product_collapse_rejects_unproven_factors() {
+        let finite = SlotRange {
+            lo: 0.0,
+            hi: 10.0,
+            finite: true,
+        };
+        let facts = |r: SlotRange| SweepFacts::new(Vec::new(), vec![r, finite]);
+        let slots = [0u32, 1];
+        let args = [Val::Slot(0), Val::Known(0.0)];
+        assert!(mul_collapses_to_zero(&slots, &args, &facts(finite)));
+        // A possibly negative factor would flip the zero's sign.
+        let maybe_neg = SlotRange { lo: -1.0, ..finite };
+        assert!(!mul_collapses_to_zero(&slots, &args, &facts(maybe_neg)));
+        // A possibly non-finite factor could make the product NaN.
+        let maybe_inf = SlotRange {
+            finite: false,
+            ..finite
+        };
+        assert!(!mul_collapses_to_zero(&slots, &args, &facts(maybe_inf)));
+        // A slot with no range at all is unproven.
+        assert!(!mul_collapses_to_zero(
+            &slots,
+            &args,
+            &SweepFacts::default()
+        ));
+        // A known -0.0 factor never triggers the collapse.
+        assert!(!mul_collapses_to_zero(
+            &slots,
+            &[Val::Slot(0), Val::Known(-0.0)],
+            &facts(finite)
+        ));
+        // Partial products *before* the zero must not overflow to inf…
+        let big = SlotRange {
+            lo: 0.0,
+            hi: 1e300,
+            finite: true,
+        };
+        let facts3 = SweepFacts::new(Vec::new(), vec![big, big, finite]);
+        assert!(!mul_collapses_to_zero(
+            &[0, 1, 2],
+            &[Val::Slot(0), Val::Slot(1), Val::Known(0.0)],
+            &facts3
+        ));
+        // …but the same magnitudes after the zero are fine: the partial
+        // product is already exactly +0.0.
+        assert!(mul_collapses_to_zero(
+            &[2, 0, 1],
+            &[Val::Known(0.0), Val::Slot(0), Val::Slot(1)],
+            &facts3
+        ));
+    }
+
+    #[test]
+    fn known_prefix_folds_without_reassociation() {
+        let ctx = Context::new();
+        let x = ctx.symbol("x");
+        let a = ctx.symbol("a");
+        let b = ctx.symbol("b");
+        // Sorted n-ary operands put the symbols in deterministic order;
+        // freezing a and b leaves a known prefix and an interior hole.
+        let e = a + b + x + 0.1 + 0.2;
+        let program = ctx.compile_program(&[("e", e)]);
+        let frozen = FrozenSymbols::new([("a", 0.1), ("b", 0.2)]);
+        let spec = specialize(&program, &frozen, &SweepFacts::default());
+
+        let mut batch = BatchBindings::new(2);
+        batch.set_values("x", vec![1e-17, 3.25]);
+        let mut full = batch.clone();
+        full.set_scalar("a", 0.1);
+        full.set_scalar("b", 0.2);
+        assert_eq!(outputs(&spec, &batch), outputs(&program, &full));
+    }
+
+    #[test]
+    fn guard_facts_delete_selects_without_frozen_condition() {
+        let ctx = Context::new();
+        let x = ctx.symbol("x");
+        let z = ctx.symbol("z");
+        let guard = ctx.cmp(CmpOp::Ge, z, ctx.constant(2.0));
+        let e = ctx.select(guard, x * 3.0, x * 5.0);
+        let program = ctx.compile_program(&[("e", e)]);
+        let select_slot = (0..program.len())
+            .find(|&s| matches!(program.instr(s), crate::Instr::Select(..)))
+            .unwrap() as u32;
+
+        // An external analysis proved z < 2 over the sweep domain.
+        let spec = specialize(
+            &program,
+            &FrozenSymbols::default(),
+            &SweepFacts::from_guards(vec![GuardFact {
+                slot: select_slot,
+                taken: false,
+            }]),
+        );
+        assert!(!spec.instrs().any(|i| matches!(i, crate::Instr::Select(..))));
+        let mut batch = BatchBindings::new(2);
+        batch.set_values("x", vec![1.0, 2.0]);
+        batch.set_values("z", vec![0.0, 1.0]); // in-domain rows
+        assert_eq!(outputs(&spec, &batch), outputs(&program, &batch));
+    }
+
+    #[test]
+    fn all_known_roots_materialize_as_constants() {
+        let ctx = Context::new();
+        let z = ctx.symbol("z");
+        let program = ctx.compile_program(&[("a", z * 2.0 + 1.0), ("b", z.floor())]);
+        let spec = specialize(
+            &program,
+            &FrozenSymbols::new([("z", 3.5)]),
+            &SweepFacts::default(),
+        );
+        assert_eq!(spec.len(), 2);
+        assert!(spec.symbols().is_empty());
+
+        let batch = BatchBindings::new(3);
+        let got = outputs(&spec, &batch);
+        assert_eq!(got[0], vec![8.0; 3]);
+        assert_eq!(got[1], vec![3.0; 3]);
+    }
+
+    #[test]
+    fn residual_table_only_requires_surviving_symbols() {
+        let ctx = Context::new();
+        let x = ctx.symbol("x");
+        let y = ctx.symbol("y");
+        let z = ctx.symbol("z");
+        let guard = ctx.cmp(CmpOp::Gt, z, ctx.constant(0.0));
+        // y is only read in the untaken branch.
+        let e = ctx.select(guard, x + 1.0, y * 2.0);
+        let program = ctx.compile_program(&[("e", e)]);
+        let spec = specialize(
+            &program,
+            &FrozenSymbols::new([("z", 1.0)]),
+            &SweepFacts::default(),
+        );
+        assert_eq!(spec.symbols().names(), &["x".to_string()]);
+
+        // Binding only x works; the original would demand y and z too.
+        let mut batch = BatchBindings::new(2);
+        batch.set_values("x", vec![1.0, 2.0]);
+        assert_eq!(outputs(&spec, &batch)[0], vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent_and_value_sensitive() {
+        let a = FrozenSymbols::new([("x", 1.0), ("y", 2.0)]);
+        let b = FrozenSymbols::new([("y", 2.0), ("x", 1.0)]);
+        let c = FrozenSymbols::new([("x", 1.0), ("y", 2.5)]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn restriction_drops_unread_symbols() {
+        let ctx = Context::new();
+        let x = ctx.symbol("x");
+        let program = ctx.compile_program(&[("e", x + 1.0)]);
+        let frozen = FrozenSymbols::new([("x", 1.0), ("unrelated", 9.0)]);
+        let restricted = frozen.restricted_to(program.symbols());
+        assert_eq!(restricted.pairs(), &[("x".to_string(), 1.0)]);
+    }
+
+    #[test]
+    fn specialized_ids_are_fresh() {
+        let ctx = Context::new();
+        let x = ctx.symbol("x");
+        let program = ctx.compile_program(&[("e", x + 1.0)]);
+        let spec = specialize(&program, &FrozenSymbols::default(), &SweepFacts::default());
+        assert_ne!(program.id(), spec.id());
+        assert_ne!(spec.id(), 0);
+    }
+}

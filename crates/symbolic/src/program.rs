@@ -30,10 +30,19 @@
 //! [`Tape::eval_batch`](crate::Tape::eval_batch) does.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::SymbolicError;
 use crate::node::{CmpOp, ExprId, Node, SymbolId};
 use crate::tape::{BatchBindings, Column};
+
+/// Process-wide program id source. Ids start at 1 so that a fresh
+/// [`EvalWorkspace`] (`prepared == 0`) is never considered prepared.
+static NEXT_PROGRAM_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_program_id() -> u64 {
+    NEXT_PROGRAM_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Interned symbol names with O(1) name→input-slot lookup.
 #[derive(Debug, Clone, Default)]
@@ -248,17 +257,21 @@ impl Instr<'_> {
 /// workspace by root index.
 #[derive(Debug, Clone)]
 pub struct Program {
-    ops: Vec<Op>,
+    /// Process-unique identity (clones share it — they are the same
+    /// program). Keys the tuner's specialization cache and the
+    /// workspace's prepared-state check.
+    pub(crate) id: u64,
+    pub(crate) ops: Vec<Op>,
     /// Flat operand arena for `Add`/`Mul`/`Min`/`Max` (slot indices).
-    operands: Vec<u32>,
+    pub(crate) operands: Vec<u32>,
     /// Destination register per slot (parallel to `ops`).
-    regs: Vec<u32>,
-    num_regs: usize,
-    table: SymbolTable,
+    pub(crate) regs: Vec<u32>,
+    pub(crate) num_regs: usize,
+    pub(crate) table: SymbolTable,
     /// Output slot per root.
-    roots: Vec<u32>,
+    pub(crate) roots: Vec<u32>,
     /// Human-readable root labels (for errors and lookup).
-    labels: Vec<String>,
+    pub(crate) labels: Vec<String>,
 }
 
 impl Program {
@@ -351,6 +364,7 @@ impl Program {
         mist_telemetry::gauge_max("symbolic.program.instrs", ops.len() as f64);
         mist_telemetry::gauge_max("symbolic.program.regs", num_regs as f64);
         Program {
+            id: next_program_id(),
             ops,
             operands,
             regs,
@@ -359,6 +373,14 @@ impl Program {
             roots: root_slots,
             labels,
         }
+    }
+
+    /// Process-unique program identity. Clones share the id (they are
+    /// the same program); every compile or specialization produces a
+    /// fresh one. Suitable as a cache key together with a
+    /// frozen-symbol fingerprint.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// The interned symbol table (names in input-slot order).
@@ -456,10 +478,12 @@ impl Program {
         let n = bindings.len();
         let cols = self.table.resolve_batch(bindings)?;
 
-        ws.lanes.clear();
-        ws.lanes.reserve(self.ops.len());
-        if ws.regs.len() < self.num_regs {
-            ws.regs.resize_with(self.num_regs, Vec::new);
+        // Steady state (same program as last call): the workspace is
+        // already sized, so only the per-slot lane tags reset.
+        if ws.prepared != self.id {
+            ws.prepare(self);
+        } else {
+            ws.lanes.clear();
         }
 
         for (slot, op) in self.ops.iter().enumerate() {
@@ -468,9 +492,6 @@ impl Program {
         }
 
         // Materialize root outputs with the non-finite → INFINITY mapping.
-        if ws.outputs.len() < self.roots.len() {
-            ws.outputs.resize_with(self.roots.len(), Vec::new);
-        }
         for (i, &root) in self.roots.iter().enumerate() {
             let lane = ws.lanes[root as usize];
             let out = &mut ws.outputs[i];
@@ -614,8 +635,13 @@ impl Program {
         // any live operand, so taking the buffer out cannot invalidate
         // an operand view.
         let mut buf = std::mem::take(&mut ws.regs[dst]);
-        buf.clear();
-        buf.resize(n, 0.0);
+        // Every kernel overwrites the full destination, so stale
+        // contents from the previous batch never leak; only a batch-size
+        // change pays the resize.
+        if buf.len() != n {
+            buf.clear();
+            buf.resize(n, 0.0);
+        }
         {
             let view = |s: u32| lane_view(ws.lanes[s as usize], cols, &ws.regs);
             match op {
@@ -637,8 +663,19 @@ impl Program {
                 Op::Div(a, b) => bin_kernel(&mut buf, view(a), view(b), |x, y| x / y),
                 Op::Floor(a) => unary_kernel(&mut buf, view(a), f64::floor),
                 Op::Ceil(a) => unary_kernel(&mut buf, view(a), f64::ceil),
+                // The comparison operator is dispatched once per
+                // instruction, not once per row: each arm monomorphizes
+                // a branchless chunked kernel (`bool as f64` produces
+                // exactly the 1.0/0.0 of `CmpOp::apply`).
                 Op::Cmp(cmp, a, b) => {
-                    bin_kernel(&mut buf, view(a), view(b), |x, y| cmp.apply(x, y))
+                    let (va, vb) = (view(a), view(b));
+                    match cmp {
+                        CmpOp::Le => bin_kernel(&mut buf, va, vb, |x, y| f64::from(x <= y)),
+                        CmpOp::Lt => bin_kernel(&mut buf, va, vb, |x, y| f64::from(x < y)),
+                        CmpOp::Ge => bin_kernel(&mut buf, va, vb, |x, y| f64::from(x >= y)),
+                        CmpOp::Gt => bin_kernel(&mut buf, va, vb, |x, y| f64::from(x > y)),
+                        CmpOp::Eq => bin_kernel(&mut buf, va, vb, |x, y| f64::from(x == y)),
+                    }
                 }
                 Op::Select(c, a, b) => select_kernel(&mut buf, view(c), view(a), view(b)),
             }
@@ -707,7 +744,7 @@ fn finite_or_inf(v: f64) -> f64 {
 /// destination never aliases a same-instruction operand — which keeps
 /// the evaluation kernels free to write the destination while reading
 /// operand views.
-fn allocate_registers(ops: &[Op], operands: &[u32], roots: &[u32]) -> (Vec<u32>, usize) {
+pub(crate) fn allocate_registers(ops: &[Op], operands: &[u32], roots: &[u32]) -> (Vec<u32>, usize) {
     let num = ops.len();
     let mut last_use: Vec<u32> = (0..num as u32).collect();
     let each_operand = |op: &Op, f: &mut dyn FnMut(u32)| match *op {
@@ -788,9 +825,105 @@ fn lane_view<'a>(lane: Lane, cols: &[&'a Column], regs: &'a [Vec<f64>]) -> ArgVi
     }
 }
 
+/// Row-chunk width of the columnar kernels. Eight `f64`s span one or
+/// two SIMD registers on every target we care about, and a fixed-width
+/// inner loop over a `chunks_exact` window is what the autovectorizer
+/// turns into straight-line vector code.
+const CHUNK: usize = 8;
+
+/// `dst[i] = f(src[i])`, chunked with a scalar tail.
+#[inline]
+fn map1(dst: &mut [f64], src: &[f64], f: impl Fn(f64) -> f64 + Copy) {
+    let mut d = dst.chunks_exact_mut(CHUNK);
+    let mut s = src.chunks_exact(CHUNK);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        for (x, y) in dc.iter_mut().zip(sc) {
+            *x = f(*y);
+        }
+    }
+    for (x, y) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *x = f(*y);
+    }
+}
+
+/// `dst[i] = f(a[i], b[i])`, chunked with a scalar tail.
+#[inline]
+fn map2(dst: &mut [f64], a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64 + Copy) {
+    let mut d = dst.chunks_exact_mut(CHUNK);
+    let mut sa = a.chunks_exact(CHUNK);
+    let mut sb = b.chunks_exact(CHUNK);
+    for ((dc, ac), bc) in (&mut d).zip(&mut sa).zip(&mut sb) {
+        for ((x, p), q) in dc.iter_mut().zip(ac).zip(bc) {
+            *x = f(*p, *q);
+        }
+    }
+    let tail = d
+        .into_remainder()
+        .iter_mut()
+        .zip(sa.remainder())
+        .zip(sb.remainder());
+    for ((x, p), q) in tail {
+        *x = f(*p, *q);
+    }
+}
+
+/// `dst[i] = f(a[i], b[i], c[i])`, chunked with a scalar tail.
+#[inline]
+fn map3(dst: &mut [f64], a: &[f64], b: &[f64], c: &[f64], f: impl Fn(f64, f64, f64) -> f64 + Copy) {
+    let mut d = dst.chunks_exact_mut(CHUNK);
+    let mut sa = a.chunks_exact(CHUNK);
+    let mut sb = b.chunks_exact(CHUNK);
+    let mut sc = c.chunks_exact(CHUNK);
+    for (((dc, ac), bc), cc) in (&mut d).zip(&mut sa).zip(&mut sb).zip(&mut sc) {
+        for (((x, p), q), r) in dc.iter_mut().zip(ac).zip(bc).zip(cc) {
+            *x = f(*p, *q, *r);
+        }
+    }
+    let tail = d
+        .into_remainder()
+        .iter_mut()
+        .zip(sa.remainder())
+        .zip(sb.remainder())
+        .zip(sc.remainder());
+    for (((x, p), q), r) in tail {
+        *x = f(*p, *q, *r);
+    }
+}
+
+/// In-place `dst[i] = f(dst[i], v)`, chunked with a scalar tail.
+#[inline]
+fn fold_uniform(dst: &mut [f64], v: f64, f: impl Fn(f64, f64) -> f64 + Copy) {
+    let mut d = dst.chunks_exact_mut(CHUNK);
+    for dc in &mut d {
+        for x in dc {
+            *x = f(*x, v);
+        }
+    }
+    for x in d.into_remainder() {
+        *x = f(*x, v);
+    }
+}
+
+/// In-place `dst[i] = f(dst[i], src[i])`, chunked with a scalar tail.
+#[inline]
+fn fold_col(dst: &mut [f64], src: &[f64], f: impl Fn(f64, f64) -> f64 + Copy) {
+    let mut d = dst.chunks_exact_mut(CHUNK);
+    let mut s = src.chunks_exact(CHUNK);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        for (x, y) in dc.iter_mut().zip(sc) {
+            *x = f(*x, *y);
+        }
+    }
+    for (x, y) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *x = f(*x, *y);
+    }
+}
+
 /// `dst = fold(f, operands)` in operand order, exactly as the per-tape
 /// batched evaluator folds: initialize from the first operand, then fold
-/// the rest left to right.
+/// the rest left to right. Each operand's lane is resolved to a
+/// uniform/column view *once*, outside the row loop, so the inner loops
+/// are tight chunked passes over raw slices.
 fn fold_kernel<'a>(
     dst: &mut [f64],
     arena: &[u32],
@@ -806,49 +939,25 @@ fn fold_kernel<'a>(
     }
     for &s in &args[1..] {
         match view(s) {
-            ArgView::Uniform(v) => {
-                for x in dst.iter_mut() {
-                    *x = f(*x, v);
-                }
-            }
-            ArgView::Col(c) => {
-                for (x, y) in dst.iter_mut().zip(c) {
-                    *x = f(*x, *y);
-                }
-            }
+            ArgView::Uniform(v) => fold_uniform(dst, v, f),
+            ArgView::Col(c) => fold_col(dst, c, f),
         }
     }
 }
 
-fn unary_kernel(dst: &mut [f64], a: ArgView<'_>, f: impl Fn(f64) -> f64) {
+fn unary_kernel(dst: &mut [f64], a: ArgView<'_>, f: impl Fn(f64) -> f64 + Copy) {
     match a {
         ArgView::Uniform(v) => dst.fill(f(v)),
-        ArgView::Col(c) => {
-            for (x, p) in dst.iter_mut().zip(c) {
-                *x = f(*p);
-            }
-        }
+        ArgView::Col(c) => map1(dst, c, f),
     }
 }
 
-fn bin_kernel(dst: &mut [f64], a: ArgView<'_>, b: ArgView<'_>, f: impl Fn(f64, f64) -> f64) {
+fn bin_kernel(dst: &mut [f64], a: ArgView<'_>, b: ArgView<'_>, f: impl Fn(f64, f64) -> f64 + Copy) {
     match (a, b) {
         (ArgView::Uniform(p), ArgView::Uniform(q)) => dst.fill(f(p, q)),
-        (ArgView::Uniform(p), ArgView::Col(cb)) => {
-            for (x, q) in dst.iter_mut().zip(cb) {
-                *x = f(p, *q);
-            }
-        }
-        (ArgView::Col(ca), ArgView::Uniform(q)) => {
-            for (x, p) in dst.iter_mut().zip(ca) {
-                *x = f(*p, q);
-            }
-        }
-        (ArgView::Col(ca), ArgView::Col(cb)) => {
-            for ((x, p), q) in dst.iter_mut().zip(ca).zip(cb) {
-                *x = f(*p, *q);
-            }
-        }
+        (ArgView::Uniform(p), ArgView::Col(cb)) => map1(dst, cb, move |y| f(p, y)),
+        (ArgView::Col(ca), ArgView::Uniform(q)) => map1(dst, ca, move |x| f(x, q)),
+        (ArgView::Col(ca), ArgView::Col(cb)) => map2(dst, ca, cb, f),
     }
 }
 
@@ -862,15 +971,23 @@ fn select_kernel(dst: &mut [f64], c: ArgView<'_>, a: ArgView<'_>, b: ArgView<'_>
                 ArgView::Col(col) => dst.copy_from_slice(col),
             }
         }
-        ArgView::Col(cc) => {
-            let at = |v: ArgView<'_>, i: usize| match v {
-                ArgView::Uniform(u) => u,
-                ArgView::Col(col) => col[i],
-            };
-            for (i, x) in dst.iter_mut().enumerate() {
-                *x = if cc[i] != 0.0 { at(a, i) } else { at(b, i) };
+        // Varying condition: dispatch on the branch shapes once, then
+        // run a branch-shape-specific chunked select (the old path
+        // re-matched both branch views on every row).
+        ArgView::Col(cc) => match (a, b) {
+            (ArgView::Uniform(av), ArgView::Uniform(bv)) => {
+                map1(dst, cc, move |c| if c != 0.0 { av } else { bv })
             }
-        }
+            (ArgView::Uniform(av), ArgView::Col(cb)) => {
+                map2(dst, cc, cb, move |c, y| if c != 0.0 { av } else { y })
+            }
+            (ArgView::Col(ca), ArgView::Uniform(bv)) => {
+                map2(dst, cc, ca, move |c, x| if c != 0.0 { x } else { bv })
+            }
+            (ArgView::Col(ca), ArgView::Col(cb)) => {
+                map3(dst, cc, ca, cb, |c, x, y| if c != 0.0 { x } else { y })
+            }
+        },
     }
 }
 
@@ -885,12 +1002,34 @@ pub struct EvalWorkspace {
     regs: Vec<Vec<f64>>,
     lanes: Vec<Lane>,
     outputs: Vec<Vec<f64>>,
+    /// Id of the program this workspace was last prepared for (0 =
+    /// none). While it matches, `eval_batch` skips all sizing checks.
+    prepared: u64,
 }
 
 impl EvalWorkspace {
     /// Creates an empty workspace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// One-time sizing for `program`: reserves the lane tags and grows
+    /// the register/output column pools. [`Program::eval_batch`] calls
+    /// this automatically when it sees a new program; calling it ahead
+    /// of time moves the (already small) bookkeeping cost out of the
+    /// first evaluation, and repeated calls for the same program are
+    /// no-ops. The steady-state eval path does no capacity checks at
+    /// all.
+    pub fn prepare(&mut self, program: &Program) {
+        self.lanes.clear();
+        self.lanes.reserve(program.ops.len());
+        if self.regs.len() < program.num_regs {
+            self.regs.resize_with(program.num_regs, Vec::new);
+        }
+        if self.outputs.len() < program.roots.len() {
+            self.outputs.resize_with(program.roots.len(), Vec::new);
+        }
+        self.prepared = program.id;
     }
 
     /// Output column of root `i` from the most recent

@@ -94,10 +94,12 @@ impl Tape {
     /// (e.g. a guard divided by zero) are returned as `f64::INFINITY` rather
     /// than failing the whole batch — the tuner treats them as infeasible.
     ///
-    /// Each call allocates a fresh workspace; callers that evaluate many
-    /// tapes or batches should fuse the roots into one
-    /// [`Program`](crate::Program) and reuse an
-    /// [`EvalWorkspace`](crate::EvalWorkspace).
+    /// The register columns come from a thread-local
+    /// [`EvalWorkspace`](crate::EvalWorkspace), so repeated calls do not
+    /// re-allocate scratch; only the returned output column is a fresh
+    /// allocation. Callers that want full control over scratch reuse
+    /// (or evaluate many tapes) should use [`Tape::eval_batch_with`] or
+    /// fuse the roots into one [`Program`](crate::Program).
     ///
     /// # Errors
     ///
@@ -105,9 +107,31 @@ impl Tape {
     /// from `bindings`, or [`SymbolicError::BatchLengthMismatch`] if a
     /// column's length differs from the batch length.
     pub fn eval_batch(&self, bindings: &BatchBindings) -> Result<Vec<f64>, SymbolicError> {
-        let mut ws = EvalWorkspace::new();
-        self.program.eval_batch(bindings, &mut ws)?;
-        Ok(ws.take_output(0))
+        thread_local! {
+            static WS: std::cell::RefCell<EvalWorkspace> =
+                std::cell::RefCell::new(EvalWorkspace::new());
+        }
+        WS.with(|ws| {
+            let mut ws = ws.borrow_mut();
+            self.program.eval_batch(bindings, &mut ws)?;
+            Ok(ws.output(0).to_vec())
+        })
+    }
+
+    /// Batched evaluation into a caller-owned workspace: identical
+    /// semantics to [`Tape::eval_batch`], with the output left in root
+    /// column 0 of `ws` (read it with
+    /// [`EvalWorkspace::output`](crate::EvalWorkspace::output)).
+    ///
+    /// # Errors
+    ///
+    /// See [`Tape::eval_batch`].
+    pub fn eval_batch_with(
+        &self,
+        bindings: &BatchBindings,
+        ws: &mut EvalWorkspace,
+    ) -> Result<(), SymbolicError> {
+        self.program.eval_batch(bindings, ws)
     }
 }
 

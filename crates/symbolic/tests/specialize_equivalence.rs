@@ -1,0 +1,170 @@
+//! Specialization exactness: for random expression DAGs, random frozen
+//! symbol assignments and random row batches — including non-finite and
+//! signed-zero rows — the residual program must produce the same output
+//! as the original program evaluated with the frozen symbols bound as
+//! scalars. Equality is `==` semantics plus NaN-matches-NaN: the one
+//! documented exception to raw bit equality is `-0.0` vs `+0.0` from
+//! the add-identity drop (see the `passes` module docs).
+
+use mist_symbolic::{
+    specialize, BatchBindings, CmpOp, Context, EvalWorkspace, Expr, FrozenSymbols, SweepFacts,
+};
+use proptest::prelude::*;
+
+const NAMES: [&str; 4] = ["a", "b", "c", "d"];
+
+/// Row and frozen values: finite magnitudes, both zero signs, both
+/// infinities and NaN — every branch of the rewrite rules bites on at
+/// least one of these.
+const VALUES: [f64; 10] = [
+    -3.5,
+    -1.0,
+    -0.0,
+    0.0,
+    0.5,
+    1.0,
+    2.5,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    f64::NAN,
+];
+
+/// A generation recipe for one expression tree.
+#[derive(Debug, Clone)]
+enum Spec {
+    Sym(usize),
+    Const(f64),
+    Add(Vec<Spec>),
+    Mul(Box<Spec>, Box<Spec>),
+    Min(Box<Spec>, Box<Spec>),
+    Max(Box<Spec>, Box<Spec>),
+    Div(Box<Spec>, Box<Spec>),
+    Floor(Box<Spec>),
+    Ceil(Box<Spec>),
+    Cmp(usize, Box<Spec>, Box<Spec>),
+    Select(Box<Spec>, Box<Spec>, Box<Spec>),
+}
+
+const CMP_OPS: [CmpOp; 4] = [CmpOp::Le, CmpOp::Lt, CmpOp::Ge, CmpOp::Gt];
+
+fn build<'c>(ctx: &'c Context, spec: &Spec) -> Expr<'c> {
+    match spec {
+        Spec::Sym(i) => ctx.symbol(NAMES[*i]),
+        Spec::Const(c) => ctx.constant(*c),
+        Spec::Add(parts) => {
+            let mut it = parts.iter().map(|p| build(ctx, p));
+            let first = it.next().expect("non-empty add");
+            it.fold(first, |acc, x| acc + x)
+        }
+        Spec::Mul(a, b) => build(ctx, a) * build(ctx, b),
+        Spec::Min(a, b) => build(ctx, a).min(build(ctx, b)),
+        Spec::Max(a, b) => build(ctx, a).max(build(ctx, b)),
+        Spec::Div(a, b) => build(ctx, a) / build(ctx, b),
+        Spec::Floor(a) => build(ctx, a).floor(),
+        Spec::Ceil(a) => build(ctx, a).ceil(),
+        Spec::Cmp(op, a, b) => ctx.cmp(CMP_OPS[*op], build(ctx, a), build(ctx, b)),
+        Spec::Select(c, a, b) => ctx.select(build(ctx, c), build(ctx, a), build(ctx, b)),
+    }
+}
+
+fn spec_strategy() -> BoxedStrategy<Spec> {
+    let leaf = prop_oneof![
+        (0usize..NAMES.len()).prop_map(Spec::Sym),
+        prop::sample::select(vec![-2.0, -0.0, 0.0, 0.5, 1.0, 3.0, 64.0]).prop_map(Spec::Const),
+    ]
+    .boxed();
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Spec::Add),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Spec::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Spec::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Spec::Max(Box::new(a), Box::new(b))),
+            // Divisors are symbols: the expression builder rejects
+            // constant `x / 0` at build time, while a symbol divisor
+            // still exercises runtime division by zero, ±inf and NaN
+            // through the row values (frozen or batched).
+            (inner.clone(), 0usize..NAMES.len())
+                .prop_map(|(a, s)| Spec::Div(Box::new(a), Box::new(Spec::Sym(s)))),
+            inner.clone().prop_map(|a| Spec::Floor(Box::new(a))),
+            inner.clone().prop_map(|a| Spec::Ceil(Box::new(a))),
+            (0usize..CMP_OPS.len(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Spec::Cmp(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, a, b)| Spec::Select(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
+        ]
+    })
+}
+
+fn same_row(a: f64, b: f64) -> bool {
+    a == b || (a.is_nan() && b.is_nan())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn specialized_matches_scalar_bound_original(
+        spec in spec_strategy(),
+        // Index `VALUES.len()` means "leave this symbol unfrozen".
+        frozen_mask in prop::collection::vec(0usize..=VALUES.len(), 4),
+        rows in prop::collection::vec(prop::collection::vec(0usize..VALUES.len(), 4), 1..12),
+    ) {
+        let ctx = Context::new();
+        let expr = build(&ctx, &spec);
+        let program = ctx.compile_program(&[("root", expr)]);
+
+        let frozen = FrozenSymbols::new(
+            NAMES
+                .iter()
+                .zip(&frozen_mask)
+                .filter(|&(_, &m)| m < VALUES.len())
+                .map(|(&n, &m)| (n, VALUES[m])),
+        );
+        // No interval facts: frozen-only specialization must be exact
+        // for arbitrary rows, non-finite ones included.
+        let residual = specialize(&program, &frozen, &SweepFacts::default());
+        prop_assert!(
+            residual.len() <= program.len(),
+            "residual grew: {} -> {}",
+            program.len(),
+            residual.len()
+        );
+
+        let n = rows.len();
+        let mut full = BatchBindings::new(n);
+        let mut partial = BatchBindings::new(n);
+        for (j, &name) in NAMES.iter().enumerate() {
+            let col: Vec<f64> = rows.iter().map(|r| VALUES[r[j]]).collect();
+            match frozen.get(name) {
+                Some(v) => {
+                    full.set_scalar(name, v);
+                }
+                None => {
+                    full.set_values(name, col.clone());
+                }
+            }
+            // Extra bindings are ignored, so the residual batch can
+            // bind every symbol even when the residual reads fewer.
+            partial.set_values(name, col);
+        }
+
+        let mut ws_full = EvalWorkspace::new();
+        let mut ws_res = EvalWorkspace::new();
+        program.eval_batch(&full, &mut ws_full).expect("original eval");
+        residual.eval_batch(&partial, &mut ws_res).expect("residual eval");
+        for row in 0..n {
+            let (orig, spec) = (ws_full.output(0)[row], ws_res.output(0)[row]);
+            prop_assert!(
+                same_row(orig, spec),
+                "row {row}: original {orig} vs specialized {spec} (frozen {:?})",
+                frozen.pairs()
+            );
+        }
+    }
+}

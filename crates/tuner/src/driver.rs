@@ -252,9 +252,13 @@ impl<'a> Tuner<'a> {
         // capture everything this tune added on top of the baseline. The
         // explicit inserts keep `telemetry` self-contained even when the
         // collector is disabled and the publish above was a no-op.
+        let spec_hits = intra.specializer().cache_hits();
+        let spec_misses = intra.specializer().cache_misses();
         collector.counter_add("tuner.configs_evaluated", stats.configs_evaluated);
         collector.counter_add("tuner.outer_candidates", stats.outer_candidates as u64);
         collector.counter_add("tuner.inter_solves", stats.milp_solves as u64);
+        collector.counter_add("specializer.cache_hits", spec_hits);
+        collector.counter_add("specializer.cache_misses", spec_misses);
         collector.gauge_set("tuner.elapsed_secs", stats.elapsed_secs);
         collector.gauge_set("tuner.intra_secs", stats.intra_secs);
         collector.gauge_set("tuner.inter_secs", stats.inter_secs);
@@ -276,6 +280,14 @@ impl<'a> Tuner<'a> {
             .counters
             .entry("tuner.inter_solves".to_owned())
             .or_insert(stats.milp_solves as u64);
+        telemetry
+            .counters
+            .entry("specializer.cache_hits".to_owned())
+            .or_insert(spec_hits);
+        telemetry
+            .counters
+            .entry("specializer.cache_misses".to_owned())
+            .or_insert(spec_misses);
         telemetry
             .gauges
             .entry("tuner.elapsed_secs".to_owned())
@@ -447,6 +459,16 @@ mod tests {
         assert_eq!(
             out.telemetry.counter("tuner.outer_candidates"),
             out.stats.outer_candidates as u64
+        );
+        // The sweep runs through specialized residual programs; their
+        // cache activity is part of the self-contained telemetry.
+        assert!(out
+            .telemetry
+            .counters
+            .contains_key("specializer.cache_hits"));
+        assert!(
+            out.telemetry.counter("specializer.cache_misses") > 0,
+            "tuning must have specialized at least one program"
         );
     }
 

@@ -28,10 +28,12 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mist_graph::{
-    StageAnalyzer, StageCandidate, StageConfigValues, StagePoint, StageRole, StageTapes,
+    sweep_frozen_symbols, StageAnalyzer, StageCandidate, StageConfigValues, StagePoint, StageRole,
+    StageTapes,
 };
 use mist_hardware::{ClusterSpec, DeviceMesh, OpCostDb};
 use mist_interference::InterferenceModel;
+use mist_irlint::DomainMap;
 use mist_models::ModelSpec;
 use mist_pool::ThreadPool;
 use mist_schedule::stage_times;
@@ -41,6 +43,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::pareto::{pareto_frontier, sample_frontier};
 use crate::space::{CkptMode, SearchSpace};
+use crate::specialize::Specializer;
 
 /// One sampled point of an intra-stage Pareto frontier: the `(t, d)`
 /// value plus everything needed to reconstruct and execute the plan.
@@ -91,6 +94,12 @@ pub struct IntraStageTuner<'a> {
     pool: Arc<ThreadPool>,
     tape_cache: Mutex<HashMap<TapeKey, Arc<StageTapes>>>,
     frontier_cache: Mutex<HashMap<FrontierKey, Arc<Vec<Vec<ParetoPoint>>>>>,
+    // Per-sweep program specialization: residual programs per
+    // (program, frozen-group) pair plus the sweep-domain guard facts.
+    specializer: Specializer,
+    // The exact symbol ranges this tuner's space sweeps — the soundness
+    // domain of the specializer's guard facts.
+    domains: DomainMap,
     // Per-instance telemetry counter (not the global registry): cache-hit
     // semantics are part of this type's contract and tests compare exact
     // counts, so the count must not leak across tuner instances.
@@ -123,6 +132,8 @@ impl<'a> IntraStageTuner<'a> {
             pool: mist_pool::global(),
             tape_cache: Mutex::new(HashMap::new()),
             frontier_cache: Mutex::new(HashMap::new()),
+            specializer: Specializer::new(),
+            domains: space.symbol_domains(model),
             configs_evaluated: mist_telemetry::Counter::new(),
             workspaces: Mutex::new(Vec::new()),
         }
@@ -158,6 +169,11 @@ impl<'a> IntraStageTuner<'a> {
     /// Number of configurations evaluated so far (tuning-time studies).
     pub fn configs_evaluated(&self) -> u64 {
         self.configs_evaluated.value()
+    }
+
+    /// The per-sweep program specialization cache (telemetry surfacing).
+    pub fn specializer(&self) -> &Specializer {
+        &self.specializer
     }
 
     /// The memory budget in use.
@@ -303,6 +319,16 @@ impl<'a> IntraStageTuner<'a> {
 
     /// Batch-evaluates one `(dp, tp, b)` candidate over all layer counts,
     /// ZeRO levels and offload combos, appending feasible points.
+    ///
+    /// The sweep is grouped by `(zero, offload)`: within a group those
+    /// knobs — plus `inflight`, and `ckpt` under [`CkptMode::None`] — are
+    /// constant, so the 22-root stage program is specialized once per
+    /// group (via the shared [`Specializer`] cache, so groups recur for
+    /// free across candidates and frontier keys) and the batch only
+    /// varies `L`/`ckpt`. Groups iterate ZeRO-outer/offload-inner, which
+    /// appends points to each `per_l[l]` in exactly the order the
+    /// ungrouped `(l, zero, offload)` row sweep produced — downstream
+    /// Pareto reduction sees a byte-identical input sequence.
     fn evaluate_candidate(
         &self,
         cand: &StageCandidate,
@@ -314,95 +340,115 @@ impl<'a> IntraStageTuner<'a> {
     ) {
         let combos = self.space.offload_combos();
         let zeros = self.space.zero_levels();
-        let mut rows: Vec<(u32, u8, [f64; 4])> = Vec::new();
-        for l in 1..=max_layers {
-            for &z in zeros {
-                for &off in &combos {
-                    rows.push((l, z, off));
+        let nl = max_layers as usize;
+        self.configs_evaluated
+            .add((nl * zeros.len() * combos.len()) as u64);
+
+        let ls: Vec<f64> = (1..=max_layers).map(f64::from).collect();
+        let frozen_ckpt = match self.space.ckpt {
+            CkptMode::None => Some(0),
+            CkptMode::Full | CkptMode::Tuned => None,
+        };
+
+        for &z in zeros {
+            for &off in &combos {
+                let frozen = sweep_frozen_symbols(z, off, key.inflight, frozen_ckpt);
+                // One row per layer count. The frozen symbols are bound
+                // too: specialization removes them from the residual
+                // table, but an extra binding is free and keeps the
+                // batch valid for any residual shape.
+                let mut batch = BatchBindings::new(nl);
+                batch.set_values("L", ls.clone());
+                batch.set_scalar("zero", f64::from(z));
+                batch.set_scalar("wo", off[0]);
+                batch.set_scalar("go", off[1]);
+                batch.set_scalar("oo", off[2]);
+                batch.set_scalar("ao", off[3]);
+                batch.set_scalar("inflight", f64::from(key.inflight));
+
+                // Resolve the checkpoint count per row through the
+                // specialized two-root `mem_pair` program (peak memory
+                // only — no need to evaluate all 22 roots for the
+                // feasibility probes).
+                let ckpt_col: Vec<f64> = match self.space.ckpt {
+                    CkptMode::None => vec![0.0; nl],
+                    CkptMode::Full => ls.clone(),
+                    CkptMode::Tuned => {
+                        let mem =
+                            self.specializer
+                                .specialized(&tapes.mem_pair, &frozen, &self.domains);
+                        let mut mem_at = |ckpt_of: &dyn Fn(f64) -> f64| -> Vec<f64> {
+                            batch.set_values("ckpt", ls.iter().map(|&l| ckpt_of(l)).collect());
+                            mem.eval_batch(&batch, ws).expect("mem_pair program");
+                            ws.output(0)
+                                .iter()
+                                .zip(ws.output(1))
+                                .map(|(&f, &b)| f.max(b))
+                                .collect()
+                        };
+                        let m0 = mem_at(&|_| 0.0);
+                        let m1 = mem_at(&|_| 1.0);
+                        let ml = mem_at(&|l| l);
+                        (1..=max_layers)
+                            .enumerate()
+                            .map(|(i, l)| minimal_ckpt(m0[i], m1[i], ml[i], l, self.budget))
+                            .collect()
+                    }
+                };
+                batch.set_values("ckpt", ckpt_col.clone());
+
+                // One specialized pass over all 22 roots at the resolved
+                // checkpoint counts. Rows whose `ckpt` is the `∞`
+                // infeasibility marker are out of the guard-fact domain;
+                // they are discarded below, never read back.
+                let spec = self
+                    .specializer
+                    .specialized(&tapes.program, &frozen, &self.domains);
+                spec.eval_batch(&batch, ws)
+                    .expect("specialized stage program");
+
+                for (i, l) in (1..=max_layers).enumerate() {
+                    let ckpt = ckpt_col[i];
+                    if ckpt.is_infinite() {
+                        continue; // No feasible checkpoint count.
+                    }
+                    let point = tapes.point_at(ws, i);
+                    let mem_peak = point.mem_fwd.max(point.mem_bwd);
+                    if mem_peak > self.budget {
+                        continue; // Conservative re-check of the linear solve.
+                    }
+                    let (t, d) = if self.space.overlap_aware {
+                        let st = stage_times(&point, self.interference);
+                        (st.t, st.d)
+                    } else {
+                        // Shortcoming #1: serial predictor.
+                        let sum = |s: [f64; 4]| s.iter().sum::<f64>();
+                        let t = sum(point.fwd) + sum(point.bwd);
+                        (t, sum(point.first_extra) + sum(point.last_extra))
+                    };
+                    if !t.is_finite() {
+                        continue;
+                    }
+                    let config = StageConfigValues {
+                        layers: l,
+                        ckpt: ckpt as u32,
+                        zero: z,
+                        wo: off[0],
+                        go: off[1],
+                        oo: off[2],
+                        ao: off[3],
+                        inflight: key.inflight,
+                    };
+                    per_l[(l - 1) as usize].push(ParetoPoint {
+                        t,
+                        d,
+                        mem_peak,
+                        candidate: *cand,
+                        config,
+                        point,
+                    });
                 }
             }
-        }
-        let n = rows.len();
-        self.configs_evaluated.add(n as u64);
-
-        let mut batch = BatchBindings::new(n);
-        batch.set_values("L", rows.iter().map(|r| r.0 as f64).collect());
-        batch.set_values("zero", rows.iter().map(|r| r.1 as f64).collect());
-        batch.set_values("wo", rows.iter().map(|r| r.2[0]).collect());
-        batch.set_values("go", rows.iter().map(|r| r.2[1]).collect());
-        batch.set_values("oo", rows.iter().map(|r| r.2[2]).collect());
-        batch.set_values("ao", rows.iter().map(|r| r.2[3]).collect());
-        batch.set_scalar("inflight", key.inflight as f64);
-
-        // Resolve the checkpoint count per row through the two-root
-        // `mem_pair` program (peak memory only — no need to evaluate all
-        // 22 roots for the feasibility probes).
-        let ckpt_col: Vec<f64> = match self.space.ckpt {
-            CkptMode::None => vec![0.0; n],
-            CkptMode::Full => rows.iter().map(|r| r.0 as f64).collect(),
-            CkptMode::Tuned => {
-                let mut mem_at = |ckpt_of: &dyn Fn(u32) -> f64| -> Vec<f64> {
-                    batch.set_values("ckpt", rows.iter().map(|r| ckpt_of(r.0)).collect());
-                    tapes.mem_peak_batch(&batch, ws)
-                };
-                let m0 = mem_at(&|_| 0.0);
-                let m1 = mem_at(&|_| 1.0);
-                let ml = mem_at(&|l| l as f64);
-                rows.iter()
-                    .enumerate()
-                    .map(|(i, r)| minimal_ckpt(m0[i], m1[i], ml[i], r.0, self.budget))
-                    .collect()
-            }
-        };
-        batch.set_values("ckpt", ckpt_col.clone());
-
-        // One fused pass over all 22 roots at the resolved checkpoint
-        // counts (cross-root CSE + register reuse in the shared
-        // workspace).
-        tapes
-            .eval_batch_fused(&batch, ws)
-            .expect("fused stage program");
-
-        for (i, &(l, z, off)) in rows.iter().enumerate() {
-            let ckpt = ckpt_col[i];
-            if ckpt.is_infinite() {
-                continue; // No feasible checkpoint count.
-            }
-            let point = tapes.point_at(ws, i);
-            let mem_peak = point.mem_fwd.max(point.mem_bwd);
-            if mem_peak > self.budget {
-                continue; // Conservative re-check of the linear solve.
-            }
-            let (t, d) = if self.space.overlap_aware {
-                let st = stage_times(&point, self.interference);
-                (st.t, st.d)
-            } else {
-                // Shortcoming #1: serial predictor.
-                let sum = |s: [f64; 4]| s.iter().sum::<f64>();
-                let t = sum(point.fwd) + sum(point.bwd);
-                (t, sum(point.first_extra) + sum(point.last_extra))
-            };
-            if !t.is_finite() {
-                continue;
-            }
-            let config = StageConfigValues {
-                layers: l,
-                ckpt: ckpt as u32,
-                zero: z,
-                wo: off[0],
-                go: off[1],
-                oo: off[2],
-                ao: off[3],
-                inflight: key.inflight,
-            };
-            per_l[(l - 1) as usize].push(ParetoPoint {
-                t,
-                d,
-                mem_peak,
-                candidate: *cand,
-                config,
-                point,
-            });
         }
     }
 }
@@ -549,6 +595,55 @@ mod tests {
             "second call must hit cache"
         );
         assert!(Arc::ptr_eq(&f1, &f2));
+    }
+
+    /// End-to-end exactness of the specialized grouped sweep: every
+    /// frontier point's evaluated [`StagePoint`] must be bit-identical
+    /// to re-evaluating its configuration through the *original* fused
+    /// program's scalar path.
+    #[test]
+    fn specialized_sweep_matches_scalar_reference_exactly() {
+        let c = ctx();
+        for space in [SearchSpace::mist(), SearchSpace::megatron()] {
+            let tuner =
+                IntraStageTuner::new(&c.model, &c.cluster, &c.db, &space, &c.interference, 8);
+            let fr = tuner.frontiers(key(DeviceMesh::new(1, 4), 4), c.model.num_layers);
+            let mut checked = 0usize;
+            for per_l in fr.iter() {
+                for p in per_l {
+                    let reference = tuner.tapes(&p.candidate).eval_point(&p.config);
+                    assert_eq!(p.point, reference, "space {}: {:?}", space.name, p.config);
+                    checked += 1;
+                }
+            }
+            assert!(checked > 0, "space {} produced no points", space.name);
+        }
+    }
+
+    #[test]
+    fn specializer_cache_is_shared_across_frontier_keys() {
+        let c = ctx();
+        let space = SearchSpace::mist();
+        let tuner = IntraStageTuner::new(&c.model, &c.cluster, &c.db, &space, &c.interference, 8);
+        let k = key(DeviceMesh::new(1, 4), 4);
+        tuner.frontiers(k, 16);
+        let misses_one_key = tuner.specializer().cache_misses();
+        assert!(
+            misses_one_key > 0,
+            "frontier sweep must build residual programs"
+        );
+        assert_eq!(tuner.specializer().cache_hits(), 0);
+        // Growing `max_layers` misses the *frontier* cache and re-runs
+        // the sweep over the same tapes and the same (zero, offload)
+        // groups — every residual program must come out of the
+        // specializer cache instead of being rebuilt.
+        tuner.frontiers(k, 32);
+        assert_eq!(
+            tuner.specializer().cache_misses(),
+            misses_one_key,
+            "recomputation over identical groups must not rebuild residuals"
+        );
+        assert!(tuner.specializer().cache_hits() >= misses_one_key);
     }
 
     #[test]

@@ -25,6 +25,7 @@ mod inter;
 mod intra;
 mod pareto;
 mod space;
+mod specialize;
 
 pub use driver::{TuneOutcome, TuneStats, Tuner};
 pub use inter::{
@@ -34,3 +35,4 @@ pub use inter::{
 pub use intra::{FrontierKey, IntraStageTuner, ParetoPoint};
 pub use pareto::{pareto_frontier, sample_frontier};
 pub use space::{CkptMode, SearchSpace};
+pub use specialize::Specializer;

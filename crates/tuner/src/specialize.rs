@@ -1,0 +1,225 @@
+//! Content-addressed cache of per-sweep specialized programs.
+//!
+//! The intra-stage tuner sweeps a stage program over the cross product
+//! of ZeRO levels, offloading combos and layer counts. Within one
+//! `(zero, offload)` group every symbol except `L` (and `ckpt`) is a
+//! compile-time constant, so the 110-instruction fused stage program
+//! collapses to a small residual via
+//! [`specialize`](mist_symbolic::specialize). Specialization itself is
+//! not free, so this cache makes it a once-per-group cost: programs are
+//! keyed by their stable [`Program::id`] plus the fingerprint of the
+//! frozen symbols *restricted to the program's own table* — two frozen
+//! sets that agree on the symbols a program actually reads share one
+//! residual.
+//!
+//! Sweep facts ([`SweepFacts`]) are the second cached artifact: the
+//! `mist-irlint` interval analysis proves which `Select` guards are
+//! constant over the whole sweep domain (e.g. `ckpt > 0` under
+//! `CkptMode::Full`) and which slots are finite and non-negative,
+//! letting specialization delete branches and collapse zero products
+//! that no frozen binding alone could kill. They depend only on the
+//! program and the search space's domains, so they are computed once
+//! per program id.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mist_irlint::DomainMap;
+use mist_symbolic::{specialize, FrozenSymbols, Program, SweepFacts};
+use parking_lot::Mutex;
+
+/// Cache of specialized programs and of sweep-domain facts.
+///
+/// `Sync`: frontier computations fan out over the thread pool, so both
+/// maps sit behind mutexes and cached artifacts are `Arc`s. Hit/miss
+/// counts are per-instance (tests compare exact counts, so they must
+/// not leak across tuner instances); the driver publishes them into the
+/// global registry as `specializer.cache_hits` / `.cache_misses` when a
+/// tune completes.
+pub struct Specializer {
+    programs: Mutex<HashMap<(u64, u64), Arc<Program>>>,
+    facts: Mutex<HashMap<u64, Arc<SweepFacts>>>,
+    hits: mist_telemetry::Counter,
+    misses: mist_telemetry::Counter,
+}
+
+impl Default for Specializer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Specializer {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Specializer {
+            programs: Mutex::new(HashMap::new()),
+            facts: Mutex::new(HashMap::new()),
+            hits: mist_telemetry::Counter::new(),
+            misses: mist_telemetry::Counter::new(),
+        }
+    }
+
+    /// The interval facts of `program` over `domains` — constant
+    /// `Select` guards plus per-slot finite/non-negative ranges —
+    /// cached per program id.
+    ///
+    /// The facts are sound only for bindings inside `domains`; rows a
+    /// caller evaluates out of domain (e.g. the tuner's `ckpt = ∞`
+    /// infeasibility marker) must be discarded, not read back.
+    pub fn sweep_facts(&self, program: &Program, domains: &DomainMap) -> Arc<SweepFacts> {
+        if let Some(hit) = self.facts.lock().get(&program.id()) {
+            return hit.clone();
+        }
+        let facts = Arc::new(mist_irlint::sweep_facts(program, domains));
+        // Two pool tasks can race to analyze the same program; first
+        // insert wins so every caller shares one allocation.
+        self.facts
+            .lock()
+            .entry(program.id())
+            .or_insert(facts)
+            .clone()
+    }
+
+    /// Returns `program` specialized against `frozen`, reusing a cached
+    /// residual when one exists for the same `(program, frozen)` pair.
+    ///
+    /// The key restricts `frozen` to the symbols `program` actually
+    /// reads, so freezing extra symbols never fragments the cache.
+    pub fn specialized(
+        &self,
+        program: &Program,
+        frozen: &FrozenSymbols,
+        domains: &DomainMap,
+    ) -> Arc<Program> {
+        let key = (
+            program.id(),
+            frozen.restricted_to(program.symbols()).fingerprint(),
+        );
+        if let Some(hit) = self.programs.lock().get(&key) {
+            self.hits.inc();
+            return hit.clone();
+        }
+        self.misses.inc();
+        let facts = self.sweep_facts(program, domains);
+        let residual = Arc::new(specialize(program, frozen, &facts));
+        self.programs.lock().entry(key).or_insert(residual).clone()
+    }
+
+    /// Cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.value()
+    }
+
+    /// Cache misses (= distinct residual programs built) so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mist_irlint::SymbolDomain;
+    use mist_symbolic::{CmpOp, Context};
+
+    #[test]
+    fn megatron_space_deletes_every_offload_and_ckpt_select() {
+        use mist_graph::{sweep_frozen_symbols, StageAnalyzer, StageCandidate, StageRole};
+        use mist_hardware::{ClusterSpec, DeviceMesh, OpCostDb, Platform};
+        use mist_models::{gpt3, AttentionImpl, ModelSize};
+        use mist_symbolic::Instr;
+
+        let model = gpt3(ModelSize::B2_6, 2048, AttentionImpl::Flash);
+        let cluster = ClusterSpec::for_gpu_count(Platform::GcpL4, 4);
+        let db = OpCostDb::new(cluster.gpu.clone());
+        let analyzer = StageAnalyzer::new(&model, &cluster, &db);
+        let tapes = analyzer.analyze(&StageCandidate {
+            mesh: DeviceMesh::new(1, 4),
+            dp: 2,
+            tp: 2,
+            micro_batch: 2,
+            role: StageRole::Only,
+        });
+        let selects = |p: &Program| {
+            p.instrs()
+                .filter(|i| matches!(i, Instr::Select(..)))
+                .count()
+        };
+        assert!(
+            selects(&tapes.program) > 0,
+            "fused program should branch on offload/ckpt"
+        );
+
+        // Megatron-LM's restricted space pins all four offload ratios
+        // to 0 and recomputes every layer (`CkptMode::Full`, so `ckpt`
+        // spans [1, L]): each offload `Select` condition freezes to a
+        // constant and the `ckpt > 0` guard is provably taken, so the
+        // residual must be branch-free.
+        let space = crate::SearchSpace::megatron();
+        let domains = space.symbol_domains(&model);
+        let cache = Specializer::new();
+        for zero in space.zero_levels() {
+            let frozen = sweep_frozen_symbols(*zero, [0.0; 4], 1, None);
+            let residual = cache.specialized(&tapes.program, &frozen, &domains);
+            assert_eq!(
+                selects(&residual),
+                0,
+                "zero={zero}: offload/ckpt selects must all be deleted"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_and_on_restricted_equivalence() {
+        let ctx = Context::new();
+        let x = ctx.symbol("x");
+        let y = ctx.symbol("y");
+        let program = ctx.compile_program(&[("r", x * y + 1.0)]);
+        let domains = DomainMap::new()
+            .declare("x", SymbolDomain::new(0.0, 10.0, false))
+            .declare("y", SymbolDomain::new(0.0, 10.0, false));
+        let cache = Specializer::new();
+
+        let frozen = FrozenSymbols::new(vec![("y", 2.0)]);
+        let a = cache.specialized(&program, &frozen, &domains);
+        assert_eq!((cache.cache_hits(), cache.cache_misses()), (0, 1));
+        let b = cache.specialized(&program, &frozen, &domains);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.cache_hits(), cache.cache_misses()), (1, 1));
+
+        // Extra frozen symbols the program never reads must not
+        // fragment the cache.
+        let wider = FrozenSymbols::new(vec![("y", 2.0), ("unrelated", 7.0)]);
+        let c = cache.specialized(&program, &wider, &domains);
+        assert!(Arc::ptr_eq(&a, &c));
+        assert_eq!((cache.cache_hits(), cache.cache_misses()), (2, 1));
+
+        // A different value is a different residual.
+        let other = FrozenSymbols::new(vec![("y", 3.0)]);
+        let d = cache.specialized(&program, &other, &domains);
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert_eq!((cache.cache_hits(), cache.cache_misses()), (2, 2));
+    }
+
+    #[test]
+    fn sweep_facts_are_cached_per_program() {
+        let ctx = Context::new();
+        let z = ctx.symbol("z");
+        let x = ctx.symbol("x");
+        // Guard `z >= 1` is provably true over z ∈ [1, 3].
+        let cond = ctx.cmp(CmpOp::Ge, z, ctx.constant(1.0));
+        let e = ctx.select(cond, x * 2.0, x * 3.0);
+        let program = ctx.compile_program(&[("r", e)]);
+        let domains = DomainMap::new()
+            .declare("z", SymbolDomain::new(1.0, 3.0, true))
+            .declare("x", SymbolDomain::new(0.0, 10.0, false));
+        let cache = Specializer::new();
+        let f1 = cache.sweep_facts(&program, &domains);
+        let f2 = cache.sweep_facts(&program, &domains);
+        assert!(Arc::ptr_eq(&f1, &f2));
+        assert_eq!(f1.guards().len(), 1);
+        assert!(f1.guards()[0].taken);
+        assert_eq!(f1.ranges().len(), program.len());
+    }
+}

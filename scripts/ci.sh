@@ -13,11 +13,15 @@
 #      packages explicitly)
 #   5. golden drift: regenerate the two cheap committed result files and
 #      fail if any deterministic field changed (wall-clock-only fields
-#      are ignored; see scripts/golden_diff.py)
+#      are ignored) or if fused/specialized evaluation throughput drops
+#      more than 10% below the committed bench_symbolic.json baseline
+#      (see scripts/golden_diff.py)
 #   6. IR lint: run the mist-irlint static analyzer over the fused stage
-#      programs of every model preset; any error-severity diagnostic
-#      (unit mismatch, reachable division by zero, a cost root not
-#      provably finite and non-negative) fails the gate
+#      programs of every model preset, plus the per-sweep specialized
+#      residuals at the corner (zero, offload) groups; any
+#      error-severity diagnostic (unit mismatch, reachable division by
+#      zero, a cost root not provably finite and non-negative) fails
+#      the gate
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -60,8 +64,19 @@ trap 'for g in "${GOLDENS[@]}"; do
 drift=0
 for g in "${GOLDENS[@]}"; do
     cp "results/$g.json" "$tmpdir/$g.json"
-    "target/release/$g" >/dev/null
-    if python3 scripts/golden_diff.py "$tmpdir/$g.json" "results/$g.json"; then
+    # Up to three attempts: deterministic drift fails every attempt, but
+    # a throughput dip from scheduler noise on a shared runner gets two
+    # more chances to reproduce before the gate calls it a regression.
+    ok=0
+    for attempt in 1 2 3; do
+        "target/release/$g" >/dev/null
+        if python3 scripts/golden_diff.py "$tmpdir/$g.json" "results/$g.json"; then
+            ok=1
+            break
+        fi
+        echo "    $g.json: attempt $attempt/3 failed, retrying"
+    done
+    if [ "$ok" -eq 1 ]; then
         echo "    $g.json: no drift"
     else
         drift=1

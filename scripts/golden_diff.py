@@ -8,6 +8,12 @@ Exits 0 when the files agree on every deterministic field, 1 on drift
 to run on shared hardware, so they are stripped recursively before the
 comparison; everything else — plans, configs-evaluated counts, symbolic
 program sizes, memory predictions — must match exactly.
+
+Throughput fields are an exception to the "timing varies" rule: they
+are excluded from exact equality, but a regenerated throughput more
+than 10% below the committed baseline fails the check — the committed
+bench_symbolic.json doubles as the performance baseline for the fused
+and specialized evaluation engines.
 """
 
 import json
@@ -31,7 +37,15 @@ TIMING_FIELDS = {
     "fused_program_ns_per_batch",
     "fused_speedup",
     "fused_rows_per_sec",
+    "specialized_ns_per_batch",
+    "specialized_speedup",
+    "specialized_rows_per_sec",
 }
+
+# Rows/sec fields gated against regression: the regenerated value may
+# wobble run to run, but must stay within 10% of the committed baseline.
+THROUGHPUT_FIELDS = ("fused_rows_per_sec", "specialized_rows_per_sec")
+THROUGHPUT_TOLERANCE = 0.9
 
 
 def strip(value):
@@ -66,20 +80,48 @@ def diff(path, a, b, out):
         out.append(f"{path}: {a!r} != {b!r}")
 
 
+def check_throughput(committed, regenerated):
+    """Regenerated throughput must stay within tolerance of committed."""
+    regressions = []
+    for field in THROUGHPUT_FIELDS:
+        base, fresh = committed.get(field), regenerated.get(field)
+        if base is None or fresh is None:
+            continue
+        if fresh < THROUGHPUT_TOLERANCE * base:
+            regressions.append(
+                f"{field}: {fresh:.0f} rows/sec is "
+                f"{100.0 * (1.0 - fresh / base):.1f}% below the committed "
+                f"baseline {base:.0f}"
+            )
+    return regressions
+
+
 def main():
     committed, regenerated = sys.argv[1], sys.argv[2]
     with open(committed) as f:
-        a = strip(json.load(f))
+        a_raw = json.load(f)
     with open(regenerated) as f:
-        b = strip(json.load(f))
-    if a == b:
-        return 0
-    out = []
-    diff("$", a, b, out)
-    print(f"golden drift: {committed} vs {regenerated}", file=sys.stderr)
-    for line in out:
-        print(f"  {line}", file=sys.stderr)
-    return 1
+        b_raw = json.load(f)
+    a, b = strip(a_raw), strip(b_raw)
+    failed = False
+    if a != b:
+        out = []
+        diff("$", a, b, out)
+        print(f"golden drift: {committed} vs {regenerated}", file=sys.stderr)
+        for line in out:
+            print(f"  {line}", file=sys.stderr)
+        failed = True
+    if isinstance(a_raw, dict) and isinstance(b_raw, dict):
+        regressions = check_throughput(a_raw, b_raw)
+        if regressions:
+            print(
+                f"throughput regression: {committed} vs {regenerated}",
+                file=sys.stderr,
+            )
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
