@@ -20,6 +20,8 @@ USAGE:
                   [--space <mist|mist-fine|megatron|deepspeed|aceso|alpa|uniform>]
                   [--seq <LEN>] [--seed <N>] [--threads <N>] [--no-flash]
                   [--execute] [--trace <FILE>] [--metrics] [--json]
+                  [--journal <FILE>]
+    mist-cli explain [--json] [--top <K>] <FILE>
     mist-cli lint-ir [--model <NAME>] [--platform <l4|a100>]
                      [--space <mist|mist-fine|megatron|deepspeed|aceso|alpa|uniform>]
                      [--seq <LEN>] [--no-flash] [--json]
@@ -50,6 +52,20 @@ OPTIONS:
     --metrics      report collected telemetry counters/gauges (a text
                    table, or a `telemetry` section with --json)
     --json         emit machine-readable JSON instead of text
+    --journal <FILE>
+                   record the tuner's decision journal (candidate
+                   rejections, Pareto frontier summaries, DP/MILP
+                   pruning, specializer cache traffic) plus the span
+                   timeline as JSONL, for `mist-cli explain`
+
+EXPLAIN:
+    Digests a decision journal (from tune --journal) or a tune --json
+    outcome file: search-space coverage with every enumerated
+    configuration attributed to exactly one outcome, a rejection-reason
+    histogram, incumbent evolution, the top-k runner-up plans with the
+    constraint that killed each one, and a self-time tree from span
+    parentage. --top <K> keeps K runner-ups (default 5); --json emits
+    the digest as JSON (all wall-clock values under the `timing` key).
 
 LINT-IR:
     Statically verifies the fused symbolic stage programs with the
@@ -112,6 +128,7 @@ struct Args {
     trace: Option<String>,
     metrics: bool,
     json: bool,
+    journal: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -129,6 +146,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         trace: None,
         metrics: false,
         json: false,
+        journal: None,
     };
     let mut it = argv.iter();
     let need = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
@@ -185,6 +203,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--trace" => args.trace = Some(need(&mut it, "--trace")?),
             "--metrics" => args.metrics = true,
             "--json" => args.json = true,
+            "--journal" => args.journal = Some(need(&mut it, "--journal")?),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -214,15 +233,23 @@ fn run_tune(args: Args) -> Result<(), String> {
     // calibration pass (benchmark + interference fit) is captured too,
     // and before the pool is resized so `pool.workers` is recorded.
     let collector = mist_telemetry::global();
-    let telemetry_on = args.trace.is_some() || args.metrics;
+    let telemetry_on = args.trace.is_some() || args.metrics || args.journal.is_some();
     if telemetry_on {
         collector.reset();
         collector.enable();
+    }
+    let journal = mist_telemetry::global_journal();
+    if args.journal.is_some() {
+        journal.reset();
+        journal.enable();
     }
     if let Some(n) = args.threads {
         mist_pool::set_global_threads(n);
     }
     let result = run_tune_inner(&args, telemetry_on);
+    if args.journal.is_some() {
+        journal.disable();
+    }
     if telemetry_on {
         collector.disable();
     }
@@ -261,17 +288,38 @@ fn run_tune_inner(args: &Args, telemetry_on: bool) -> Result<(), String> {
         None
     };
 
-    // Spans are harvested after tune *and* execute so both the tuner
-    // phase timeline and the simulator's own spans are complete.
+    // Spans are harvested once, after tune *and* execute, so both the
+    // tuner phase timeline and the simulator's own spans are complete;
+    // the trace and the journal share the same harvest.
+    let spans = if args.trace.is_some() || args.journal.is_some() {
+        collector.take_spans()
+    } else {
+        Vec::new()
+    };
     if let Some(path) = &args.trace {
         let mut trace = TraceBuilder::new();
         trace.process_name(0, "mist-tuner");
-        trace.add_spans(0, &collector.take_spans());
+        trace.add_spans(0, &spans);
         if let Some(m) = &measured {
             m.export_chrome_trace(&mut trace, 1);
         }
         std::fs::write(path, trace.to_json())
             .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+    }
+    if let Some(path) = &args.journal {
+        let header = serde_json::json!({
+            "version": 1u64,
+            "model": model.name,
+            "space": args.space.name,
+            "platform": match args.platform {
+                Platform::GcpL4 => "l4",
+                Platform::AwsA100 => "a100",
+            },
+            "gpus": args.gpus,
+            "batch": args.batch,
+            "seq": seq,
+        });
+        crate::explain::write_journal_file(path, header, &outcome.stats, &spans)?;
     }
     let metrics_snapshot = if telemetry_on {
         collector.snapshot()
@@ -364,7 +412,52 @@ fn run_tune_inner(args: &Args, telemetry_on: bool) -> Result<(), String> {
     if let Some(path) = &args.trace {
         println!("trace:  {path} (open in https://ui.perfetto.dev)");
     }
+    if let Some(path) = &args.journal {
+        println!("journal: {path} (digest with `mist-cli explain {path}`)");
+    }
     Ok(())
+}
+
+struct ExplainArgs {
+    file: String,
+    json: bool,
+    top: usize,
+}
+
+fn parse_explain_args(argv: &[String]) -> Result<ExplainArgs, String> {
+    let mut args = ExplainArgs {
+        file: String::new(),
+        json: false,
+        top: crate::explain::DEFAULT_TOP_K,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--top" => {
+                let k: usize = it
+                    .next()
+                    .ok_or_else(|| "--top requires a value".to_string())?
+                    .parse()
+                    .map_err(|_| "--top expects a positive integer".to_string())?;
+                if k == 0 {
+                    return Err("--top must be at least 1".into());
+                }
+                args.top = k;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
+            path => {
+                if !args.file.is_empty() {
+                    return Err("explain takes exactly one file".into());
+                }
+                args.file = path.to_owned();
+            }
+        }
+    }
+    if args.file.is_empty() {
+        return Err("explain requires a journal or outcome file".into());
+    }
+    Ok(args)
 }
 
 struct LintArgs {
@@ -566,6 +659,15 @@ pub fn run(argv: &[String]) -> u8 {
                 2
             }
         },
+        Some("explain") => match parse_explain_args(&argv[1..])
+            .and_then(|a| crate::explain::run_explain(&a.file, a.json, a.top))
+        {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", usage());
+                2
+            }
+        },
         Some("lint-ir") => match parse_lint_args(&argv[1..]).and_then(run_lint_ir) {
             Ok(true) => 0,
             Ok(false) => 1,
@@ -702,8 +804,49 @@ mod tests {
             "--trace",
             "--metrics",
             "--json",
+            "--journal",
+            "--top",
         ] {
             assert!(usage().contains(flag), "usage() must document {flag}");
         }
+        assert!(usage().contains("explain"), "usage() must document explain");
+    }
+
+    #[test]
+    fn parse_args_accepts_journal() {
+        let a = parse_args(&sv(&[
+            "--model",
+            "gpt3-1.3b",
+            "--gpus",
+            "2",
+            "--batch",
+            "8",
+            "--journal",
+            "/tmp/j.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(a.journal.as_deref(), Some("/tmp/j.jsonl"));
+        assert!(parse_args(&sv(&[
+            "--model",
+            "gpt3-1.3b",
+            "--gpus",
+            "2",
+            "--batch",
+            "8",
+            "--journal",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parse_explain_args_works() {
+        let a = parse_explain_args(&sv(&["--json", "--top", "3", "j.jsonl"])).unwrap();
+        assert!(a.json);
+        assert_eq!(a.top, 3);
+        assert_eq!(a.file, "j.jsonl");
+        assert!(parse_explain_args(&sv(&[])).is_err());
+        assert!(parse_explain_args(&sv(&["a", "b"])).is_err());
+        assert!(parse_explain_args(&sv(&["--top", "0", "j"])).is_err());
+        assert!(parse_explain_args(&sv(&["--bogus", "j"])).is_err());
     }
 }

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod cli;
+mod explain;
 mod lint;
 mod report;
 mod session;

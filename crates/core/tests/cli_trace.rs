@@ -82,3 +82,75 @@ fn cli_tune_writes_trace_and_metrics() {
     assert!(process_names.contains(&"mist-tuner"), "{process_names:?}");
     assert!(process_names.contains(&"stage 0"), "{process_names:?}");
 }
+
+/// With 8 worker threads, every tuner span in the Chrome trace must
+/// still form one tree: the pool propagates the spawner's span into
+/// each worker task, so no span may reference a parent that was never
+/// recorded (zero orphans), and parent chains must terminate at a root.
+#[test]
+fn trace_at_eight_threads_has_no_orphaned_spans() {
+    let trace_path =
+        std::env::temp_dir().join(format!("mist_cli_orphans_{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_mist-cli"))
+        .args([
+            "tune",
+            "--model",
+            "gpt3-1.3b",
+            "--platform",
+            "l4",
+            "--gpus",
+            "4",
+            "--batch",
+            "16",
+            "--seed",
+            "7",
+            "--threads",
+            "8",
+            "--json",
+            "--trace",
+        ])
+        .arg(&trace_path)
+        .output()
+        .expect("spawn mist-cli");
+    assert!(
+        out.status.success(),
+        "mist-cli failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    std::fs::remove_file(&trace_path).ok();
+    let trace: Value = serde_json::from_str(&trace_text).expect("trace is valid JSON");
+    let Some(Value::Array(events)) = get(&trace, "traceEvents") else {
+        panic!("traceEvents array missing");
+    };
+
+    // Tuner spans are the B events carrying span_id/parent args (the
+    // simulator Gantt slices have neither and are not part of the tree).
+    let mut ids = std::collections::BTreeSet::new();
+    let mut edges: Vec<(i64, i64)> = Vec::new();
+    for e in events {
+        if get(e, "ph") != Some(&Value::Str("B".into())) {
+            continue;
+        }
+        let Some(args) = get(e, "args") else { continue };
+        let Some(id) = get(args, "span_id").and_then(Value::as_i64) else {
+            continue;
+        };
+        let parent = get(args, "parent").and_then(Value::as_i64).expect("parent");
+        ids.insert(id);
+        edges.push((id, parent));
+    }
+    assert!(edges.len() > 10, "expected a real span tree, got {edges:?}");
+    let mut parented = 0;
+    for (id, parent) in &edges {
+        if *parent == 0 {
+            continue;
+        }
+        parented += 1;
+        assert!(
+            ids.contains(parent),
+            "span {id} references parent {parent} that was never recorded"
+        );
+    }
+    assert!(parented > 0, "no span has a parent — propagation broken");
+}

@@ -190,7 +190,14 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     {
         self.state.pending.fetch_add(1, Ordering::AcqRel);
         let state = Arc::clone(&self.state);
+        // Capture the spawner's telemetry span context so spans opened
+        // inside the task parent under the spawning span instead of
+        // showing up as orphaned lanes — regardless of which thread
+        // (a worker, or a sibling caller helping in `wait_scope`)
+        // eventually executes the task.
+        let parent_span = mist_telemetry::current_span_id();
         let wrapped = move || {
+            let _span_ctx = mist_telemetry::parent_scope(parent_span);
             if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
                 let mut slot = state.panic.lock();
                 if slot.is_none() {
@@ -499,6 +506,33 @@ mod tests {
         // The held handle keeps working against the old pool.
         let out = held.map_ordered(vec![1, 2, 3], |x| x + 1);
         assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn spawned_tasks_inherit_the_spawners_span() {
+        let c = mist_telemetry::Collector::new();
+        c.enable();
+        let pool = ThreadPool::new(4);
+        let root = c.span("root", Vec::new);
+        let root_id = mist_telemetry::current_span_id();
+        assert_ne!(root_id, 0);
+        pool.scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|| {
+                    let _child = c.span("child", Vec::new);
+                    std::thread::sleep(Duration::from_micros(200));
+                });
+            }
+        });
+        drop(root);
+        let spans = c.spans();
+        let children: Vec<_> = spans.iter().filter(|s| s.name == "child").collect();
+        assert_eq!(children.len(), 32);
+        // Every child parents under the spawning span, no matter which
+        // worker (or the helping caller) executed it.
+        for ch in &children {
+            assert_eq!(ch.parent, root_id);
+        }
     }
 
     #[test]

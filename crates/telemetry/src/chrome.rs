@@ -141,8 +141,13 @@ impl TraceBuilder {
         });
         for (ts, is_begin, _, s) in events {
             if is_begin == 1 {
-                let args: Vec<(&str, ArgValue)> =
-                    s.args.iter().map(|(k, v)| (*k, v.clone())).collect();
+                // span_id/parent args carry the cross-thread nesting
+                // that per-track B/E stacking cannot express: a span on
+                // a worker lane points back at the spawning span.
+                let mut args: Vec<(&str, ArgValue)> = Vec::with_capacity(s.args.len() + 2);
+                args.push(("span_id", ArgValue::U64(s.id)));
+                args.push(("parent", ArgValue::U64(s.parent)));
+                args.extend(s.args.iter().map(|(k, v)| (*k, v.clone())));
                 self.begin(pid, s.tid as i64, ts, s.name, &args);
             } else {
                 self.end(pid, s.tid as i64, ts);

@@ -6,6 +6,7 @@
 //! entry point returns after a single relaxed atomic-flag load — no
 //! locks, no allocation, no clock reads.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -72,6 +73,13 @@ impl From<String> for ArgValue {
 /// One completed span, recorded when its guard drops.
 #[derive(Debug, Clone)]
 pub struct SpanRecord {
+    /// Process-unique span id (ids start at 1; 0 is reserved for "no
+    /// span").
+    pub id: u64,
+    /// Id of the span that was current when this one opened — the
+    /// enclosing span on this thread, or the parent installed by
+    /// [`parent_scope`] for work shipped to another thread. 0 = root.
+    pub parent: u64,
     /// Span name (static: span names are code locations, not data).
     pub name: &'static str,
     /// Logical thread id (stable per OS thread, dense from 0).
@@ -86,6 +94,8 @@ pub struct SpanRecord {
 
 struct ActiveSpan<'c> {
     collector: &'c Collector,
+    id: u64,
+    parent: u64,
     name: &'static str,
     tid: u64,
     start: Instant,
@@ -105,9 +115,15 @@ impl Drop for SpanGuard<'_> {
             return;
         };
         let c = active.collector;
+        // Spans are RAII guards, so they close LIFO per thread: the
+        // span that was current before this one opened becomes current
+        // again.
+        CURRENT_SPAN.with(|cur| cur.set(active.parent));
         let start_us = active.start.duration_since(c.epoch).as_secs_f64() * 1e6;
         let dur_us = active.start.elapsed().as_secs_f64() * 1e6;
         c.spans.lock().push(SpanRecord {
+            id: active.id,
+            parent: active.parent,
             name: active.name,
             tid: active.tid,
             start_us,
@@ -123,6 +139,47 @@ fn current_tid() -> u64 {
         static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
     }
     TID.with(|t| *t)
+}
+
+// Span ids are process-global (not per collector) so that parent links
+// installed across threads stay unambiguous even when test collectors
+// coexist with the global one. Id 0 means "no span".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Id of the innermost open span on this thread (or the parent
+/// installed by [`parent_scope`]); 0 when none. Cheap: one
+/// thread-local read, no allocation.
+pub fn current_span_id() -> u64 {
+    CURRENT_SPAN.with(|cur| cur.get())
+}
+
+/// RAII guard from [`parent_scope`]; restores the previous current span
+/// when dropped.
+pub struct ParentGuard {
+    prev: u64,
+}
+
+impl Drop for ParentGuard {
+    fn drop(&mut self) {
+        CURRENT_SPAN.with(|cur| cur.set(self.prev));
+    }
+}
+
+/// Installs `parent` as this thread's current span until the returned
+/// guard drops. Thread pools use this to re-parent spans opened inside
+/// a task under the span that was current where the task was spawned,
+/// so cross-thread traces nest instead of showing orphaned lanes.
+///
+/// Allocation-free and independent of the enabled flag (installing span
+/// id 0 is a valid "no parent" context).
+pub fn parent_scope(parent: u64) -> ParentGuard {
+    ParentGuard {
+        prev: CURRENT_SPAN.with(|cur| cur.replace(parent)),
+    }
 }
 
 /// Span recorder plus named counter/gauge/histogram registry.
@@ -173,9 +230,13 @@ impl Collector {
         if !self.is_enabled() {
             return SpanGuard { active: None };
         }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = CURRENT_SPAN.with(|cur| cur.replace(id));
         SpanGuard {
             active: Some(ActiveSpan {
                 collector: self,
+                id,
+                parent,
                 name,
                 tid: current_tid(),
                 start: Instant::now(),
@@ -441,5 +502,102 @@ mod tests {
         assert_eq!(delta.counter("n"), 7);
         assert_eq!(delta.histograms["h"].count, 1);
         assert_eq!(delta.histograms["h"].sum, 3.0);
+    }
+
+    #[test]
+    fn snapshot_delta_counters_subtract_but_gauges_keep_current_value() {
+        // Regression test for the documented contract: counters are
+        // cumulative so deltas subtract the baseline, while gauges are
+        // instantaneous so a delta reports the *current* value — never
+        // a baseline-relative difference.
+        let c = Collector::new();
+        c.enable();
+        c.counter_add("work", 10);
+        c.gauge_set("level", 5.0);
+        let base = c.snapshot();
+
+        c.counter_add("work", 4);
+        c.gauge_set("level", 3.0); // drops below the baseline value
+        let delta = c.snapshot_delta(&base);
+        assert_eq!(delta.counter("work"), 4);
+        assert_eq!(delta.gauge("level"), 3.0, "gauge must not subtract");
+
+        // A gauge untouched since the baseline still reports its
+        // current (unchanged) value rather than zero.
+        let base1 = c.snapshot();
+        let again = c.snapshot_delta(&base1);
+        assert_eq!(again.gauge("level"), 3.0);
+        assert_eq!(again.counter("work"), 0);
+
+        // Histogram min/max are instantaneous like gauges; only
+        // count/sum subtract.
+        c.histogram_record("h", 2.0);
+        let base2 = c.snapshot();
+        c.histogram_record("h", 8.0);
+        let d2 = c.snapshot_delta(&base2);
+        assert_eq!(d2.histograms["h"].count, 1);
+        assert_eq!(d2.histograms["h"].sum, 8.0);
+        assert_eq!(d2.histograms["h"].min, 2.0);
+        assert_eq!(d2.histograms["h"].max, 8.0);
+    }
+
+    #[test]
+    fn spans_record_ids_and_parents() {
+        let c = Collector::new();
+        c.enable();
+        assert_eq!(current_span_id(), 0);
+        let (outer_id, inner_id);
+        {
+            let outer = c.span("outer", Vec::new);
+            outer_id = outer.active.as_ref().unwrap().id;
+            assert_eq!(current_span_id(), outer_id);
+            {
+                let inner = c.span("inner", Vec::new);
+                inner_id = inner.active.as_ref().unwrap().id;
+                assert_eq!(current_span_id(), inner_id);
+            }
+            assert_eq!(current_span_id(), outer_id);
+        }
+        assert_eq!(current_span_id(), 0);
+
+        let spans = c.spans();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert!(outer.id != 0 && inner.id != 0 && outer.id != inner.id);
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.parent, outer.id);
+    }
+
+    #[test]
+    fn parent_scope_reparents_and_restores() {
+        let c = Collector::new();
+        c.enable();
+        let root = c.span("root", Vec::new);
+        let root_id = root.active.as_ref().unwrap().id;
+        {
+            let _ctx = parent_scope(777);
+            assert_eq!(current_span_id(), 777);
+            let child = c.span("child", Vec::new);
+            assert_eq!(child.active.as_ref().unwrap().parent, 777);
+            drop(child);
+            assert_eq!(current_span_id(), 777);
+        }
+        assert_eq!(current_span_id(), root_id);
+        drop(root);
+        let spans = c.spans();
+        assert_eq!(
+            spans.iter().find(|s| s.name == "child").unwrap().parent,
+            777
+        );
+    }
+
+    #[test]
+    fn disabled_spans_leave_current_span_untouched() {
+        let c = Collector::new();
+        {
+            let _g = c.span("x", Vec::new);
+            assert_eq!(current_span_id(), 0);
+        }
+        assert_eq!(current_span_id(), 0);
     }
 }

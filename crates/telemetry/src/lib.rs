@@ -15,6 +15,11 @@
 //! - [`TraceBuilder`], which lowers spans and externally produced
 //!   timelines (the simulator's per-stage Gantt) into Chrome Trace
 //!   Event Format JSON, loadable in Perfetto or `chrome://tracing`.
+//! - The decision [`journal`]: an append-only bounded ring of typed
+//!   provenance events (candidate rejections, frontier snapshots, MILP
+//!   node fates, specializer cache traffic), each stamped with the
+//!   enclosing span id. Disabled by default with the same
+//!   one-atomic-load cost model as `span!`; see [`journal_event`].
 //!
 //! ```
 //! let collector = mist_telemetry::global();
@@ -32,11 +37,15 @@
 
 mod chrome;
 mod collector;
+pub mod journal;
 mod metrics;
 
 pub use chrome::TraceBuilder;
 pub use collector::{
-    counter_add, gauge_max, gauge_set, global, histogram_record, ArgValue, Collector, SpanGuard,
-    SpanRecord,
+    counter_add, current_span_id, gauge_max, gauge_set, global, histogram_record, parent_scope,
+    ArgValue, Collector, ParentGuard, SpanGuard, SpanRecord,
+};
+pub use journal::{
+    global_journal, journal_event, Journal, JournalEvent, JournalRecord, MilpNodeKind, OuterOutcome,
 };
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot};

@@ -37,6 +37,10 @@ fn disabled_path_allocates_and_records_nothing() {
     // initialize before measuring.
     let collector = mist_telemetry::global();
     assert!(!collector.is_enabled());
+    // The journal shares the zero-cost contract: force its lazy global
+    // too, then prove emission is allocation-free while disabled.
+    let journal = mist_telemetry::global_journal();
+    assert!(!journal.is_enabled());
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     for i in 0..1_000u64 {
@@ -45,10 +49,33 @@ fn disabled_path_allocates_and_records_nothing() {
         mist_telemetry::gauge_set("disabled.gauge", i as f64);
         mist_telemetry::gauge_max("disabled.gauge_max", i as f64);
         mist_telemetry::histogram_record("disabled.hist", i as f64);
+        mist_telemetry::journal_event(|| mist_telemetry::JournalEvent::SpecializeCache {
+            hit: false,
+            program: i,
+            original: 100,
+            residual: 40,
+        });
+        mist_telemetry::journal_event(|| mist_telemetry::JournalEvent::FrontierSummary {
+            mesh_nodes: 1,
+            mesh_gpus: 4,
+            role: format!("role-{i}"), // closure body must not run while disabled
+            inflight: 1,
+            grad_accum: 2,
+            max_layers: 8,
+            enumerated: 10,
+            oom: 1,
+            nonfinite: 0,
+            feasible: 9,
+            survived: 4,
+            dominated: 5,
+            sizes: vec![1, 2, 1],
+        });
     }
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert_eq!(after - before, 0, "disabled telemetry path allocated");
 
     assert!(collector.spans().is_empty());
     assert!(collector.snapshot().is_empty());
+    assert!(journal.is_empty());
+    assert_eq!(journal.dropped(), 0);
 }

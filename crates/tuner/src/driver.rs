@@ -22,7 +22,7 @@ use mist_schedule::{mist_objective, StagePlan, StageStreams, TrainingPlan};
 use mist_telemetry::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
-use crate::inter::solve_inter_stage_with_cutoff;
+use crate::inter::{solve_inter_stage_dp_stats, InterSolveStats};
 use crate::intra::{FrontierKey, IntraStageTuner, ParetoPoint};
 use crate::space::{CkptMode, SearchSpace};
 
@@ -173,14 +173,23 @@ impl<'a> Tuner<'a> {
         let pool_stolen0 = intra.pool().tasks_stolen();
         let pool_executed0 = intra.pool().tasks_executed();
         let mut best: Option<(f64, Vec<ParetoPoint>, u32)> = None; // (selector, points, G)
+                                                                   // Outer-level rejection attribution (sequential driver loop, so
+                                                                   // plain accumulators are deterministic at any thread count).
+        let mut out_of_budget: u64 = 0;
+        let mut bound_pruned: u64 = 0;
 
         for g in self.grad_accum_candidates(global_batch) {
             for (s, mesh) in self.pipeline_shapes() {
                 stats.outer_candidates += 1;
                 let _outer_span = mist_telemetry::span!("tuner.outer", grad_accum = g, stages = s);
+                let mut solve_stats = InterSolveStats::default();
                 let solution = if self.space.uniform_stages {
                     let t_intra = Instant::now();
-                    let sol = self.solve_uniform(&intra, g, s, mesh, global_batch);
+                    let sol = {
+                        let _sweep_span =
+                            mist_telemetry::span!("intra.sweep", grad_accum = g, stages = s);
+                        self.solve_uniform(&intra, g, s, mesh, global_batch)
+                    };
                     stats.intra_secs += t_intra.elapsed().as_secs_f64();
                     sol
                 } else {
@@ -207,8 +216,11 @@ impl<'a> Tuner<'a> {
                     }
                     let t_intra = Instant::now();
                     let pool = std::sync::Arc::clone(intra.pool());
-                    let computed =
-                        pool.map_ordered(unique.clone(), |k| intra.frontiers(k, max_layers));
+                    let computed = {
+                        let _sweep_span =
+                            mist_telemetry::span!("intra.sweep", grad_accum = g, stages = s);
+                        pool.map_ordered(unique.clone(), |k| intra.frontiers(k, max_layers))
+                    };
                     stats.intra_secs += t_intra.elapsed().as_secs_f64();
                     let frontier_handles: Vec<_> = keys
                         .iter()
@@ -227,19 +239,100 @@ impl<'a> Tuner<'a> {
                     let _solve_span =
                         mist_telemetry::span!("inter.solve", stages = s, grad_accum = g);
                     let t_inter = Instant::now();
-                    let sol =
-                        solve_inter_stage_with_cutoff(&refs, l, g, self.space, cutoff).map(|sol| {
-                            (
-                                sol.selector_objective,
-                                sol.choices.into_iter().map(|c| c.point).collect::<Vec<_>>(),
-                            )
-                        });
+                    let sol = solve_inter_stage_dp_stats(
+                        &refs,
+                        l,
+                        g,
+                        self.space,
+                        cutoff,
+                        &mut solve_stats,
+                    )
+                    .map(|sol| {
+                        (
+                            sol.selector_objective,
+                            sol.choices.into_iter().map(|c| c.point).collect::<Vec<_>>(),
+                        )
+                    });
                     stats.inter_secs += t_inter.elapsed().as_secs_f64();
+                    bound_pruned += solve_stats.bound_pruned;
+                    mist_telemetry::journal_event(|| mist_telemetry::JournalEvent::DpSummary {
+                        stages: s,
+                        grad_accum: g,
+                        states: solve_stats.dp_states,
+                        bound_pruned: solve_stats.bound_pruned,
+                        result: if sol.is_some() {
+                            "solved".to_owned()
+                        } else if solve_stats.cutoff_hit {
+                            "cutoff".to_owned()
+                        } else {
+                            "infeasible".to_owned()
+                        },
+                    });
                     sol
                 };
-                if let Some((selector, points)) = solution {
-                    if best.as_ref().is_none_or(|(b, _, _)| selector < *b) {
-                        best = Some((selector, points, g));
+                let incumbent = best.as_ref().map(|(b, _, _)| *b);
+                match solution {
+                    Some((selector, points)) => {
+                        let objective = {
+                            let streams: Vec<StageStreams> = points
+                                .iter()
+                                .map(|p| StageStreams { t: p.t, d: p.d })
+                                .collect();
+                            mist_objective(&streams, g)
+                        };
+                        let takes_lead = incumbent.is_none_or(|b| selector < b);
+                        mist_telemetry::journal_event(|| {
+                            mist_telemetry::JournalEvent::OuterCandidate {
+                                grad_accum: g,
+                                stages: s,
+                                outcome: if takes_lead {
+                                    mist_telemetry::OuterOutcome::Incumbent
+                                } else {
+                                    mist_telemetry::OuterOutcome::Dominated
+                                },
+                                selector: Some(selector),
+                                objective: Some(objective),
+                                layers: points.iter().map(|p| p.config.layers).collect(),
+                                incumbent,
+                                bound: None,
+                            }
+                        });
+                        if takes_lead {
+                            mist_telemetry::journal_event(|| {
+                                mist_telemetry::JournalEvent::Incumbent {
+                                    grad_accum: g,
+                                    stages: s,
+                                    selector,
+                                    objective,
+                                }
+                            });
+                            best = Some((selector, points, g));
+                        }
+                    }
+                    None => {
+                        // A `None` under a finite cutoff is attributed to
+                        // the budget when the solver saw the cutoff bite;
+                        // otherwise the shape is genuinely infeasible.
+                        let killed_by_cutoff = solve_stats.cutoff_hit;
+                        if killed_by_cutoff {
+                            out_of_budget += 1;
+                        }
+                        mist_telemetry::journal_event(|| {
+                            mist_telemetry::JournalEvent::OuterCandidate {
+                                grad_accum: g,
+                                stages: s,
+                                outcome: if killed_by_cutoff {
+                                    mist_telemetry::OuterOutcome::OutOfBudget
+                                } else {
+                                    mist_telemetry::OuterOutcome::Infeasible
+                                },
+                                selector: solve_stats.best_rejected,
+                                objective: None,
+                                layers: Vec::new(),
+                                incumbent,
+                                bound: solve_stats.pruned_bound,
+                            }
+                        });
                     }
                 }
             }
@@ -254,9 +347,22 @@ impl<'a> Tuner<'a> {
         // collector is disabled and the publish above was a no-op.
         let spec_hits = intra.specializer().cache_hits();
         let spec_misses = intra.specializer().cache_misses();
+        let rej = intra.rejections();
+        let (rej_oom, rej_nonfinite, rej_dominated) = (
+            rej.oom.value(),
+            rej.nonfinite.value(),
+            rej.dominated.value(),
+        );
+        let frontier_size = intra.frontier_size_high_water();
         collector.counter_add("tuner.configs_evaluated", stats.configs_evaluated);
         collector.counter_add("tuner.outer_candidates", stats.outer_candidates as u64);
         collector.counter_add("tuner.inter_solves", stats.milp_solves as u64);
+        collector.counter_add("tuner.rejections.oom", rej_oom);
+        collector.counter_add("tuner.rejections.nonfinite", rej_nonfinite);
+        collector.counter_add("tuner.rejections.dominated", rej_dominated);
+        collector.counter_add("tuner.rejections.out_of_budget", out_of_budget);
+        collector.counter_add("tuner.rejections.bound_pruned", bound_pruned);
+        collector.gauge_set("frontier.size", frontier_size);
         collector.counter_add("specializer.cache_hits", spec_hits);
         collector.counter_add("specializer.cache_misses", spec_misses);
         collector.gauge_set("tuner.elapsed_secs", stats.elapsed_secs);
@@ -280,6 +386,30 @@ impl<'a> Tuner<'a> {
             .counters
             .entry("tuner.inter_solves".to_owned())
             .or_insert(stats.milp_solves as u64);
+        telemetry
+            .counters
+            .entry("tuner.rejections.oom".to_owned())
+            .or_insert(rej_oom);
+        telemetry
+            .counters
+            .entry("tuner.rejections.nonfinite".to_owned())
+            .or_insert(rej_nonfinite);
+        telemetry
+            .counters
+            .entry("tuner.rejections.dominated".to_owned())
+            .or_insert(rej_dominated);
+        telemetry
+            .counters
+            .entry("tuner.rejections.out_of_budget".to_owned())
+            .or_insert(out_of_budget);
+        telemetry
+            .counters
+            .entry("tuner.rejections.bound_pruned".to_owned())
+            .or_insert(bound_pruned);
+        telemetry
+            .gauges
+            .entry("frontier.size".to_owned())
+            .or_insert(frontier_size);
         telemetry
             .counters
             .entry("specializer.cache_hits".to_owned())
@@ -372,6 +502,7 @@ impl<'a> Tuner<'a> {
                         CkptMode::Full => vec![l],
                         CkptMode::Tuned => (0..=l).collect(),
                     };
+                    let mut combo_feasible = false;
                     'ckpt: for ckpt in ckpt_candidates {
                         let mut points = Vec::with_capacity(s as usize);
                         for i in 0..s {
@@ -417,7 +548,13 @@ impl<'a> Tuner<'a> {
                         if best.as_ref().is_none_or(|(bsel, _)| selector < *bsel) {
                             best = Some((selector, points));
                         }
+                        combo_feasible = true;
                         break; // Minimal feasible ckpt found for this combo.
+                    }
+                    if !combo_feasible {
+                        // No checkpoint count fits: same OOM semantics as
+                        // the non-uniform per-row rejection.
+                        intra.rejections().oom.inc();
                     }
                 }
             }

@@ -77,6 +77,29 @@ fn layer_candidates(total_layers: u32, num_stages: u32, window: u32) -> Vec<u32>
     (lo..=hi).collect()
 }
 
+/// Provenance statistics of one inter-stage DP solve.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InterSolveStats {
+    /// Pareto states alive across all DP cells after pruning.
+    pub dp_states: u64,
+    /// Transitions discarded because their objective lower bound
+    /// crossed the incumbent-derived cutoff.
+    pub bound_pruned: u64,
+    /// Whether a `None` result was caused by the cutoff (the instance
+    /// may have had feasible assignments, all provably worse than the
+    /// incumbent) rather than by plain infeasibility.
+    pub cutoff_hit: bool,
+    /// Best complete selector objective found and then rejected by the
+    /// cutoff (exact — the shape's best, had there been no incumbent,
+    /// when the bound pruning did not truncate the search first).
+    pub best_rejected: Option<f64>,
+    /// Smallest objective lower bound among cutoff-pruned transitions: a
+    /// proven lower bound on what the truncated subtrees could have
+    /// achieved. The shape's killing constraint when no complete
+    /// assignment survived.
+    pub pruned_bound: Option<f64>,
+}
+
 /// Solves the inter-stage problem with the MILP formulation.
 ///
 /// `frontiers[i][l − 1]` is the sampled frontier of stage `i` with `l`
@@ -104,7 +127,15 @@ pub fn solve_inter_stage_with_cutoff(
     space: &SearchSpace,
     cutoff: f64,
 ) -> Option<InterStageSolution> {
-    solve_inter_stage_dp(frontiers, total_layers, grad_accum, space, cutoff)
+    let mut stats = InterSolveStats::default();
+    solve_inter_stage_dp_stats(
+        frontiers,
+        total_layers,
+        grad_accum,
+        space,
+        cutoff,
+        &mut stats,
+    )
 }
 
 /// MILP-based inter-stage solve (Eq. 2 as written in the paper).
@@ -302,6 +333,29 @@ pub fn solve_inter_stage_dp(
     space: &SearchSpace,
     cutoff: f64,
 ) -> Option<InterStageSolution> {
+    let mut stats = InterSolveStats::default();
+    solve_inter_stage_dp_stats(
+        frontiers,
+        total_layers,
+        grad_accum,
+        space,
+        cutoff,
+        &mut stats,
+    )
+}
+
+/// [`solve_inter_stage_dp`] that also reports solve statistics — the
+/// live DP state count, how many transitions the cutoff bound pruned,
+/// and whether a `None` result was cutoff-caused — for the tuner's
+/// provenance journal.
+pub fn solve_inter_stage_dp_stats(
+    frontiers: &[&Vec<Vec<ParetoPoint>>],
+    total_layers: u32,
+    grad_accum: u32,
+    space: &SearchSpace,
+    cutoff: f64,
+    stats: &mut InterSolveStats,
+) -> Option<InterStageSolution> {
     let s = frontiers.len();
     assert!(s >= 1);
     let g = grad_accum as f64;
@@ -322,6 +376,8 @@ pub fn solve_inter_stage_dp(
         })?;
         let sel = selector_objective(&[best], grad_accum, space.imbalance_aware);
         if sel >= cutoff {
+            stats.cutoff_hit = true;
+            stats.best_rejected = Some(sel);
             return None;
         }
         return Some(InterStageSolution {
@@ -401,6 +457,9 @@ pub fn solve_inter_stage_dp(
                     // objective.
                     let lb = (g - 1.0) * ns.max_t + ns.sum_t + ns.exposed.max(0.0);
                     if lb >= cutoff {
+                        stats.bound_pruned += 1;
+                        stats.pruned_bound =
+                            Some(stats.pruned_bound.map_or(lb, |prev| prev.min(lb)));
                         continue;
                     }
                     insert_state(&mut next[l], ns, STATE_CAP);
@@ -411,24 +470,30 @@ pub fn solve_inter_stage_dp(
         prev = next;
     }
 
-    if mist_telemetry::global().is_enabled() {
-        let states: u64 = backs
-            .iter()
-            .flat_map(|table| table.iter())
-            .map(|cell| cell.len() as u64)
-            .sum();
-        mist_telemetry::counter_add("inter.dp_states", states);
-    }
+    stats.dp_states = backs
+        .iter()
+        .flat_map(|table| table.iter())
+        .map(|cell| cell.len() as u64)
+        .sum();
+    mist_telemetry::counter_add("inter.dp_states", stats.dp_states);
 
     // Pick the best full assignment.
     let finals = &prev[lmax];
-    let (best_idx, best_sel) = finals
+    let Some((best_idx, best_sel)) = finals
         .iter()
         .enumerate()
         .map(|(i, st)| ((g - 1.0) * st.max_t + st.sum_t + st.exposed.max(0.0), i))
         .min_by(|a, b| a.0.total_cmp(&b.0))
-        .map(|(sel, i)| (i, sel))?;
+        .map(|(sel, i)| (i, sel))
+    else {
+        // An empty final cell after bound-pruning means the cutoff (not
+        // the instance) emptied the search.
+        stats.cutoff_hit = stats.bound_pruned > 0;
+        return None;
+    };
     if best_sel >= cutoff {
+        stats.cutoff_hit = true;
+        stats.best_rejected = Some(best_sel);
         return None;
     }
 

@@ -78,6 +78,52 @@ pub struct FrontierKey {
 
 type TapeKey = (DeviceMesh, u32, u32, u64, StageRole);
 
+/// Per-sweep rejection tally, accumulated while a candidate's rows are
+/// evaluated and merged across candidates. Plain sums, so merging is
+/// order-independent and the totals are deterministic at any thread
+/// count.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SweepTally {
+    /// `(layers, zero, offload)` rows enumerated.
+    pub enumerated: u64,
+    /// Rows rejected because no checkpoint count fits the memory budget
+    /// (including the conservative post-evaluation recheck).
+    pub oom: u64,
+    /// Rows rejected because the predicted time was not finite.
+    pub nonfinite: u64,
+}
+
+impl SweepTally {
+    fn merge(&mut self, other: &SweepTally) {
+        self.enumerated += other.enumerated;
+        self.oom += other.oom;
+        self.nonfinite += other.nonfinite;
+    }
+}
+
+/// Always-on rejection counters (satellite provenance: journal-off runs
+/// still get aggregate attribution through `TuneOutcome.telemetry`).
+/// Per-instance like `configs_evaluated`, so counts never leak across
+/// tuner instances.
+pub(crate) struct RejectionCounters {
+    /// Rows with no memory-feasible checkpointing choice.
+    pub oom: mist_telemetry::Counter,
+    /// Rows whose predicted time was NaN/∞.
+    pub nonfinite: mist_telemetry::Counter,
+    /// Feasible points dominated away by Pareto reduction + sampling.
+    pub dominated: mist_telemetry::Counter,
+}
+
+impl RejectionCounters {
+    fn new() -> Self {
+        RejectionCounters {
+            oom: mist_telemetry::Counter::new(),
+            nonfinite: mist_telemetry::Counter::new(),
+            dominated: mist_telemetry::Counter::new(),
+        }
+    }
+}
+
 /// Intra-stage tuner with tape and frontier caches.
 ///
 /// The type is `Sync`: frontier computations fan out over the pool, so
@@ -104,6 +150,11 @@ pub struct IntraStageTuner<'a> {
     // semantics are part of this type's contract and tests compare exact
     // counts, so the count must not leak across tuner instances.
     configs_evaluated: mist_telemetry::Counter,
+    // Rejection attribution for `TuneOutcome.telemetry` (same
+    // per-instance rationale).
+    rejections: RejectionCounters,
+    // High-water sampled frontier size across all (key, layer) families.
+    frontier_size: mist_telemetry::Gauge,
     // Reused across batch evaluations: register and output columns are
     // allocated once per concurrent evaluator and recycled for the whole
     // search. Tasks check a workspace out, use it, and return it.
@@ -135,6 +186,8 @@ impl<'a> IntraStageTuner<'a> {
             specializer: Specializer::new(),
             domains: space.symbol_domains(model),
             configs_evaluated: mist_telemetry::Counter::new(),
+            rejections: RejectionCounters::new(),
+            frontier_size: mist_telemetry::Gauge::new(),
             workspaces: Mutex::new(Vec::new()),
         }
     }
@@ -174,6 +227,16 @@ impl<'a> IntraStageTuner<'a> {
     /// The per-sweep program specialization cache (telemetry surfacing).
     pub fn specializer(&self) -> &Specializer {
         &self.specializer
+    }
+
+    /// Rejection attribution counters (driver publication).
+    pub(crate) fn rejections(&self) -> &RejectionCounters {
+        &self.rejections
+    }
+
+    /// Largest sampled per-layer frontier seen so far.
+    pub(crate) fn frontier_size_high_water(&self) -> f64 {
+        self.frontier_size.value()
     }
 
     /// The memory budget in use.
@@ -291,16 +354,33 @@ impl<'a> IntraStageTuner<'a> {
             let tapes = self.tapes(&cand);
             let mut ws = self.take_workspace();
             let mut partial: Vec<Vec<ParetoPoint>> = vec![Vec::new(); max_layers as usize];
-            self.evaluate_candidate(&cand, &tapes, key, max_layers, &mut partial, &mut ws);
+            let mut tally = SweepTally::default();
+            self.evaluate_candidate(
+                &cand,
+                &tapes,
+                key,
+                max_layers,
+                &mut partial,
+                &mut ws,
+                &mut tally,
+            );
             self.put_workspace(ws);
-            partial
+            (partial, tally)
         });
         let mut per_l: Vec<Vec<ParetoPoint>> = vec![Vec::new(); max_layers as usize];
-        for partial in partials {
+        let mut tally = SweepTally::default();
+        for (partial, part_tally) in partials {
+            tally.merge(&part_tally);
             for (dst, src) in per_l.iter_mut().zip(partial) {
                 dst.extend(src);
             }
         }
+        let feasible: u64 = per_l.iter().map(|p| p.len() as u64).sum();
+        debug_assert_eq!(
+            tally.enumerated,
+            tally.oom + tally.nonfinite + feasible,
+            "every enumerated row must be attributed to exactly one outcome"
+        );
 
         // Pareto-reduce and sample each layer count.
         for points in per_l.iter_mut() {
@@ -314,6 +394,30 @@ impl<'a> IntraStageTuner<'a> {
             kept.sort_by(|a, b| a.t.total_cmp(&b.t));
             *points = kept;
         }
+
+        let sizes: Vec<u32> = per_l.iter().map(|p| p.len() as u32).collect();
+        let survived: u64 = sizes.iter().map(|&s| s as u64).sum();
+        let dominated = feasible - survived;
+        self.rejections.oom.add(tally.oom);
+        self.rejections.nonfinite.add(tally.nonfinite);
+        self.rejections.dominated.add(dominated);
+        self.frontier_size
+            .set_max(sizes.iter().copied().max().unwrap_or(0) as f64);
+        mist_telemetry::journal_event(|| mist_telemetry::JournalEvent::FrontierSummary {
+            mesh_nodes: key.mesh.nodes,
+            mesh_gpus: key.mesh.gpus_per_node,
+            role: format!("{:?}", key.role),
+            inflight: key.inflight,
+            grad_accum: key.grad_accum,
+            max_layers,
+            enumerated: tally.enumerated,
+            oom: tally.oom,
+            nonfinite: tally.nonfinite,
+            feasible,
+            survived,
+            dominated,
+            sizes: sizes.clone(),
+        });
         per_l
     }
 
@@ -329,6 +433,7 @@ impl<'a> IntraStageTuner<'a> {
     /// appends points to each `per_l[l]` in exactly the order the
     /// ungrouped `(l, zero, offload)` row sweep produced — downstream
     /// Pareto reduction sees a byte-identical input sequence.
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_candidate(
         &self,
         cand: &StageCandidate,
@@ -337,12 +442,14 @@ impl<'a> IntraStageTuner<'a> {
         max_layers: u32,
         per_l: &mut [Vec<ParetoPoint>],
         ws: &mut EvalWorkspace,
+        tally: &mut SweepTally,
     ) {
         let combos = self.space.offload_combos();
         let zeros = self.space.zero_levels();
         let nl = max_layers as usize;
         self.configs_evaluated
             .add((nl * zeros.len() * combos.len()) as u64);
+        tally.enumerated += (nl * zeros.len() * combos.len()) as u64;
 
         let ls: Vec<f64> = (1..=max_layers).map(f64::from).collect();
         let frozen_ckpt = match self.space.ckpt {
@@ -410,11 +517,13 @@ impl<'a> IntraStageTuner<'a> {
                 for (i, l) in (1..=max_layers).enumerate() {
                     let ckpt = ckpt_col[i];
                     if ckpt.is_infinite() {
+                        tally.oom += 1;
                         continue; // No feasible checkpoint count.
                     }
                     let point = tapes.point_at(ws, i);
                     let mem_peak = point.mem_fwd.max(point.mem_bwd);
                     if mem_peak > self.budget {
+                        tally.oom += 1;
                         continue; // Conservative re-check of the linear solve.
                     }
                     let (t, d) = if self.space.overlap_aware {
@@ -427,6 +536,7 @@ impl<'a> IntraStageTuner<'a> {
                         (t, sum(point.first_extra) + sum(point.last_extra))
                     };
                     if !t.is_finite() {
+                        tally.nonfinite += 1;
                         continue;
                     }
                     let config = StageConfigValues {

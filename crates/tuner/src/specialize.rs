@@ -98,11 +98,24 @@ impl Specializer {
         );
         if let Some(hit) = self.programs.lock().get(&key) {
             self.hits.inc();
+            let residual_len = hit.len();
+            mist_telemetry::journal_event(|| mist_telemetry::JournalEvent::SpecializeCache {
+                hit: true,
+                program: program.id(),
+                original: program.len() as u32,
+                residual: residual_len as u32,
+            });
             return hit.clone();
         }
         self.misses.inc();
         let facts = self.sweep_facts(program, domains);
         let residual = Arc::new(specialize(program, frozen, &facts));
+        mist_telemetry::journal_event(|| mist_telemetry::JournalEvent::SpecializeCache {
+            hit: false,
+            program: program.id(),
+            original: program.len() as u32,
+            residual: residual.len() as u32,
+        });
         self.programs.lock().entry(key).or_insert(residual).clone()
     }
 

@@ -16,12 +16,22 @@
 #      are ignored) or if fused/specialized evaluation throughput drops
 #      more than 10% below the committed bench_symbolic.json baseline
 #      (see scripts/golden_diff.py)
-#   6. IR lint: run the mist-irlint static analyzer over the fused stage
+#   6. provenance digest drift: tune GPT-3 6.7B with --journal, run
+#      `mist-cli explain --json` over the decision journal, and compare
+#      against the committed results/explain_gpt3_6_7b.json snapshot
+#      (the `timing` subtree is stripped; everything else — coverage
+#      accounting, rejection histogram, runner-ups, frontier digests —
+#      is deterministic at any thread count)
+#   7. IR lint: run the mist-irlint static analyzer over the fused stage
 #      programs of every model preset, plus the per-sweep specialized
 #      residuals at the corner (zero, offload) groups; any
 #      error-severity diagnostic (unit mismatch, reachable division by
 #      zero, a cost root not provably finite and non-negative) fails
 #      the gate
+#   8. history: append this run's fused/specialized evaluation
+#      throughput and the 6.7B tuning time to results/history.jsonl so
+#      perf trends are visible across commits (append-only; commit the
+#      new line with your change)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,21 +44,21 @@ FMT_PACKAGES=(
     mist-telemetry mist-tuner
 )
 
-echo "==> [1/6] cargo build --release"
+echo "==> [1/8] cargo build --release"
 cargo build --release
 
-echo "==> [2/6] cargo test -q"
+echo "==> [2/8] cargo test -q"
 cargo test -q
 
-echo "==> [3/6] cargo clippy --workspace --all-targets -- -D warnings"
+echo "==> [3/8] cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [4/6] cargo fmt --check (first-party packages)"
+echo "==> [4/8] cargo fmt --check (first-party packages)"
 fmt_args=()
 for p in "${FMT_PACKAGES[@]}"; do fmt_args+=(-p "$p"); done
 cargo fmt --check "${fmt_args[@]}"
 
-echo "==> [5/6] golden drift check"
+echo "==> [5/8] golden drift check"
 # Regenerating a golden overwrites the committed file in results/, so
 # stash the committed versions first and always restore them — the drift
 # check must leave the working tree untouched whether it passes or fails.
@@ -88,7 +98,56 @@ if [ "$drift" -ne 0 ]; then
     exit 1
 fi
 
-echo "==> [6/6] IR lint (mist-irlint over every preset's stage programs)"
+echo "==> [6/8] provenance digest drift (mist-cli explain --json)"
+# Same workload as the committed snapshot; --threads 2 exercises the
+# cross-thread canonical ordering of the digest. Wall-clock lives under
+# the digest's `timing` key, which golden_diff.py strips.
+target/release/mist-cli tune --model gpt3-6.7b --platform l4 --gpus 8 \
+    --batch 16 --seed 7 --threads 2 --json \
+    --journal "$tmpdir/explain_journal.jsonl" > "$tmpdir/tune_6_7b.json"
+target/release/mist-cli explain --json "$tmpdir/explain_journal.jsonl" \
+    > "$tmpdir/explain_gpt3_6_7b.json"
+if python3 scripts/golden_diff.py results/explain_gpt3_6_7b.json \
+        "$tmpdir/explain_gpt3_6_7b.json"; then
+    echo "    explain_gpt3_6_7b.json: no drift"
+else
+    echo "provenance digest drift — if intentional, regenerate" >&2
+    echo "results/explain_gpt3_6_7b.json and commit it with the change" >&2
+    exit 1
+fi
+
+echo "==> [7/8] IR lint (mist-irlint over every preset's stage programs)"
 target/release/mist-cli lint-ir
+
+echo "==> [8/8] append run metrics to results/history.jsonl"
+# results/bench_symbolic.json currently holds the freshly regenerated
+# copy from stage 5 (the committed bytes are restored from $tmpdir at
+# exit), so its throughput numbers describe THIS machine and run.
+python3 - "$tmpdir/tune_6_7b.json" <<'PY'
+import json, subprocess, sys, time
+
+with open("results/bench_symbolic.json") as f:
+    bench = json.load(f)
+with open(sys.argv[1]) as f:
+    tune = json.load(f)
+try:
+    commit = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        capture_output=True, text=True, check=True,
+    ).stdout.strip()
+except Exception:
+    commit = "unknown"
+entry = {
+    "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "commit": commit,
+    "fused_rows_per_sec": bench.get("fused_rows_per_sec"),
+    "specialized_rows_per_sec": bench.get("specialized_rows_per_sec"),
+    "tune_gpt3_6_7b_secs": tune.get("tuning_seconds"),
+    "tune_gpt3_6_7b_configs": tune.get("configs_evaluated"),
+}
+with open("results/history.jsonl", "a") as f:
+    f.write(json.dumps(entry) + "\n")
+print("    appended:", json.dumps(entry))
+PY
 
 echo "CI gate passed."

@@ -23,6 +23,10 @@ import sys
 # them) or pool-scheduling stats. Everything else in the goldens is
 # deterministic.
 TIMING_FIELDS = {
+    # The explain digest keeps every wall-clock-derived value (phase
+    # timers, span totals, the self-time tree) under this one key so the
+    # whole subtree strips in one go.
+    "timing",
     "tuning_secs",
     "elapsed_secs",
     "intra_secs",
