@@ -25,6 +25,12 @@ USAGE:
     mist-cli lint-ir [--model <NAME>] [--platform <l4|a100>]
                      [--space <mist|mist-fine|megatron|deepspeed|aceso|alpa|uniform>]
                      [--seq <LEN>] [--no-flash] [--json]
+    mist-cli serve --listen <ADDR> [--cache <FILE>] [--threads <N>]
+    mist-cli query --connect <ADDR> [--model <NAME> --gpus <N> --batch <B>]
+                   [--platform <l4|a100>] [--space <NAME>] [--seq <LEN>]
+                   [--budget-gib <GIB>] [--qos <interactive|exhaustive>]
+                   [--no-cache] [--no-flash] [--seed <N>]
+                   [--max-grad-accum <N>] [--ping] [--stats] [--shutdown]
     mist-cli models
     mist-cli spaces
     mist-cli help
@@ -72,7 +78,25 @@ LINT-IR:
     `mist-irlint` analyzer: unit consistency, interval bounds (every cost
     root provably finite and non-negative over the search space's symbol
     domains), and dead code. Without --model it sweeps every preset.
-    Exit code 1 if any error-severity diagnostic is found."
+    Exit code 1 if any error-severity diagnostic is found.
+
+SERVE / QUERY:
+    serve runs the planner as a resident daemon speaking line-delimited
+    JSON over TCP (--listen host:port) or a Unix socket (--listen
+    /path/to.sock). Plans are cached content-addressed: an exact repeat
+    query is answered from the cache, and a query differing only in
+    global batch, node count, memory budget or grad-accum cap
+    warm-starts the tuner from cached per-stage Pareto frontiers —
+    byte-identical results, strictly fewer configurations evaluated.
+    --cache <FILE> persists the cache as JSONL across restarts. The
+    daemon prints `READY <addr>` on stdout once it is accepting.
+
+    query sends one request and prints the one-line JSON response:
+    either a plan query (--model/--gpus/--batch, plus --qos interactive
+    for a deterministically bounded search, --budget-gib to cap per-GPU
+    memory, --no-cache to bypass the cache read *and* write,
+    --max-grad-accum, --seed) or a control command (--ping, --stats,
+    --shutdown). Exit code 1 if the daemon answered with ok=false."
 }
 
 fn parse_model(name: &str, seq: u64, flash: bool) -> Result<ModelSpec, String> {
@@ -648,6 +672,187 @@ fn run_lint_ir(args: LintArgs) -> Result<bool, String> {
 
 /// Runs the CLI on already-split arguments (excluding the program name)
 /// and returns the process exit code.
+struct ServeArgs {
+    listen: String,
+    cache: Option<String>,
+    threads: Option<usize>,
+}
+
+fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs {
+        listen: String::new(),
+        cache: None,
+        threads: None,
+    };
+    let mut it = argv.iter();
+    let need = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => args.listen = need(&mut it, "--listen")?,
+            "--cache" => args.cache = Some(need(&mut it, "--cache")?),
+            "--threads" => {
+                let n: usize = need(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                args.threads = Some(n);
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if args.listen.is_empty() {
+        return Err("serve requires --listen".into());
+    }
+    Ok(args)
+}
+
+fn run_serve(args: &ServeArgs) -> Result<(), String> {
+    if let Some(n) = args.threads {
+        mist_pool::set_global_threads(n);
+    }
+    let cache = match &args.cache {
+        Some(path) => mist_service::PlanCache::open(path)
+            .map_err(|e| format!("cannot open cache {path}: {e}"))?,
+        None => mist_service::PlanCache::in_memory(),
+    };
+    let server = mist_service::Server::bind(&args.listen, mist_service::PlannerService::new(cache))
+        .map_err(|e| format!("cannot bind {}: {e}", args.listen))?;
+    // Scripts wait for this line before sending their first query.
+    println!("READY {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server.run().map_err(|e| format!("serve failed: {e}"))
+}
+
+struct QueryArgs {
+    connect: String,
+    line: String,
+}
+
+fn parse_query_args(argv: &[String]) -> Result<QueryArgs, String> {
+    let mut connect = String::new();
+    let mut control: Option<&str> = None;
+    let mut req = mist_service::PlanRequest::default();
+    let mut has_plan_field = false;
+    let mut it = argv.iter();
+    let need = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    let int = |s: String, flag: &str| -> Result<u64, String> {
+        s.parse().map_err(|_| format!("{flag} expects an integer"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => connect = need(&mut it, "--connect")?,
+            "--ping" => control = Some("ping"),
+            "--stats" => control = Some("stats"),
+            "--shutdown" => control = Some("shutdown"),
+            "--model" => {
+                req.model = need(&mut it, "--model")?;
+                has_plan_field = true;
+            }
+            "--platform" => {
+                req.platform = need(&mut it, "--platform")?;
+                has_plan_field = true;
+            }
+            "--gpus" => {
+                req.gpus = int(need(&mut it, "--gpus")?, "--gpus")? as u32;
+                has_plan_field = true;
+            }
+            "--batch" => {
+                req.batch = int(need(&mut it, "--batch")?, "--batch")?;
+                has_plan_field = true;
+            }
+            "--space" => {
+                req.space = need(&mut it, "--space")?;
+                has_plan_field = true;
+            }
+            "--seq" => {
+                req.seq = Some(int(need(&mut it, "--seq")?, "--seq")?);
+                has_plan_field = true;
+            }
+            "--budget-gib" => {
+                let gib: f64 = need(&mut it, "--budget-gib")?
+                    .parse()
+                    .map_err(|_| "--budget-gib expects a number".to_string())?;
+                if gib <= 0.0 {
+                    return Err("--budget-gib must be positive".into());
+                }
+                req.budget_gib = Some(gib);
+                has_plan_field = true;
+            }
+            "--qos" => {
+                req.qos = mist_service::Qos::parse(&need(&mut it, "--qos")?)?;
+                has_plan_field = true;
+            }
+            "--no-cache" => {
+                req.no_cache = true;
+                has_plan_field = true;
+            }
+            "--no-flash" => {
+                req.flash = false;
+                has_plan_field = true;
+            }
+            "--seed" => {
+                let raw = need(&mut it, "--seed")?;
+                let parsed = raw
+                    .strip_prefix("0x")
+                    .map(|hex| u64::from_str_radix(hex, 16))
+                    .unwrap_or_else(|| raw.parse());
+                req.seed = parsed.map_err(|_| "--seed expects an integer".to_string())?;
+                has_plan_field = true;
+            }
+            "--max-grad-accum" => {
+                let cap = int(need(&mut it, "--max-grad-accum")?, "--max-grad-accum")? as u32;
+                if cap == 0 {
+                    return Err("--max-grad-accum must be at least 1".into());
+                }
+                req.max_grad_accum = cap;
+                has_plan_field = true;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if connect.is_empty() {
+        return Err("query requires --connect".into());
+    }
+    let line = match control {
+        Some(cmd) => {
+            if has_plan_field {
+                return Err(format!("--{cmd} cannot be combined with plan-query flags"));
+            }
+            format!("{{\"cmd\": \"{cmd}\"}}")
+        }
+        None => {
+            if req.model.is_empty() || req.gpus == 0 || req.batch == 0 {
+                return Err("a plan query requires --model, --gpus and --batch".into());
+            }
+            serde_json::to_string(&req.to_value()).map_err(|e| e.to_string())?
+        }
+    };
+    Ok(QueryArgs { connect, line })
+}
+
+fn run_query(args: &QueryArgs) -> Result<bool, String> {
+    let response = mist_service::request(&args.connect, &args.line)
+        .map_err(|e| format!("query to {} failed: {e}", args.connect))?;
+    println!("{response}");
+    let ok = matches!(
+        serde_json::from_str::<serde::Value>(&response),
+        Ok(serde::Value::Object(ref fields))
+            if serde::get_field(fields, "ok").ok() == Some(&serde::Value::Bool(true))
+    );
+    Ok(ok)
+}
+
 pub fn run(argv: &[String]) -> u8 {
     match argv.first().map(String::as_str) {
         Some("tune") => match parse_args(&argv[1..]).and_then(run_tune) {
@@ -669,6 +874,21 @@ pub fn run(argv: &[String]) -> u8 {
             }
         },
         Some("lint-ir") => match parse_lint_args(&argv[1..]).and_then(run_lint_ir) {
+            Ok(true) => 0,
+            Ok(false) => 1,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", usage());
+                2
+            }
+        },
+        Some("serve") => match parse_serve_args(&argv[1..]).and_then(|a| run_serve(&a)) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", usage());
+                2
+            }
+        },
+        Some("query") => match parse_query_args(&argv[1..]).and_then(|a| run_query(&a)) {
             Ok(true) => 0,
             Ok(false) => 1,
             Err(e) => {
@@ -806,10 +1026,88 @@ mod tests {
             "--json",
             "--journal",
             "--top",
+            "--listen",
+            "--cache",
+            "--connect",
+            "--qos",
+            "--budget-gib",
+            "--no-cache",
+            "--max-grad-accum",
+            "--ping",
+            "--stats",
+            "--shutdown",
         ] {
             assert!(usage().contains(flag), "usage() must document {flag}");
         }
         assert!(usage().contains("explain"), "usage() must document explain");
+        assert!(usage().contains("serve"), "usage() must document serve");
+        assert!(usage().contains("query"), "usage() must document query");
+    }
+
+    #[test]
+    fn parse_serve_args_requires_listen() {
+        assert!(parse_serve_args(&sv(&[])).is_err());
+        assert!(parse_serve_args(&sv(&["--listen"])).is_err());
+        assert!(parse_serve_args(&sv(&["--bogus"])).is_err());
+        let a = parse_serve_args(&sv(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--cache",
+            "/tmp/plans.jsonl",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(a.listen, "127.0.0.1:0");
+        assert_eq!(a.cache.as_deref(), Some("/tmp/plans.jsonl"));
+        assert_eq!(a.threads, Some(2));
+    }
+
+    #[test]
+    fn parse_query_args_builds_wire_lines() {
+        assert!(parse_query_args(&sv(&[])).is_err(), "--connect is required");
+        assert!(
+            parse_query_args(&sv(&["--connect", "x:1"])).is_err(),
+            "plan queries need model/gpus/batch"
+        );
+        assert!(
+            parse_query_args(&sv(&["--connect", "x:1", "--ping", "--model", "gpt3-1.3b"])).is_err(),
+            "control commands exclude plan flags"
+        );
+
+        let ping = parse_query_args(&sv(&["--connect", "x:1", "--ping"])).unwrap();
+        assert_eq!(ping.line, "{\"cmd\": \"ping\"}");
+
+        let plan = parse_query_args(&sv(&[
+            "--connect",
+            "/tmp/mist.sock",
+            "--model",
+            "gpt3-6.7b",
+            "--gpus",
+            "8",
+            "--batch",
+            "16",
+            "--qos",
+            "interactive",
+            "--budget-gib",
+            "20.5",
+            "--no-cache",
+            "--seed",
+            "0xAB5EED",
+        ]))
+        .unwrap();
+        // The line must parse back into the same request server-side.
+        let parsed = mist_service::Request::parse(&plan.line).unwrap();
+        let mist_service::Request::Plan(req) = parsed else {
+            panic!("expected a plan request")
+        };
+        assert_eq!(req.model, "gpt3-6.7b");
+        assert_eq!(req.gpus, 8);
+        assert_eq!(req.batch, 16);
+        assert_eq!(req.qos, mist_service::Qos::Interactive);
+        assert_eq!(req.budget_gib, Some(20.5));
+        assert!(req.no_cache);
+        assert_eq!(req.seed, 0xAB5EED);
     }
 
     #[test]

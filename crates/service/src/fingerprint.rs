@@ -1,0 +1,242 @@
+//! Content-addressed fingerprints for plan-cache keys.
+//!
+//! A fingerprint is the SHA-256 of a *canonical* flattening of a JSON
+//! value: every scalar leaf becomes one `path=typed-value` line, the
+//! lines are sorted, and the digest is taken over their concatenation.
+//! Canonicality properties:
+//!
+//! * **Key order is irrelevant** — two objects with the same fields in
+//!   different order flatten to the same sorted line set.
+//! * **Every scalar perturbation is visible** — floats are encoded via
+//!   their IEEE-754 bit pattern (no formatting ambiguity, `-0.0 ≠ 0.0`,
+//!   NaN payloads preserved), integers and floats of equal numeric value
+//!   are distinct, and array positions are part of the path.
+//!
+//! SHA-256 is implemented inline (FIPS 180-4) — the build environment
+//! has no crypto dependency, and 64 rounds over a few KiB of query
+//! material is nowhere near a hot path.
+
+use serde::Value;
+
+/// SHA-256 of `data`, as lowercase hex.
+pub fn sha256_hex(data: &[u8]) -> String {
+    let digest = sha256(data);
+    let mut out = String::with_capacity(64);
+    for byte in digest {
+        out.push(char::from_digit((byte >> 4) as u32, 16).unwrap());
+        out.push(char::from_digit((byte & 0xf) as u32, 16).unwrap());
+    }
+    out
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+    // Pad: 0x80, zeros, 64-bit big-endian bit length.
+    let mut msg = data.to_vec();
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 64];
+    for block in msg.chunks_exact(64) {
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+        h[5] = h[5].wrapping_add(f);
+        h[6] = h[6].wrapping_add(g);
+        h[7] = h[7].wrapping_add(hh);
+    }
+    let mut out = [0u8; 32];
+    for (i, word) in h.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Flattens `value` into sorted `path=typed-scalar` lines and hashes
+/// them. See the module docs for the canonicality guarantees.
+pub fn canonical_fingerprint(value: &Value) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    flatten(value, &mut String::new(), &mut lines);
+    lines.sort_unstable();
+    let mut buf = String::new();
+    for line in &lines {
+        buf.push_str(line);
+        buf.push('\n');
+    }
+    sha256_hex(buf.as_bytes())
+}
+
+/// Escapes path separators and newlines so distinct key structures
+/// cannot collide into the same flattened line.
+fn escape(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '.' => out.push_str("\\."),
+            '[' => out.push_str("\\["),
+            '=' => out.push_str("\\="),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+}
+
+fn flatten(value: &Value, path: &mut String, lines: &mut Vec<String>) {
+    match value {
+        Value::Null => lines.push(format!("{path}=null")),
+        Value::Bool(b) => lines.push(format!("{path}=b:{b}")),
+        Value::Int(i) => lines.push(format!("{path}=i:{i}")),
+        Value::Float(f) => lines.push(format!("{path}=f:{:016x}", f.to_bits())),
+        Value::Str(s) => {
+            let mut esc = String::new();
+            escape(s, &mut esc);
+            lines.push(format!("{path}=s:{esc}"));
+        }
+        Value::Array(items) => {
+            if items.is_empty() {
+                lines.push(format!("{path}=[]"));
+            }
+            for (i, item) in items.iter().enumerate() {
+                let len = path.len();
+                path.push_str(&format!("[{i}]"));
+                flatten(item, path, lines);
+                path.truncate(len);
+            }
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                lines.push(format!("{path}={{}}"));
+            }
+            for (key, item) in fields {
+                let len = path.len();
+                path.push('.');
+                escape(key, path);
+                flatten(item, path, lines);
+                path.truncate(len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256_known_vectors() {
+        // FIPS 180-4 test vectors.
+        assert_eq!(
+            sha256_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha256_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // Multi-block (>64 bytes).
+        let long = vec![b'a'; 1_000];
+        assert_eq!(
+            sha256_hex(&long),
+            "41edece42d63e8d9bf515a9ba6932e1c20cbc9f5a5d134645adb5db1b9737ea3"
+        );
+    }
+
+    #[test]
+    fn key_order_is_canonical() {
+        let a: Value = serde_json::from_str(r#"{"x": 1, "y": {"a": 2.5, "b": [1, 2]}}"#).unwrap();
+        let b: Value = serde_json::from_str(r#"{"y": {"b": [1, 2], "a": 2.5}, "x": 1}"#).unwrap();
+        assert_eq!(canonical_fingerprint(&a), canonical_fingerprint(&b));
+    }
+
+    #[test]
+    fn perturbations_change_the_fingerprint() {
+        let base: Value = serde_json::from_str(r#"{"x": 1, "y": 2.5}"#).unwrap();
+        for other in [
+            r#"{"x": 2, "y": 2.5}"#,
+            r#"{"x": 1, "y": 2.51}"#,
+            r#"{"x": 1, "y": 2.5, "z": 0}"#,
+            r#"{"x": 1}"#,
+            r#"{"x": 1.0, "y": 2.5}"#, // int vs float
+        ] {
+            let v: Value = serde_json::from_str(other).unwrap();
+            assert_ne!(
+                canonical_fingerprint(&base),
+                canonical_fingerprint(&v),
+                "{other} must fingerprint differently"
+            );
+        }
+    }
+
+    #[test]
+    fn structure_cannot_collide_through_key_text() {
+        // A literal "a.b" key vs nested {"a":{"b":..}} must differ.
+        let flat: Value = serde_json::from_str(r#"{"a.b": 1}"#).unwrap();
+        let nested: Value = serde_json::from_str(r#"{"a": {"b": 1}}"#).unwrap();
+        assert_ne!(canonical_fingerprint(&flat), canonical_fingerprint(&nested));
+        // Array position matters.
+        let ab: Value = serde_json::from_str(r#"{"v": [1, 2]}"#).unwrap();
+        let ba: Value = serde_json::from_str(r#"{"v": [2, 1]}"#).unwrap();
+        assert_ne!(canonical_fingerprint(&ab), canonical_fingerprint(&ba));
+    }
+}

@@ -1,0 +1,36 @@
+//! `mist-service` — the planner as a resident service.
+//!
+//! Re-tuning from scratch for every `(model, cluster, batch)` variation
+//! wastes the dominant cost of planning: the intra-stage sweeps. This
+//! crate wraps the tuner in a daemon with a content-addressed
+//! [`PlanCache`]:
+//!
+//! * an **exact hit** (same fully resolved query) returns the cached
+//!   [`mist_tuner::TuneOutcome`] without touching the tuner;
+//! * a **family neighbour** (same architecture, tape environment,
+//!   search space and calibration seed — different batch, node count,
+//!   budget or grad-accum cap) warm-starts the tuner from the donor's
+//!   exported intra-stage Pareto frontiers, producing byte-identical
+//!   results while evaluating strictly fewer configurations (soundness
+//!   argument in `mist_tuner::seed`);
+//! * everything else runs **cold** and seeds the cache for later.
+//!
+//! The wire protocol is line-delimited JSON over TCP or a Unix socket
+//! ([`protocol`]), with `interactive`/`exhaustive` QoS profiles
+//! ([`Qos`]) that bound work deterministically rather than by
+//! wall-clock. `mist-cli serve` and `mist-cli query` are thin shims
+//! over [`Server`] and [`request`].
+
+mod cache;
+mod fingerprint;
+mod planner;
+pub mod protocol;
+mod qos;
+mod server;
+
+pub use cache::{CacheEntry, PlanCache, QuerySummary};
+pub use fingerprint::{canonical_fingerprint, sha256_hex};
+pub use planner::{Control, PlannerService};
+pub use protocol::{PlanRequest, Request};
+pub use qos::{Qos, INTERACTIVE_MAX_OUTER};
+pub use server::{request, Server};

@@ -1,0 +1,630 @@
+//! The planner: query resolution, cache orchestration, warm-started
+//! tuning, and response construction.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use mist_hardware::{ClusterSpec, OpCostDb, Platform, GIB};
+use mist_interference::{fit, InterferenceModel};
+use mist_models::{falcon, gpt3, llama, AttentionImpl, ModelSize, ModelSpec};
+use mist_sim::benchmark_interference;
+use mist_tuner::{SearchSpace, TuneOutcome, Tuner};
+use parking_lot::{Condvar, Mutex};
+use serde::Value;
+
+use crate::cache::{CacheEntry, PlanCache, QuerySummary};
+use crate::fingerprint::canonical_fingerprint;
+use crate::protocol::{error_response, Command, PlanRequest, Request};
+
+/// Calibration-benchmark sample count (matches `MistSession`).
+const CALIBRATION_SAMPLES: usize = 400;
+/// Interference-fit iteration count (matches `MistSession`).
+const FIT_ITERATIONS: usize = 3000;
+
+/// A fully resolved query: every default applied, every preset
+/// expanded. Fingerprints are taken over this, never over the wire
+/// form, so spelling variants (`"gpt3"` vs `"gpt"`) cannot split the
+/// cache.
+struct Resolved {
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    space: SearchSpace,
+    budget: f64,
+    exact: String,
+    family: String,
+    summary: QuerySummary,
+}
+
+/// What `handle_line` tells the server to do after responding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep serving.
+    Continue,
+    /// Stop the accept loop and exit.
+    Shutdown,
+}
+
+/// The resident planner backing `mist-cli serve`.
+pub struct PlannerService {
+    cache: Mutex<PlanCache>,
+    // One interference model per (platform, seed): `benchmark_interference`
+    // + `fit` depend on nothing else, so all queries share the result.
+    calibrations: Mutex<HashMap<(Platform, u64), Arc<InterferenceModel>>>,
+    // Single-flight: exact fingerprints currently being tuned. A second
+    // query for the same fingerprint waits and then hits the cache
+    // instead of duplicating the tune.
+    inflight: Mutex<HashSet<String>>,
+    inflight_cv: Condvar,
+    hits: mist_telemetry::Counter,
+    misses: mist_telemetry::Counter,
+    warm_starts: mist_telemetry::Counter,
+}
+
+impl PlannerService {
+    /// Creates a planner over a cache.
+    pub fn new(cache: PlanCache) -> Self {
+        PlannerService {
+            cache: Mutex::new(cache),
+            calibrations: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashSet::new()),
+            inflight_cv: Condvar::new(),
+            hits: mist_telemetry::Counter::new(),
+            misses: mist_telemetry::Counter::new(),
+            warm_starts: mist_telemetry::Counter::new(),
+        }
+    }
+
+    /// Exact-hit count since startup.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.value()
+    }
+
+    /// Tuner-run count since startup (cold + warm).
+    pub fn cache_misses(&self) -> u64 {
+        self.misses.value()
+    }
+
+    /// Warm-started tuner runs since startup.
+    pub fn warm_start_count(&self) -> u64 {
+        self.warm_starts.value()
+    }
+
+    /// Handles one request line; returns the response line and whether
+    /// the server should shut down.
+    pub fn handle_line(&self, line: &str) -> (String, Control) {
+        match Request::parse(line) {
+            Err(e) => (error_response(&e), Control::Continue),
+            Ok(Request::Control(Command::Ping)) => (
+                serde_json::to_string(&serde_json::json!({"ok": true, "pong": true}))
+                    .expect("ping response"),
+                Control::Continue,
+            ),
+            Ok(Request::Control(Command::Stats)) => {
+                let entries = self.cache.lock().len() as u64;
+                let value = serde_json::json!({
+                    "ok": true,
+                    "cache": self.cache_counters(entries),
+                });
+                (
+                    serde_json::to_string(&value).expect("stats response"),
+                    Control::Continue,
+                )
+            }
+            Ok(Request::Control(Command::Shutdown)) => (
+                serde_json::to_string(&serde_json::json!({"ok": true, "shutdown": true}))
+                    .expect("shutdown response"),
+                Control::Shutdown,
+            ),
+            Ok(Request::Plan(req)) => (
+                serde_json::to_string(&self.plan(&req)).expect("plan response"),
+                Control::Continue,
+            ),
+        }
+    }
+
+    /// Answers a plan query (the full cold/hit/warm state machine).
+    pub fn plan(&self, req: &PlanRequest) -> Value {
+        let started = Instant::now();
+        let resolved = match self.resolve(req) {
+            Ok(r) => r,
+            Err(e) => {
+                return serde_json::json!({"ok": false, "error": e});
+            }
+        };
+        let _span = mist_telemetry::span!(
+            "service.query",
+            gpus = resolved.summary.gpus,
+            batch = resolved.summary.batch
+        );
+
+        if !req.no_cache {
+            if let Some(value) = self.try_hit(&resolved, started) {
+                return value;
+            }
+        }
+
+        // Single-flight on the exact fingerprint: duplicate concurrent
+        // queries wait here, then (cache permitting) take the hit path.
+        let _flight = self.begin_flight(resolved.exact.clone());
+        if !req.no_cache {
+            if let Some(value) = self.try_hit(&resolved, started) {
+                return value;
+            }
+        }
+
+        let interference = self.calibration(resolved.cluster.platform, req.seed);
+        let warm_seed = if req.no_cache {
+            None
+        } else {
+            self.cache
+                .lock()
+                .warm_seed(&resolved.family, &resolved.exact)
+        };
+        let db = OpCostDb::new(resolved.cluster.gpu.clone());
+        let mut tuner = Tuner::new(
+            &resolved.model,
+            &resolved.cluster,
+            &db,
+            &resolved.space,
+            &interference,
+        )
+        .with_max_grad_accum(req.max_grad_accum)
+        .with_budget(resolved.budget)
+        .with_max_outer_candidates(req.qos.max_outer_candidates());
+        if let Some(seed) = warm_seed {
+            tuner = tuner.with_frontier_seed(Arc::new(seed));
+        }
+
+        match tuner.tune_with_export(req.batch) {
+            None => {
+                self.misses.inc();
+                let entries = self.cache.lock().len() as u64;
+                serde_json::json!({
+                    "ok": true,
+                    "result": serde_json::json!({
+                        "feasible": false,
+                        "model": resolved.model.name,
+                        "space": resolved.space.name,
+                    }),
+                    "work": serde_json::json!({
+                        "source": "cold",
+                        "query_secs": started.elapsed().as_secs_f64(),
+                        "configs_evaluated": 0u64,
+                        "seeded_frontiers": 0u64,
+                        "cache": self.cache_counters(entries),
+                    }),
+                })
+            }
+            Some((outcome, export)) => {
+                let seeded = outcome.telemetry.counter("tuner.seeded_frontiers");
+                self.misses.inc();
+                let source = if seeded > 0 {
+                    self.warm_starts.inc();
+                    "warm"
+                } else {
+                    "cold"
+                };
+                if !req.no_cache {
+                    let mut cache = self.cache.lock();
+                    cache.insert(CacheEntry {
+                        exact: resolved.exact.clone(),
+                        family: resolved.family.clone(),
+                        summary: resolved.summary.clone(),
+                        outcome: outcome.clone(),
+                        export,
+                    });
+                    if let Err(e) = cache.save() {
+                        eprintln!("mist-service: cache save failed: {e}");
+                    }
+                }
+                self.respond(&resolved, &outcome, source, seeded, started)
+            }
+        }
+    }
+
+    /// Exact-hit fast path.
+    fn try_hit(&self, resolved: &Resolved, started: Instant) -> Option<Value> {
+        let cache = self.cache.lock();
+        let entry = cache.lookup(&resolved.exact)?;
+        self.hits.inc();
+        mist_telemetry::counter_add("service.cache.hits", 1);
+        let outcome = entry.outcome.clone();
+        drop(cache);
+        Some(self.respond(resolved, &outcome, "hit", 0, started))
+    }
+
+    /// Builds the plan response. Everything under `"result"` is a pure
+    /// function of the resolved query — byte-identical across
+    /// cold/hit/warm — while `"work"` carries the run-variable fields.
+    fn respond(
+        &self,
+        resolved: &Resolved,
+        outcome: &TuneOutcome,
+        source: &str,
+        seeded: u64,
+        started: Instant,
+    ) -> Value {
+        let entries = self.cache.lock().len() as u64;
+        serde_json::json!({
+            "ok": true,
+            "result": serde_json::json!({
+                "feasible": true,
+                "model": resolved.model.name,
+                "space": resolved.space.name,
+                "exact_fingerprint": resolved.exact,
+                "family_fingerprint": resolved.family,
+                "predicted_iteration_s": outcome.predicted_iteration,
+                "predicted_throughput": outcome.predicted_throughput,
+                "plan": outcome.plan,
+                "stage_points": outcome.stage_points,
+            }),
+            "work": serde_json::json!({
+                "source": source,
+                "query_secs": started.elapsed().as_secs_f64(),
+                "configs_evaluated": outcome.stats.configs_evaluated,
+                "seeded_frontiers": seeded,
+                "stats": outcome.stats,
+                "telemetry": outcome.telemetry,
+                "cache": self.cache_counters(entries),
+            }),
+        })
+    }
+
+    fn cache_counters(&self, entries: u64) -> Value {
+        serde_json::json!({
+            "hits": self.hits.value(),
+            "misses": self.misses.value(),
+            "warm_starts": self.warm_starts.value(),
+            "entries": entries,
+        })
+    }
+
+    /// Memoized interference calibration per (platform, seed).
+    fn calibration(&self, platform: Platform, seed: u64) -> Arc<InterferenceModel> {
+        if let Some(hit) = self.calibrations.lock().get(&(platform, seed)) {
+            return hit.clone();
+        }
+        let prior = match platform {
+            Platform::GcpL4 => InterferenceModel::pcie_defaults(),
+            Platform::AwsA100 => InterferenceModel::nvlink_defaults(),
+        };
+        let _span = mist_telemetry::span!("session.calibrate", samples = CALIBRATION_SAMPLES);
+        let samples = benchmark_interference(platform, CALIBRATION_SAMPLES, seed);
+        let model = Arc::new(fit(&prior, &samples, FIT_ITERATIONS, seed ^ 0x5EED).0);
+        // First insert wins if two queries raced on the same key.
+        self.calibrations
+            .lock()
+            .entry((platform, seed))
+            .or_insert(model)
+            .clone()
+    }
+
+    /// Registers `exact` as in flight, waiting while another thread
+    /// tunes it. The guard deregisters and wakes waiters on drop.
+    fn begin_flight(&self, exact: String) -> FlightGuard<'_> {
+        let mut inflight = self.inflight.lock();
+        while inflight.contains(&exact) {
+            inflight = self.inflight_cv.wait(inflight);
+        }
+        inflight.insert(exact.clone());
+        FlightGuard {
+            planner: self,
+            exact,
+        }
+    }
+
+    /// Resolves the wire request into specs and fingerprints.
+    fn resolve(&self, req: &PlanRequest) -> Result<Resolved, String> {
+        let platform = match req.platform.to_ascii_lowercase().as_str() {
+            "l4" | "gcp" => Platform::GcpL4,
+            "a100" | "aws" => Platform::AwsA100,
+            other => return Err(format!("unknown platform `{other}` (l4|a100)")),
+        };
+        let platform_name = match platform {
+            Platform::GcpL4 => "l4",
+            Platform::AwsA100 => "a100",
+        };
+        let seq = req.seq.unwrap_or(match platform {
+            Platform::GcpL4 => 2048,
+            Platform::AwsA100 => 4096,
+        });
+        if req.gpus > 8 && !req.gpus.is_multiple_of(8) {
+            return Err(format!(
+                "gpus {} is not a Table-3 cluster shape (1-8, or a multiple of 8)",
+                req.gpus
+            ));
+        }
+        let model = parse_model(&req.model, seq, req.flash)?;
+        let cluster = ClusterSpec::for_gpu_count(platform, req.gpus);
+        let space = req.qos.restrict(&parse_space(&req.space)?);
+        let budget = match req.budget_gib {
+            Some(gib) => gib * GIB,
+            None => cluster.gpu.memory_bytes,
+        };
+
+        let arch = serde_json::to_value(&model).map_err(|e| e.to_string())?;
+        let space_value = serde_json::to_value(&space).map_err(|e| e.to_string())?;
+        let exact = canonical_fingerprint(&serde_json::json!({
+            "arch": arch.clone(),
+            "cluster": serde_json::json!({
+                "platform": platform_name,
+                "num_nodes": cluster.num_nodes,
+                "gpus_per_node": cluster.gpus_per_node,
+            }),
+            "space": space_value.clone(),
+            "budget": budget,
+            "batch": req.batch,
+            "seed": req.seed,
+            "max_grad_accum": req.max_grad_accum,
+        }));
+        // The family drops batch, node count, budget and the grad-accum
+        // cap: those deltas are warm-startable. It keeps everything the
+        // compiled tapes and the calibrated interference model can see —
+        // platform (links, GPU, calibration), GPUs per node and the
+        // single-node collective-placement branch.
+        let family = canonical_fingerprint(&serde_json::json!({
+            "arch": arch,
+            "tape_env": serde_json::json!({
+                "platform": platform_name,
+                "gpus_per_node": cluster.gpus_per_node,
+                "single_node": cluster.num_nodes == 1,
+            }),
+            "space": space_value,
+            "seed": req.seed,
+        }));
+        let summary = QuerySummary {
+            model: model.name.clone(),
+            platform: platform_name.to_owned(),
+            gpus: req.gpus,
+            batch: req.batch,
+            space: space.name.clone(),
+            budget,
+            seq,
+            qos: req.qos.name().to_owned(),
+        };
+        Ok(Resolved {
+            model,
+            cluster,
+            space,
+            budget,
+            exact,
+            family,
+            summary,
+        })
+    }
+}
+
+struct FlightGuard<'a> {
+    planner: &'a PlannerService,
+    exact: String,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.planner.inflight.lock().remove(&self.exact);
+        self.planner.inflight_cv.notify_all();
+    }
+}
+
+/// Parses a `family-size` model preset name (mirrors the CLI grammar).
+fn parse_model(name: &str, seq: u64, flash: bool) -> Result<ModelSpec, String> {
+    let attn = if flash {
+        AttentionImpl::Flash
+    } else {
+        AttentionImpl::Standard
+    };
+    let (family, size) = name
+        .split_once('-')
+        .ok_or_else(|| format!("bad model name `{name}` (expected family-size)"))?;
+    let size = match size.to_ascii_lowercase().as_str() {
+        "1.3b" => ModelSize::B1_3,
+        "2.6b" | "2.7b" => ModelSize::B2_6,
+        "6.7b" | "7b" => ModelSize::B6_7,
+        "13b" => ModelSize::B13,
+        "22b" => ModelSize::B22,
+        "40b" => ModelSize::B40,
+        other => return Err(format!("unknown model size `{other}`")),
+    };
+    match family.to_ascii_lowercase().as_str() {
+        "gpt3" | "gpt" => Ok(gpt3(size, seq, attn)),
+        "llama" => Ok(llama(size, seq, attn)),
+        "falcon" => Ok(falcon(size, seq, attn)),
+        other => Err(format!("unknown model family `{other}`")),
+    }
+}
+
+/// Parses a search-space preset name (mirrors the CLI grammar).
+fn parse_space(name: &str) -> Result<SearchSpace, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "mist" => Ok(SearchSpace::mist()),
+        "mist-fine" => Ok(SearchSpace::mist_fine()),
+        "megatron" | "megatron-lm" => Ok(mist_baselines::Baseline::MegatronLM.space()),
+        "deepspeed" => Ok(mist_baselines::Baseline::DeepSpeed.space()),
+        "aceso" => Ok(mist_baselines::Baseline::Aceso.space()),
+        "alpa" => Ok(mist_baselines::Baseline::Alpa.space()),
+        "uniform" => Ok(mist_baselines::Baseline::UniformHeuristic.space()),
+        other => Err(format!("unknown search space `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qos::Qos;
+
+    fn req(batch: u64) -> PlanRequest {
+        PlanRequest {
+            model: "gpt3-1.3b".into(),
+            platform: "l4".into(),
+            gpus: 2,
+            batch,
+            max_grad_accum: 8,
+            ..PlanRequest::default()
+        }
+    }
+
+    fn result_json(v: &Value) -> String {
+        let Value::Object(fields) = v else {
+            panic!("response must be an object")
+        };
+        let result = serde::get_field(fields, "result").expect("result field");
+        serde_json::to_string(result).unwrap()
+    }
+
+    fn work_str<'a>(v: &'a Value, key: &str) -> &'a Value {
+        let Value::Object(fields) = v else {
+            panic!("response must be an object")
+        };
+        let Value::Object(work) = serde::get_field(fields, "work").expect("work field") else {
+            panic!("work must be an object")
+        };
+        serde::get_field(work, key).expect(key)
+    }
+
+    #[test]
+    fn cold_hit_warm_state_machine() {
+        let planner = PlannerService::new(PlanCache::in_memory());
+
+        let cold16 = planner.plan(&req(16));
+        assert_eq!(work_str(&cold16, "source"), &Value::Str("cold".into()));
+        assert_eq!(planner.cache_misses(), 1);
+
+        let hit16 = planner.plan(&req(16));
+        assert_eq!(work_str(&hit16, "source"), &Value::Str("hit".into()));
+        assert_eq!(planner.cache_hits(), 1);
+        assert_eq!(
+            result_json(&cold16),
+            result_json(&hit16),
+            "exact hit must reproduce the cold result byte-for-byte"
+        );
+
+        let warm32 = planner.plan(&req(32));
+        assert_eq!(work_str(&warm32, "source"), &Value::Str("warm".into()));
+        assert_eq!(planner.warm_start_count(), 1);
+
+        // Reference: a cache-bypassing cold tune at the same batch.
+        let mut bypass = req(32);
+        bypass.no_cache = true;
+        let cold32 = planner.plan(&bypass);
+        assert_eq!(work_str(&cold32, "source"), &Value::Str("cold".into()));
+        assert_eq!(
+            result_json(&warm32),
+            result_json(&cold32),
+            "warm-start result must be byte-identical to cold"
+        );
+        let configs = |v: &Value| work_str(v, "configs_evaluated").as_i64().unwrap();
+        assert!(
+            configs(&warm32) < configs(&cold32),
+            "warm {} must evaluate strictly fewer configs than cold {}",
+            configs(&warm32),
+            configs(&cold32)
+        );
+        assert!(work_str(&warm32, "seeded_frontiers").as_i64().unwrap() > 0);
+    }
+
+    #[test]
+    fn no_cache_bypasses_read_and_write() {
+        let planner = PlannerService::new(PlanCache::in_memory());
+        let mut r = req(16);
+        r.no_cache = true;
+        planner.plan(&r);
+        planner.plan(&r);
+        assert_eq!(planner.cache_hits(), 0);
+        assert_eq!(planner.cache_misses(), 2);
+        assert_eq!(planner.cache.lock().len(), 0);
+    }
+
+    #[test]
+    fn qos_profiles_do_not_share_fingerprints() {
+        let planner = PlannerService::new(PlanCache::in_memory());
+        let exhaustive = planner.resolve(&req(16)).unwrap();
+        let mut r = req(16);
+        r.qos = Qos::Interactive;
+        let interactive = planner.resolve(&r).unwrap();
+        assert_ne!(exhaustive.exact, interactive.exact);
+        assert_ne!(exhaustive.family, interactive.family);
+    }
+
+    #[test]
+    fn fingerprints_separate_what_they_must() {
+        let planner = PlannerService::new(PlanCache::in_memory());
+        let base = planner.resolve(&req(16)).unwrap();
+
+        // Batch delta: same family, different exact (warm-startable).
+        let batch = planner.resolve(&req(32)).unwrap();
+        assert_ne!(base.exact, batch.exact);
+        assert_eq!(base.family, batch.family);
+
+        // Budget delta: same family, different exact.
+        let mut r = req(16);
+        r.budget_gib = Some(12.0);
+        let budget = planner.resolve(&r).unwrap();
+        assert_ne!(base.exact, budget.exact);
+        assert_eq!(base.family, budget.family);
+
+        // Seed delta changes the interference fit: different family.
+        let mut r = req(16);
+        r.seed = 7;
+        let seed = planner.resolve(&r).unwrap();
+        assert_ne!(base.family, seed.family);
+
+        // Model delta: different family.
+        let mut r = req(16);
+        r.model = "llama-1.3b".into();
+        let model = planner.resolve(&r).unwrap();
+        assert_ne!(base.family, model.family);
+
+        // 8→16 GPUs crosses the single-node boundary: different family.
+        let planner2 = PlannerService::new(PlanCache::in_memory());
+        let mut r8 = req(16);
+        r8.gpus = 8;
+        let mut r16 = req(16);
+        r16.gpus = 16;
+        let mut r32 = req(16);
+        r32.gpus = 32;
+        let g8 = planner2.resolve(&r8).unwrap();
+        let g16 = planner2.resolve(&r16).unwrap();
+        let g32 = planner2.resolve(&r32).unwrap();
+        assert_ne!(g8.family, g16.family, "single-node flag splits families");
+        assert_eq!(g16.family, g32.family, "multi-node deltas share a family");
+        assert_ne!(g16.exact, g32.exact);
+    }
+
+    #[test]
+    fn infeasible_queries_are_reported_not_cached() {
+        let planner = PlannerService::new(PlanCache::in_memory());
+        let mut r = req(4);
+        r.model = "gpt3-2.6b".into();
+        r.space = "megatron".into();
+        r.budget_gib = Some(2.0); // Nothing fits 2 GiB without offloading.
+        r.max_grad_accum = 2;
+        let v = planner.plan(&r);
+        let Value::Object(fields) = &v else { panic!() };
+        let Value::Object(result) = serde::get_field(fields, "result").unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            serde::get_field(result, "feasible").unwrap(),
+            &Value::Bool(false)
+        );
+        assert_eq!(planner.cache.lock().len(), 0);
+    }
+
+    #[test]
+    fn handle_line_commands() {
+        let planner = PlannerService::new(PlanCache::in_memory());
+        let (pong, c) = planner.handle_line(r#"{"cmd": "ping"}"#);
+        assert_eq!(c, Control::Continue);
+        assert!(pong.contains("\"pong\""));
+        let (stats, c) = planner.handle_line(r#"{"cmd": "stats"}"#);
+        assert_eq!(c, Control::Continue);
+        assert!(stats.contains("\"entries\""));
+        let (bye, c) = planner.handle_line(r#"{"cmd": "shutdown"}"#);
+        assert_eq!(c, Control::Shutdown);
+        assert!(bye.contains("\"shutdown\""));
+        let (err, c) = planner.handle_line("garbage");
+        assert_eq!(c, Control::Continue);
+        assert!(err.contains("\"ok\":false") || err.contains("\"ok\": false"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Per-request quality-of-service profiles.
+//!
+//! `exhaustive` runs today's full search. `interactive` bounds work
+//! *deterministically* — a restricted sweep grid plus a cap on the
+//! number of `(G, S)` outer candidates — rather than by wall-clock, so
+//! an interactive answer is byte-reproducible across machines, thread
+//! counts and load. The restricted space carries a distinct name and
+//! content, so interactive and exhaustive results never share a cache
+//! fingerprint.
+
+use mist_tuner::SearchSpace;
+
+/// Deterministic outer-candidate cap for [`Qos::Interactive`] queries.
+pub const INTERACTIVE_MAX_OUTER: u32 = 12;
+
+/// Quality-of-service profile of one planner query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Qos {
+    /// Restricted sweep grid + a deterministic outer-candidate budget.
+    Interactive,
+    /// The full search (default).
+    Exhaustive,
+}
+
+impl Qos {
+    /// Parses a profile name.
+    pub fn parse(name: &str) -> Result<Qos, String> {
+        match name.to_ascii_lowercase().as_str() {
+            "interactive" => Ok(Qos::Interactive),
+            "exhaustive" => Ok(Qos::Exhaustive),
+            other => Err(format!("unknown qos `{other}` (interactive|exhaustive)")),
+        }
+    }
+
+    /// The profile's wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Qos::Interactive => "interactive",
+            Qos::Exhaustive => "exhaustive",
+        }
+    }
+
+    /// Applies the profile's search-space restriction.
+    pub fn restrict(&self, space: &SearchSpace) -> SearchSpace {
+        match self {
+            Qos::Exhaustive => space.clone(),
+            Qos::Interactive => {
+                let mut restricted = space.clone();
+                restricted.name = format!("{}@interactive", space.name);
+                // Keep only the coarsest offload ratio (0.0 stays
+                // implied), halve frontier sampling, and tighten the
+                // per-stage layer window.
+                if restricted.offload_grid.len() > 1 {
+                    restricted.offload_grid = vec![*restricted.offload_grid.last().unwrap()];
+                }
+                restricted.pareto_samples = restricted.pareto_samples.min(4);
+                restricted.layer_window = restricted.layer_window.min(4);
+                restricted
+            }
+        }
+    }
+
+    /// The profile's outer-candidate cap for the tuning driver.
+    pub fn max_outer_candidates(&self) -> u32 {
+        match self {
+            Qos::Interactive => INTERACTIVE_MAX_OUTER,
+            Qos::Exhaustive => u32::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for qos in [Qos::Interactive, Qos::Exhaustive] {
+            assert_eq!(Qos::parse(qos.name()).unwrap(), qos);
+        }
+        assert!(Qos::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn interactive_restricts_the_space() {
+        let full = SearchSpace::mist();
+        let restricted = Qos::Interactive.restrict(&full);
+        assert_ne!(restricted.name, full.name);
+        assert_eq!(restricted.offload_grid, vec![1.0]);
+        assert!(restricted.pareto_samples <= full.pareto_samples);
+        assert!(restricted.layer_window <= full.layer_window);
+        // Exhaustive is the identity.
+        assert_eq!(Qos::Exhaustive.restrict(&full), full);
+    }
+}

@@ -22,8 +22,11 @@ use mist_schedule::{mist_objective, StagePlan, StageStreams, TrainingPlan};
 use mist_telemetry::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
+use std::sync::Arc;
+
 use crate::inter::{solve_inter_stage_dp_stats, InterSolveStats};
 use crate::intra::{FrontierKey, IntraStageTuner, ParetoPoint};
+use crate::seed::FrontierExport;
 use crate::space::{CkptMode, SearchSpace};
 
 /// Tuning statistics (Fig. 16's tuning-time study).
@@ -73,6 +76,9 @@ pub struct Tuner<'a> {
     space: &'a SearchSpace,
     interference: &'a InterferenceModel,
     max_grad_accum: u32,
+    max_outer: u32,
+    budget: Option<f64>,
+    seed: Option<Arc<FrontierExport>>,
 }
 
 impl<'a> Tuner<'a> {
@@ -91,12 +97,38 @@ impl<'a> Tuner<'a> {
             space,
             interference,
             max_grad_accum: 256,
+            max_outer: u32::MAX,
+            budget: None,
+            seed: None,
         }
     }
 
     /// Caps the gradient-accumulation sweep (tuning-time experiments).
     pub fn with_max_grad_accum(mut self, cap: u32) -> Self {
         self.max_grad_accum = cap;
+        self
+    }
+
+    /// Caps the `(G, S)` outer-loop candidates examined — a
+    /// deterministic work bound for interactive-QoS queries (the first
+    /// `cap` candidates in sweep order are examined, independent of
+    /// wall-clock and thread count).
+    pub fn with_max_outer_candidates(mut self, cap: u32) -> Self {
+        self.max_outer = cap.max(1);
+        self
+    }
+
+    /// Overrides the per-GPU memory budget (bytes; defaults to the
+    /// GPU's usable memory).
+    pub fn with_budget(mut self, budget: f64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Installs a warm-start seed exported by a compatible earlier tune
+    /// (see [`crate::seed`] for the soundness contract).
+    pub fn with_frontier_seed(mut self, seed: Arc<FrontierExport>) -> Self {
+        self.seed = Some(seed);
         self
     }
 
@@ -151,17 +183,10 @@ impl<'a> Tuner<'a> {
         out
     }
 
-    /// Runs the full hierarchical tuning loop.
-    ///
-    /// Returns `None` when no feasible plan exists in the space (the
-    /// "all OOM" outcome of Fig. 2a).
-    pub fn tune(&self, global_batch: u64) -> Option<TuneOutcome> {
-        assert!(global_batch >= 1);
-        let start = Instant::now();
-        let collector = mist_telemetry::global();
-        let baseline = collector.snapshot();
-        let _tune_span = mist_telemetry::span!("tuner.tune", global_batch = global_batch);
-        let intra = IntraStageTuner::new(
+    /// Builds the intra-stage tuner this driver sweeps through,
+    /// applying the configured budget/seed overrides.
+    fn make_intra(&self, global_batch: u64) -> IntraStageTuner<'a> {
+        let mut intra = IntraStageTuner::new(
             self.model,
             self.cluster,
             self.db,
@@ -169,6 +194,38 @@ impl<'a> Tuner<'a> {
             self.interference,
             global_batch,
         );
+        if let Some(budget) = self.budget {
+            intra = intra.with_budget(budget);
+        }
+        if let Some(seed) = &self.seed {
+            intra = intra.with_seed(Arc::clone(seed));
+        }
+        intra
+    }
+
+    /// Runs the full hierarchical tuning loop.
+    ///
+    /// Returns `None` when no feasible plan exists in the space (the
+    /// "all OOM" outcome of Fig. 2a).
+    pub fn tune(&self, global_batch: u64) -> Option<TuneOutcome> {
+        let intra = self.make_intra(global_batch);
+        self.tune_on(&intra, global_batch)
+    }
+
+    /// Like [`Tuner::tune`], but also exports the computed intra-stage
+    /// frontiers for warm-starting later, compatible tunes.
+    pub fn tune_with_export(&self, global_batch: u64) -> Option<(TuneOutcome, FrontierExport)> {
+        let intra = self.make_intra(global_batch);
+        let out = self.tune_on(&intra, global_batch)?;
+        Some((out, intra.export_frontiers()))
+    }
+
+    fn tune_on(&self, intra: &IntraStageTuner<'a>, global_batch: u64) -> Option<TuneOutcome> {
+        assert!(global_batch >= 1);
+        let start = Instant::now();
+        let collector = mist_telemetry::global();
+        let baseline = collector.snapshot();
+        let _tune_span = mist_telemetry::span!("tuner.tune", global_batch = global_batch);
         let mut stats = TuneStats::default();
         let pool_stolen0 = intra.pool().tasks_stolen();
         let pool_executed0 = intra.pool().tasks_executed();
@@ -178,8 +235,11 @@ impl<'a> Tuner<'a> {
         let mut out_of_budget: u64 = 0;
         let mut bound_pruned: u64 = 0;
 
-        for g in self.grad_accum_candidates(global_batch) {
+        'outer: for g in self.grad_accum_candidates(global_batch) {
             for (s, mesh) in self.pipeline_shapes() {
+                if stats.outer_candidates >= self.max_outer {
+                    break 'outer; // Interactive-QoS work cap.
+                }
                 stats.outer_candidates += 1;
                 let _outer_span = mist_telemetry::span!("tuner.outer", grad_accum = g, stages = s);
                 let mut solve_stats = InterSolveStats::default();
@@ -188,7 +248,7 @@ impl<'a> Tuner<'a> {
                     let sol = {
                         let _sweep_span =
                             mist_telemetry::span!("intra.sweep", grad_accum = g, stages = s);
-                        self.solve_uniform(&intra, g, s, mesh, global_batch)
+                        self.solve_uniform(intra, g, s, mesh, global_batch)
                     };
                     stats.intra_secs += t_intra.elapsed().as_secs_f64();
                     sol
@@ -354,6 +414,12 @@ impl<'a> Tuner<'a> {
             rej.dominated.value(),
         );
         let frontier_size = intra.frontier_size_high_water();
+        let seeded = intra.seeded_frontiers();
+        if seeded > 0 {
+            // Published only when a warm-start seed actually fired, so
+            // cold-run telemetry stays byte-identical to older builds.
+            collector.counter_add("tuner.seeded_frontiers", seeded);
+        }
         collector.counter_add("tuner.configs_evaluated", stats.configs_evaluated);
         collector.counter_add("tuner.outer_candidates", stats.outer_candidates as u64);
         collector.counter_add("tuner.inter_solves", stats.milp_solves as u64);
@@ -374,6 +440,12 @@ impl<'a> Tuner<'a> {
         // happen, so it is not re-published.)
         collector.gauge_set("pool.workers", intra.pool().threads() as f64);
         let mut telemetry = collector.snapshot_delta(&baseline);
+        if seeded > 0 {
+            telemetry
+                .counters
+                .entry("tuner.seeded_frontiers".to_owned())
+                .or_insert(seeded);
+        }
         telemetry
             .counters
             .entry("tuner.configs_evaluated".to_owned())
@@ -672,6 +744,103 @@ mod tests {
             assert_eq!(st.config.layers, first.layers);
             assert_eq!(st.config.zero, first.zero);
         }
+    }
+
+    /// Warm-start soundness, end to end at the driver level: seeding a
+    /// tune at a *different* global batch from an export must return a
+    /// byte-identical plan/prediction while evaluating strictly fewer
+    /// configurations, with at least one frontier family reused.
+    #[test]
+    fn warm_start_is_byte_identical_and_cheaper() {
+        let (model, cluster, db, intf) = setup(2);
+        let space = SearchSpace::mist();
+        let (_, export) = Tuner::new(&model, &cluster, &db, &space, &intf)
+            .with_max_grad_accum(8)
+            .tune_with_export(8)
+            .expect("cold tune at B=8");
+        assert!(!export.is_empty());
+
+        let cold = Tuner::new(&model, &cluster, &db, &space, &intf)
+            .with_max_grad_accum(8)
+            .tune(16)
+            .expect("cold tune at B=16");
+        let warm = Tuner::new(&model, &cluster, &db, &space, &intf)
+            .with_max_grad_accum(8)
+            .with_frontier_seed(std::sync::Arc::new(export))
+            .tune(16)
+            .expect("warm tune at B=16");
+
+        let plan_json = |o: &TuneOutcome| serde_json::to_string(&o.plan).unwrap();
+        let points_json = |o: &TuneOutcome| serde_json::to_string(&o.stage_points).unwrap();
+        assert_eq!(plan_json(&cold), plan_json(&warm));
+        assert_eq!(points_json(&cold), points_json(&warm));
+        assert_eq!(
+            cold.predicted_iteration.to_bits(),
+            warm.predicted_iteration.to_bits()
+        );
+        assert_eq!(
+            cold.predicted_throughput.to_bits(),
+            warm.predicted_throughput.to_bits()
+        );
+        assert!(
+            warm.stats.configs_evaluated < cold.stats.configs_evaluated,
+            "warm {} must evaluate strictly fewer configs than cold {}",
+            warm.stats.configs_evaluated,
+            cold.stats.configs_evaluated
+        );
+        assert!(
+            warm.telemetry.counter("tuner.seeded_frontiers") > 0,
+            "at least one frontier family must come from the seed"
+        );
+        assert!(
+            !cold
+                .telemetry
+                .counters
+                .contains_key("tuner.seeded_frontiers"),
+            "cold runs must not grow new telemetry keys"
+        );
+    }
+
+    /// An exact-batch re-tune from the export skips every sweep.
+    #[test]
+    fn exact_seed_skips_all_sweeps() {
+        let (model, cluster, db, intf) = setup(2);
+        let space = SearchSpace::mist();
+        let (cold, export) = Tuner::new(&model, &cluster, &db, &space, &intf)
+            .with_max_grad_accum(8)
+            .tune_with_export(8)
+            .expect("cold tune");
+        let warm = Tuner::new(&model, &cluster, &db, &space, &intf)
+            .with_max_grad_accum(8)
+            .with_frontier_seed(std::sync::Arc::new(export))
+            .tune(8)
+            .expect("warm tune");
+        assert_eq!(
+            warm.stats.configs_evaluated, 0,
+            "same-query warm start must not evaluate anything"
+        );
+        assert_eq!(
+            serde_json::to_string(&cold.plan).unwrap(),
+            serde_json::to_string(&warm.plan).unwrap()
+        );
+    }
+
+    #[test]
+    fn outer_candidate_cap_limits_work() {
+        let (model, cluster, db, intf) = setup(4);
+        let space = SearchSpace::mist();
+        let full = Tuner::new(&model, &cluster, &db, &space, &intf)
+            .with_max_grad_accum(8)
+            .tune(16)
+            .expect("full tune");
+        assert!(full.stats.outer_candidates > 2);
+        let capped = Tuner::new(&model, &cluster, &db, &space, &intf)
+            .with_max_grad_accum(8)
+            .with_max_outer_candidates(2)
+            .tune(16)
+            .expect("prefix of the sweep still finds a plan");
+        assert_eq!(capped.stats.outer_candidates, 2);
+        assert!(capped.stats.configs_evaluated < full.stats.configs_evaluated);
     }
 
     #[test]

@@ -42,6 +42,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::pareto::{pareto_frontier, sample_frontier};
+use crate::seed::{role_rank, FrontierExport, FrontierRecord, SeedCandidate};
 use crate::space::{CkptMode, SearchSpace};
 use crate::specialize::Specializer;
 
@@ -91,6 +92,10 @@ pub(crate) struct SweepTally {
     pub oom: u64,
     /// Rows rejected because the predicted time was not finite.
     pub nonfinite: u64,
+    /// Whether the memory budget influenced any row: an OOM rejection,
+    /// or (under tuned checkpointing) a nonzero resolved `ckpt`. Drives
+    /// [`FrontierRecord::budget_sensitive`] for warm-start reuse.
+    pub budget_bound: bool,
 }
 
 impl SweepTally {
@@ -98,6 +103,7 @@ impl SweepTally {
         self.enumerated += other.enumerated;
         self.oom += other.oom;
         self.nonfinite += other.nonfinite;
+        self.budget_bound |= other.budget_bound;
     }
 }
 
@@ -140,6 +146,14 @@ pub struct IntraStageTuner<'a> {
     pool: Arc<ThreadPool>,
     tape_cache: Mutex<HashMap<TapeKey, Arc<StageTapes>>>,
     frontier_cache: Mutex<HashMap<FrontierKey, Arc<Vec<Vec<ParetoPoint>>>>>,
+    // Warm-start seed: frontiers exported by an earlier, provably
+    // compatible tune. Consulted on frontier-cache misses only.
+    seed: Option<Arc<FrontierExport>>,
+    // Per-key budget sensitivity of the sweep that produced (or seeded)
+    // each cached frontier — exported for warm-start reuse decisions.
+    budget_flags: Mutex<HashMap<FrontierKey, bool>>,
+    // Frontier families taken from the seed instead of being swept.
+    seeded: mist_telemetry::Counter,
     // Per-sweep program specialization: residual programs per
     // (program, frozen-group) pair plus the sweep-domain guard facts.
     specializer: Specializer,
@@ -183,6 +197,9 @@ impl<'a> IntraStageTuner<'a> {
             pool: mist_pool::global(),
             tape_cache: Mutex::new(HashMap::new()),
             frontier_cache: Mutex::new(HashMap::new()),
+            seed: None,
+            budget_flags: Mutex::new(HashMap::new()),
+            seeded: mist_telemetry::Counter::new(),
             specializer: Specializer::new(),
             domains: space.symbol_domains(model),
             configs_evaluated: mist_telemetry::Counter::new(),
@@ -204,6 +221,16 @@ impl<'a> IntraStageTuner<'a> {
         self
     }
 
+    /// Installs a warm-start seed. The caller must guarantee the seed
+    /// was exported under an identical tape context — same model,
+    /// search space, interference model, and a tape-equivalent cluster
+    /// (see [`crate::seed`] module docs); candidate-list equality and
+    /// budget compatibility are then checked per lookup.
+    pub fn with_seed(mut self, seed: Arc<FrontierExport>) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
     /// The pool frontier computations fan out on.
     pub fn pool(&self) -> &Arc<ThreadPool> {
         &self.pool
@@ -222,6 +249,11 @@ impl<'a> IntraStageTuner<'a> {
     /// Number of configurations evaluated so far (tuning-time studies).
     pub fn configs_evaluated(&self) -> u64 {
         self.configs_evaluated.value()
+    }
+
+    /// Number of frontier families taken from the warm-start seed.
+    pub fn seeded_frontiers(&self) -> u64 {
+        self.seeded.value()
     }
 
     /// The per-sweep program specialization cache (telemetry surfacing).
@@ -253,9 +285,101 @@ impl<'a> IntraStageTuner<'a> {
                 return hit.clone();
             }
         }
+        if let Some(seeded) = self.seeded_frontier(key, max_layers) {
+            let arc = Arc::new(seeded);
+            self.frontier_cache.lock().insert(key, arc.clone());
+            return arc;
+        }
         let computed = Arc::new(self.compute_frontiers(key, max_layers));
         self.frontier_cache.lock().insert(key, computed.clone());
         computed
+    }
+
+    /// Consults the warm-start seed for a frontier family whose sweep
+    /// would be row-identical to the one about to run. On a hit, the
+    /// record is truncated to exactly `max_layers` families — the same
+    /// shape a cold sweep would produce — so downstream inter-stage
+    /// selection sees byte-identical input.
+    fn seeded_frontier(&self, key: FrontierKey, max_layers: u32) -> Option<Vec<Vec<ParetoPoint>>> {
+        let seed = self.seed.as_ref()?;
+        let cands: Vec<SeedCandidate> = self
+            .parallelism_candidates(key.mesh, key.grad_accum)
+            .into_iter()
+            .map(|(dp, tp, b)| SeedCandidate {
+                dp,
+                tp,
+                micro_batch: b,
+            })
+            .collect();
+        let record = seed.lookup(
+            key.mesh,
+            key.role,
+            key.inflight,
+            &cands,
+            self.budget,
+            max_layers,
+        )?;
+        self.seeded.inc();
+        // A record reused under a larger budget was budget-insensitive,
+        // and stays so under the larger budget; at equal budgets the
+        // flag carries over verbatim.
+        self.budget_flags
+            .lock()
+            .insert(key, record.budget_sensitive);
+        Some(record.per_l[..max_layers as usize].to_vec())
+    }
+
+    /// Exports every cached frontier family as a [`FrontierExport`]:
+    /// canonically sorted, deduplicated on the seed identity
+    /// `(mesh, role, inflight, candidates)` (two grad-accum steps that
+    /// enumerate the same candidate list share one record).
+    pub fn export_frontiers(&self) -> FrontierExport {
+        let cache = self.frontier_cache.lock();
+        let flags = self.budget_flags.lock();
+        let mut keys: Vec<FrontierKey> = cache.keys().copied().collect();
+        keys.sort_by_key(|k| {
+            (
+                k.mesh.nodes,
+                k.mesh.gpus_per_node,
+                role_rank(k.role),
+                k.inflight,
+                k.grad_accum,
+            )
+        });
+        let mut records: Vec<FrontierRecord> = Vec::new();
+        for key in keys {
+            let per_l = &cache[&key];
+            let candidates: Vec<SeedCandidate> = self
+                .parallelism_candidates(key.mesh, key.grad_accum)
+                .into_iter()
+                .map(|(dp, tp, b)| SeedCandidate {
+                    dp,
+                    tp,
+                    micro_batch: b,
+                })
+                .collect();
+            if records.iter().any(|r| {
+                r.mesh == key.mesh
+                    && r.role == key.role
+                    && r.inflight == key.inflight
+                    && r.candidates == candidates
+            }) {
+                continue;
+            }
+            records.push(FrontierRecord {
+                mesh: key.mesh,
+                role: key.role,
+                inflight: key.inflight,
+                candidates,
+                budget: self.budget,
+                // Conservative default: a family with no recorded flag
+                // (e.g. produced by `evaluate_config`-style paths) is
+                // treated as budget-sensitive.
+                budget_sensitive: flags.get(&key).copied().unwrap_or(true),
+                per_l: per_l.as_ref().clone(),
+            });
+        }
+        FrontierExport { records }
     }
 
     /// Evaluates one explicit configuration on one candidate (used by the
@@ -398,6 +522,7 @@ impl<'a> IntraStageTuner<'a> {
         let sizes: Vec<u32> = per_l.iter().map(|p| p.len() as u32).collect();
         let survived: u64 = sizes.iter().map(|&s| s as u64).sum();
         let dominated = feasible - survived;
+        self.budget_flags.lock().insert(key, tally.budget_bound);
         self.rejections.oom.add(tally.oom);
         self.rejections.nonfinite.add(tally.nonfinite);
         self.rejections.dominated.add(dominated);
@@ -502,6 +627,12 @@ impl<'a> IntraStageTuner<'a> {
                             .collect()
                     }
                 };
+                // A nonzero tuned checkpoint count (incl. the `∞`
+                // infeasibility marker) means the budget shaped this
+                // row — the sweep is not reusable under other budgets.
+                if self.space.ckpt == CkptMode::Tuned && ckpt_col.iter().any(|&c| c != 0.0) {
+                    tally.budget_bound = true;
+                }
                 batch.set_values("ckpt", ckpt_col.clone());
 
                 // One specialized pass over all 22 roots at the resolved
@@ -524,6 +655,7 @@ impl<'a> IntraStageTuner<'a> {
                     let mem_peak = point.mem_fwd.max(point.mem_bwd);
                     if mem_peak > self.budget {
                         tally.oom += 1;
+                        tally.budget_bound = true;
                         continue; // Conservative re-check of the linear solve.
                     }
                     let (t, d) = if self.space.overlap_aware {

@@ -24,6 +24,7 @@ mod driver;
 mod inter;
 mod intra;
 mod pareto;
+mod seed;
 mod space;
 mod specialize;
 
@@ -34,5 +35,6 @@ pub use inter::{
 };
 pub use intra::{FrontierKey, IntraStageTuner, ParetoPoint};
 pub use pareto::{pareto_frontier, sample_frontier};
+pub use seed::{FrontierExport, FrontierRecord, SeedCandidate};
 pub use space::{CkptMode, SearchSpace};
 pub use specialize::Specializer;

@@ -28,10 +28,22 @@
 #      error-severity diagnostic (unit mismatch, reachable division by
 #      zero, a cost root not provably finite and non-negative) fails
 #      the gate
-#   8. history: append this run's fused/specialized evaluation
-#      throughput and the 6.7B tuning time to results/history.jsonl so
-#      perf trends are visible across commits (append-only; commit the
-#      new line with your change)
+#   8. planner daemon: start `mist-cli serve` on a Unix socket and drive
+#      the GPT-3 6.7B workload through cold → exact-hit → warm-start
+#      queries; the hit and warm responses must be byte-identical to
+#      the cold one once the run-variable `work` subtree is stripped
+#      (scripts/golden_diff.py), the warm query must evaluate strictly
+#      fewer configs, and the daemon must shut down cleanly (the EXIT
+#      trap kills it if the stage fails first); responses and daemon
+#      logs land in artifacts/daemon/
+#   9. history: append this run's fused/specialized evaluation
+#      throughput, the 6.7B tuning time, and the daemon's
+#      cold/hit/warm query timings to results/history.jsonl so perf
+#      trends are visible across commits (append-only; commit the new
+#      line with your change). Runs last, after every gate has passed,
+#      so only green runs are recorded; the candidate entry must also
+#      pass `golden_diff.py --trend` (warm strictly faster than cold)
+#      before it is appended.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -40,31 +52,38 @@ cd "$(dirname "$0")/.."
 FMT_PACKAGES=(
     mist mist-baselines mist-bench mist-examples mist-graph mist-hardware
     mist-integration-tests mist-interference mist-irlint mist-milp
-    mist-models mist-pool mist-schedule mist-sim mist-symbolic
-    mist-telemetry mist-tuner
+    mist-models mist-pool mist-schedule mist-service mist-sim
+    mist-symbolic mist-telemetry mist-tuner
 )
 
-echo "==> [1/8] cargo build --release"
+echo "==> [1/9] cargo build --release"
 cargo build --release
 
-echo "==> [2/8] cargo test -q"
+echo "==> [2/9] cargo test -q"
 cargo test -q
 
-echo "==> [3/8] cargo clippy --workspace --all-targets -- -D warnings"
+echo "==> [3/9] cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [4/8] cargo fmt --check (first-party packages)"
+echo "==> [4/9] cargo fmt --check (first-party packages)"
 fmt_args=()
 for p in "${FMT_PACKAGES[@]}"; do fmt_args+=(-p "$p"); done
 cargo fmt --check "${fmt_args[@]}"
 
-echo "==> [5/8] golden drift check"
+echo "==> [5/9] golden drift check"
 # Regenerating a golden overwrites the committed file in results/, so
 # stash the committed versions first and always restore them — the drift
 # check must leave the working tree untouched whether it passes or fails.
+# The same trap also kills the stage-8 planner daemon if the gate fails
+# while it is running, so no orphaned process survives a red run.
 GOLDENS=(fig02_motivation bench_symbolic)
 tmpdir="$(mktemp -d)"
-trap 'for g in "${GOLDENS[@]}"; do
+DAEMON_PID=""
+trap 'if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+          kill "$DAEMON_PID" 2>/dev/null || true
+          wait "$DAEMON_PID" 2>/dev/null || true
+      fi
+      for g in "${GOLDENS[@]}"; do
           if [ -f "$tmpdir/$g.json" ]; then
               mv "$tmpdir/$g.json" "results/$g.json"
           fi
@@ -98,7 +117,7 @@ if [ "$drift" -ne 0 ]; then
     exit 1
 fi
 
-echo "==> [6/8] provenance digest drift (mist-cli explain --json)"
+echo "==> [6/9] provenance digest drift (mist-cli explain --json)"
 # Same workload as the committed snapshot; --threads 2 exercises the
 # cross-thread canonical ordering of the digest. Wall-clock lives under
 # the digest's `timing` key, which golden_diff.py strips.
@@ -116,20 +135,110 @@ else
     exit 1
 fi
 
-echo "==> [7/8] IR lint (mist-irlint over every preset's stage programs)"
+echo "==> [7/9] IR lint (mist-irlint over every preset's stage programs)"
 target/release/mist-cli lint-ir
 
-echo "==> [8/8] append run metrics to results/history.jsonl"
+echo "==> [8/9] planner daemon (cold → exact-hit → warm-start)"
+mkdir -p "$tmpdir/daemon" artifacts/daemon
+DAEMON_SOCK="$tmpdir/planner.sock"
+target/release/mist-cli serve --listen "$DAEMON_SOCK" \
+    --cache "$tmpdir/plans.jsonl" --threads 2 \
+    > "$tmpdir/daemon/daemon_stdout.log" 2> "$tmpdir/daemon/daemon_stderr.log" &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+    grep -q '^READY ' "$tmpdir/daemon/daemon_stdout.log" 2>/dev/null && break
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+        echo "planner daemon died during startup:" >&2
+        cat "$tmpdir/daemon/daemon_stderr.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+grep -q '^READY ' "$tmpdir/daemon/daemon_stdout.log" \
+    || { echo "planner daemon did not become ready" >&2; exit 1; }
+
+# The stage-6 workload, queried four ways. Responses are copied to
+# artifacts/daemon/ before the assertions so a red run still uploads
+# its evidence.
+daemon_query() { # daemon_query <outfile> <batch> [extra flags...]
+    local out="$1" batch="$2"
+    shift 2
+    target/release/mist-cli query --connect "$DAEMON_SOCK" \
+        --model gpt3-6.7b --platform l4 --gpus 8 --batch "$batch" \
+        --seed 7 "$@" > "$tmpdir/daemon/$out"
+}
+daemon_query cold16.json 16
+daemon_query hit16.json 16
+daemon_query warm32.json 32
+daemon_query cold32.json 32 --no-cache
+cp "$tmpdir/daemon/"*.json artifacts/daemon/
+
+# Byte-identity once the run-variable `work` subtree is stripped: the
+# exact hit must reproduce the cold answer, and the warm-started tune
+# must reproduce an independent cold tune.
+python3 scripts/golden_diff.py "$tmpdir/daemon/cold16.json" "$tmpdir/daemon/hit16.json"
+python3 scripts/golden_diff.py "$tmpdir/daemon/cold32.json" "$tmpdir/daemon/warm32.json"
+
+# Provenance and work accounting: sources, strictly fewer configs on
+# the warm path, and the daemon's own cache counters.
+python3 - "$tmpdir/daemon" <<'PY'
+import json, sys
+
+d = sys.argv[1]
+def load(name):
+    with open(f"{d}/{name}.json") as f:
+        return json.load(f)
+
+cold16, hit16 = load("cold16"), load("hit16")
+warm32, cold32 = load("warm32"), load("cold32")
+for name, resp, source in [
+    ("cold16", cold16, "cold"),
+    ("hit16", hit16, "hit"),
+    ("warm32", warm32, "warm"),
+    ("cold32", cold32, "cold"),
+]:
+    got = resp["work"]["source"]
+    assert got == source, f"{name}: expected source={source}, got {got}"
+warm_configs = warm32["work"]["configs_evaluated"]
+cold_configs = cold32["work"]["configs_evaluated"]
+assert warm_configs < cold_configs, (
+    f"warm-start must evaluate strictly fewer configs: "
+    f"{warm_configs} vs {cold_configs}"
+)
+assert warm32["work"]["seeded_frontiers"] > 0, "warm run must seed frontiers"
+counters = cold32["work"]["cache"]
+assert counters["hits"] == 1, counters
+assert counters["warm_starts"] == 1, counters
+print(
+    f"    daemon ok: warm evaluated {warm_configs} configs "
+    f"vs {cold_configs} cold "
+    f"({100.0 * (1.0 - warm_configs / cold_configs):.1f}% fewer)"
+)
+PY
+
+# Clean shutdown through the protocol; the trap covers failure paths.
+target/release/mist-cli query --connect "$DAEMON_SOCK" --shutdown >/dev/null
+wait "$DAEMON_PID"
+DAEMON_PID=""
+cp "$tmpdir/daemon/daemon_stdout.log" "$tmpdir/daemon/daemon_stderr.log" artifacts/daemon/
+echo "    daemon shut down cleanly; journal in artifacts/daemon/"
+
+echo "==> [9/9] append run metrics to results/history.jsonl"
+# Runs last so only fully green runs are recorded.
 # results/bench_symbolic.json currently holds the freshly regenerated
 # copy from stage 5 (the committed bytes are restored from $tmpdir at
 # exit), so its throughput numbers describe THIS machine and run.
-python3 - "$tmpdir/tune_6_7b.json" <<'PY'
+python3 - "$tmpdir/tune_6_7b.json" "$tmpdir/daemon" "$tmpdir/history_entry.jsonl" <<'PY'
 import json, subprocess, sys, time
 
 with open("results/bench_symbolic.json") as f:
     bench = json.load(f)
 with open(sys.argv[1]) as f:
     tune = json.load(f)
+daemon = sys.argv[2]
+def query_secs(name):
+    with open(f"{daemon}/{name}.json") as f:
+        return json.load(f)["work"]["query_secs"]
 try:
     commit = subprocess.run(
         ["git", "rev-parse", "--short", "HEAD"],
@@ -144,10 +253,18 @@ entry = {
     "specialized_rows_per_sec": bench.get("specialized_rows_per_sec"),
     "tune_gpt3_6_7b_secs": tune.get("tuning_seconds"),
     "tune_gpt3_6_7b_configs": tune.get("configs_evaluated"),
+    "query_cold_secs": query_secs("cold32"),
+    "query_warm_secs": query_secs("warm32"),
+    "query_hit_secs": query_secs("hit16"),
 }
-with open("results/history.jsonl", "a") as f:
+with open(sys.argv[3], "w") as f:
     f.write(json.dumps(entry) + "\n")
-print("    appended:", json.dumps(entry))
+print("    candidate:", json.dumps(entry))
 PY
+# The candidate entry must pass the warm-vs-cold trend check before it
+# becomes part of the recorded history.
+python3 scripts/golden_diff.py --trend "$tmpdir/history_entry.jsonl"
+cat "$tmpdir/history_entry.jsonl" >> results/history.jsonl
+echo "    appended to results/history.jsonl"
 
 echo "CI gate passed."

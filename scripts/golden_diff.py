@@ -2,6 +2,7 @@
 """Compare two result JSON files, ignoring wall-clock-only fields.
 
 Usage: golden_diff.py <committed.json> <regenerated.json>
+       golden_diff.py --trend <history-entry.jsonl>
 
 Exits 0 when the files agree on every deterministic field, 1 on drift
 (with a short report of the first differences). Timing fields vary run
@@ -14,6 +15,12 @@ are excluded from exact equality, but a regenerated throughput more
 than 10% below the committed baseline fails the check — the committed
 bench_symbolic.json doubles as the performance baseline for the fused
 and specialized evaluation engines.
+
+--trend validates the last line of a history JSONL file: the planner
+daemon's warm-start query must be strictly faster than its cold query
+on the GPT-3 6.7B workload — the whole point of warm-starting is doing
+less work, so a warm query that is not faster is a regression even if
+its result is byte-identical.
 """
 
 import json
@@ -27,6 +34,11 @@ TIMING_FIELDS = {
     # timers, span totals, the self-time tree) under this one key so the
     # whole subtree strips in one go.
     "timing",
+    # Planner-daemon responses keep every run-variable field — query
+    # timing, cold/hit/warm provenance, configs evaluated, cache
+    # counters, telemetry — under this one key; the `result` subtree
+    # must then be byte-identical across cold, hit and warm answers.
+    "work",
     "tuning_secs",
     "elapsed_secs",
     "intra_secs",
@@ -100,7 +112,41 @@ def check_throughput(committed, regenerated):
     return regressions
 
 
+def check_trend(path):
+    """Warm-start queries must beat cold queries on the last entry."""
+    with open(path) as f:
+        lines = [line for line in f if line.strip()]
+    if not lines:
+        print(f"trend check: {path} is empty", file=sys.stderr)
+        return 1
+    entry = json.loads(lines[-1])
+    cold = entry.get("query_cold_secs")
+    warm = entry.get("query_warm_secs")
+    if cold is None or warm is None:
+        print(
+            f"trend check: last entry of {path} lacks "
+            "query_cold_secs/query_warm_secs",
+            file=sys.stderr,
+        )
+        return 1
+    if warm >= cold:
+        print(
+            f"trend check: warm-start query ({warm:.3f}s) is not faster "
+            f"than the cold query ({cold:.3f}s) — warm-starting must "
+            "strictly reduce work",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"    trend ok: warm {warm:.3f}s < cold {cold:.3f}s "
+        f"({100.0 * (1.0 - warm / cold):.1f}% faster)"
+    )
+    return 0
+
+
 def main():
+    if sys.argv[1] == "--trend":
+        return check_trend(sys.argv[2])
     committed, regenerated = sys.argv[1], sys.argv[2]
     with open(committed) as f:
         a_raw = json.load(f)
