@@ -19,12 +19,17 @@ USAGE:
     mist-cli tune --model <NAME> --platform <l4|a100> --gpus <N> --batch <B>
                   [--space <mist|mist-fine|megatron|deepspeed|aceso|alpa|uniform>]
                   [--seq <LEN>] [--seed <N>] [--threads <N>] [--no-flash]
-                  [--execute] [--trace <FILE>] [--metrics] [--json]
-                  [--journal <FILE>]
+                  [--no-mono-prune] [--execute] [--trace <FILE>] [--metrics]
+                  [--json] [--journal <FILE>]
     mist-cli explain [--json] [--top <K>] <FILE>
     mist-cli lint-ir [--model <NAME>] [--platform <l4|a100>]
                      [--space <mist|mist-fine|megatron|deepspeed|aceso|alpa|uniform>]
                      [--seq <LEN>] [--no-flash] [--json]
+    mist-cli verify-plan [--model <NAME>] [--platform <l4|a100>] [--gpus <N>]
+                         [--batch <B>] [--space <NAME>] [--seq <LEN>]
+                         [--no-flash] [--budget-gib <GIB>]
+                         [--max-grad-accum <N>] [--max-outer-candidates <N>]
+                         [--threads <N>] [--json]
     mist-cli serve --listen <ADDR> [--cache <FILE>] [--threads <N>]
     mist-cli query --connect <ADDR> [--model <NAME> --gpus <N> --batch <B>]
                    [--platform <l4|a100>] [--space <NAME>] [--seq <LEN>]
@@ -49,6 +54,10 @@ OPTIONS:
                    are byte-identical at any value, only wall-clock
                    changes)
     --no-flash     use standard attention instead of FlashAttention
+    --no-mono-prune
+                   disable the proof-licensed monotone pruning of
+                   provably-OOM sweep rows (results are byte-identical
+                   either way; this exists to demonstrate that)
     --execute      run the tuned plan on the cluster simulator and report
                    the measured throughput
     --trace <FILE> write a Chrome Trace Event JSON (open in Perfetto or
@@ -79,6 +88,18 @@ LINT-IR:
     root provably finite and non-negative over the search space's symbol
     domains), and dead code. Without --model it sweeps every preset.
     Exit code 1 if any error-severity diagnostic is found.
+
+VERIFY-PLAN:
+    Tunes a plan and then re-derives its certificate through the
+    `mist-irlint` interval framework, independently of the tuner's
+    batched sweeps: each chosen stage is re-analyzed from scratch, its
+    roots are bounded with every search symbol pinned to the chosen
+    configuration, the bounds must contain the reported stage point and
+    prove peak memory fits the budget, and the Eq. 1 objective must be
+    reproduced. Without --model it sweeps every preset.
+    --max-outer-candidates caps the tuner's outer loop (a deterministic
+    work bound, same knob as interactive QoS). Exit code 1 if any
+    certificate check fails.
 
 SERVE / QUERY:
     serve runs the planner as a resident daemon speaking line-delimited
@@ -153,6 +174,7 @@ struct Args {
     metrics: bool,
     json: bool,
     journal: Option<String>,
+    mono_prune: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -171,6 +193,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         metrics: false,
         json: false,
         journal: None,
+        mono_prune: true,
     };
     let mut it = argv.iter();
     let need = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
@@ -223,6 +246,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.threads = Some(n);
             }
             "--no-flash" => args.flash = false,
+            "--no-mono-prune" => args.mono_prune = false,
             "--execute" => args.execute = true,
             "--trace" => args.trace = Some(need(&mut it, "--trace")?),
             "--metrics" => args.metrics = true,
@@ -287,8 +311,9 @@ fn run_tune_inner(args: &Args, telemetry_on: bool) -> Result<(), String> {
         Platform::AwsA100 => 4096,
     });
     let model = parse_model(&args.model, seq, args.flash)?;
-    let mut builder =
-        MistSession::builder(model.clone(), args.platform, args.gpus).space(args.space.clone());
+    let mut builder = MistSession::builder(model.clone(), args.platform, args.gpus)
+        .space(args.space.clone())
+        .monotone_prune(args.mono_prune);
     if let Some(seed) = args.seed {
         builder = builder.seed(seed);
     }
@@ -614,6 +639,7 @@ fn run_lint_ir(args: LintArgs) -> Result<bool, String> {
             })
             .collect();
         let out = serde_json::json!({
+            "schema_version": 2u64,
             "space": args.space.name,
             "errors": errors,
             "warnings": warnings,
@@ -668,6 +694,247 @@ fn run_lint_ir(args: LintArgs) -> Result<bool, String> {
         lints.iter().map(|l| l.specialized.len()).sum::<usize>(),
     );
     Ok(errors == 0)
+}
+
+struct VerifyArgs {
+    model: Option<String>,
+    platform: Platform,
+    gpus: u32,
+    batch: u64,
+    space: SearchSpace,
+    seq: Option<u64>,
+    flash: bool,
+    budget_gib: Option<f64>,
+    max_grad_accum: u32,
+    max_outer: Option<u32>,
+    threads: Option<usize>,
+    json: bool,
+}
+
+fn parse_verify_args(argv: &[String]) -> Result<VerifyArgs, String> {
+    let mut args = VerifyArgs {
+        model: None,
+        platform: Platform::GcpL4,
+        gpus: 4,
+        batch: 8,
+        space: SearchSpace::mist(),
+        seq: None,
+        flash: true,
+        budget_gib: None,
+        max_grad_accum: 8,
+        max_outer: None,
+        threads: None,
+        json: false,
+    };
+    let mut it = argv.iter();
+    let need = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    let pos_int = |s: String, flag: &str| -> Result<u64, String> {
+        match s.parse() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(format!("{flag} expects a positive integer")),
+        }
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--model" => args.model = Some(need(&mut it, "--model")?),
+            "--platform" => {
+                args.platform = match need(&mut it, "--platform")?.to_ascii_lowercase().as_str() {
+                    "l4" | "gcp" => Platform::GcpL4,
+                    "a100" | "aws" => Platform::AwsA100,
+                    other => return Err(format!("unknown platform `{other}` (l4|a100)")),
+                }
+            }
+            "--gpus" => args.gpus = pos_int(need(&mut it, "--gpus")?, "--gpus")? as u32,
+            "--batch" => args.batch = pos_int(need(&mut it, "--batch")?, "--batch")?,
+            "--space" => args.space = parse_space(&need(&mut it, "--space")?)?,
+            "--seq" => args.seq = Some(pos_int(need(&mut it, "--seq")?, "--seq")?),
+            "--no-flash" => args.flash = false,
+            "--budget-gib" => {
+                let gib: f64 = need(&mut it, "--budget-gib")?
+                    .parse()
+                    .map_err(|_| "--budget-gib expects a number".to_string())?;
+                if gib <= 0.0 {
+                    return Err("--budget-gib must be positive".into());
+                }
+                args.budget_gib = Some(gib);
+            }
+            "--max-grad-accum" => {
+                args.max_grad_accum =
+                    pos_int(need(&mut it, "--max-grad-accum")?, "--max-grad-accum")? as u32
+            }
+            "--max-outer-candidates" => {
+                args.max_outer = Some(pos_int(
+                    need(&mut it, "--max-outer-candidates")?,
+                    "--max-outer-candidates",
+                )? as u32)
+            }
+            "--threads" => {
+                args.threads = Some(pos_int(need(&mut it, "--threads")?, "--threads")? as usize)
+            }
+            "--json" => args.json = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if args.gpus > 8 && !args.gpus.is_multiple_of(8) {
+        return Err(format!(
+            "--gpus {} is not a Table-3 cluster shape (1-8, or a multiple of 8)",
+            args.gpus
+        ));
+    }
+    Ok(args)
+}
+
+/// Runs `verify-plan`; `Ok(true)` means every preset's plan certified.
+fn run_verify_plan(args: VerifyArgs) -> Result<bool, String> {
+    use mist_hardware::{ClusterSpec, OpCostDb, GIB};
+
+    if let Some(n) = args.threads {
+        mist_pool::set_global_threads(n);
+    }
+    let seq = args.seq.unwrap_or(match args.platform {
+        Platform::GcpL4 => 2048,
+        Platform::AwsA100 => 4096,
+    });
+    let models: Vec<ModelSpec> = match &args.model {
+        Some(name) => vec![parse_model(name, seq, args.flash)?],
+        None => {
+            let mut all = Vec::new();
+            for family in ["gpt3", "llama", "falcon"] {
+                for size in ["1.3b", "2.6b", "6.7b", "13b", "22b", "40b"] {
+                    all.push(parse_model(&format!("{family}-{size}"), seq, args.flash)?);
+                }
+            }
+            all
+        }
+    };
+    let cluster = ClusterSpec::for_gpu_count(args.platform, args.gpus);
+    let budget = match args.budget_gib {
+        Some(gib) => gib * GIB,
+        None => cluster.gpu.memory_bytes,
+    };
+    // One calibration for the whole sweep — identical to what a
+    // `MistSession` with default seed would fit for this platform.
+    let interference = {
+        let prior = match args.platform {
+            Platform::GcpL4 => mist_interference::InterferenceModel::pcie_defaults(),
+            Platform::AwsA100 => mist_interference::InterferenceModel::nvlink_defaults(),
+        };
+        let samples = mist_sim::benchmark_interference(args.platform, 400, 0xAB5EED);
+        mist_interference::fit(&prior, &samples, 3000, 0xAB5EED ^ 0x5EED).0
+    };
+    let db = OpCostDb::new(cluster.gpu.clone());
+
+    let mut failed = 0u32;
+    let mut models_json = Vec::new();
+    for model in &models {
+        let mut tuner = mist_tuner::Tuner::new(model, &cluster, &db, &args.space, &interference)
+            .with_max_grad_accum(args.max_grad_accum)
+            .with_budget(budget);
+        if let Some(cap) = args.max_outer {
+            tuner = tuner.with_max_outer_candidates(cap);
+        }
+        let Some(outcome) = tuner.tune(args.batch) else {
+            failed += 1;
+            if args.json {
+                models_json.push(serde_json::json!({
+                    "model": model.name,
+                    "feasible": false,
+                    "certified": false,
+                    "failures": ["no feasible plan to certify"],
+                }));
+            } else {
+                println!("{}: FAILED — no feasible plan to certify", model.name);
+            }
+            continue;
+        };
+        let report = mist_tuner::certify_plan(
+            model,
+            &cluster,
+            &db,
+            &interference,
+            &outcome.plan,
+            &outcome.stage_points,
+            outcome.predicted_iteration,
+            budget,
+            args.space.overlap_aware,
+            "verify",
+        );
+        let embedded_ok = report.certificate == outcome.certificate;
+        let ok = report.ok() && embedded_ok;
+        if !ok {
+            failed += 1;
+        }
+        let mut failures = report.failures.clone();
+        if !embedded_ok {
+            failures.push("embedded certificate disagrees with re-derivation".into());
+        }
+        if args.json {
+            models_json.push(serde_json::json!({
+                "model": model.name,
+                "feasible": true,
+                "certified": ok,
+                "stages": outcome.plan.num_stages(),
+                "grad_accum": outcome.plan.grad_accum,
+                "objective_s": report.certificate.objective,
+                "peak_mem_hi": report
+                    .certificate
+                    .stages
+                    .iter()
+                    .map(|s| s.mem_fwd.hi.max(s.mem_bwd.hi))
+                    .fold(0.0, f64::max),
+                "failures": failures,
+            }));
+        } else if ok {
+            let peak = report
+                .certificate
+                .stages
+                .iter()
+                .map(|s| s.mem_fwd.hi.max(s.mem_bwd.hi))
+                .fold(0.0, f64::max);
+            println!(
+                "{}: certified (S={} G={}, {} roots checked, peak mem {:.1}/{:.1} GiB)",
+                model.name,
+                outcome.plan.num_stages(),
+                outcome.plan.grad_accum,
+                report
+                    .certificate
+                    .stages
+                    .iter()
+                    .map(|s| s.roots_checked)
+                    .sum::<u32>(),
+                peak / GIB,
+                budget / GIB,
+            );
+        } else {
+            println!("{}: FAILED", model.name);
+            for f in &failures {
+                println!("  {f}");
+            }
+        }
+    }
+
+    if args.json {
+        let out = serde_json::json!({
+            "schema_version": 1u64,
+            "space": args.space.name,
+            "gpus": args.gpus,
+            "batch": args.batch,
+            "budget_bytes": budget,
+            "failed": failed,
+            "models": models_json,
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("verify-plan: {} model(s), {} failed", models.len(), failed);
+    }
+    Ok(failed == 0)
 }
 
 /// Runs the CLI on already-split arguments (excluding the program name)
@@ -881,6 +1148,14 @@ pub fn run(argv: &[String]) -> u8 {
                 2
             }
         },
+        Some("verify-plan") => match parse_verify_args(&argv[1..]).and_then(run_verify_plan) {
+            Ok(true) => 0,
+            Ok(false) => 1,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", usage());
+                2
+            }
+        },
         Some("serve") => match parse_serve_args(&argv[1..]).and_then(|a| run_serve(&a)) {
             Ok(()) => 0,
             Err(e) => {
@@ -1036,12 +1311,61 @@ mod tests {
             "--ping",
             "--stats",
             "--shutdown",
+            "--no-mono-prune",
+            "--max-outer-candidates",
         ] {
             assert!(usage().contains(flag), "usage() must document {flag}");
         }
         assert!(usage().contains("explain"), "usage() must document explain");
         assert!(usage().contains("serve"), "usage() must document serve");
         assert!(usage().contains("query"), "usage() must document query");
+        assert!(
+            usage().contains("verify-plan"),
+            "usage() must document verify-plan"
+        );
+    }
+
+    #[test]
+    fn parse_verify_args_defaults_and_flags() {
+        let a = parse_verify_args(&sv(&[])).unwrap();
+        assert_eq!(a.gpus, 4);
+        assert_eq!(a.batch, 8);
+        assert!(a.model.is_none());
+        let a = parse_verify_args(&sv(&[
+            "--model",
+            "llama-13b",
+            "--gpus",
+            "8",
+            "--batch",
+            "16",
+            "--budget-gib",
+            "20",
+            "--max-outer-candidates",
+            "4",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(a.model.as_deref(), Some("llama-13b"));
+        assert_eq!(a.gpus, 8);
+        assert_eq!(a.max_outer, Some(4));
+        assert!(a.json);
+        assert!(parse_verify_args(&sv(&["--budget-gib", "0"])).is_err());
+        assert!(parse_verify_args(&sv(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parse_args_accepts_no_mono_prune() {
+        let a = parse_args(&sv(&[
+            "--model",
+            "gpt3-1.3b",
+            "--gpus",
+            "2",
+            "--batch",
+            "8",
+            "--no-mono-prune",
+        ]))
+        .unwrap();
+        assert!(!a.mono_prune);
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub struct SessionBuilder {
     calibration_samples: usize,
     max_grad_accum: u32,
     seed: u64,
+    mono_prune: bool,
 }
 
 impl SessionBuilder {
@@ -44,6 +45,13 @@ impl SessionBuilder {
     /// Seeds the calibration benchmarks.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables or disables the tuner's proof-licensed monotone pruning
+    /// (on by default; results are byte-identical either way).
+    pub fn monotone_prune(mut self, enabled: bool) -> Self {
+        self.mono_prune = enabled;
         self
     }
 
@@ -80,6 +88,7 @@ impl SessionBuilder {
             space: self.space,
             interference,
             max_grad_accum: self.max_grad_accum,
+            mono_prune: self.mono_prune,
         }
     }
 }
@@ -92,6 +101,7 @@ pub struct MistSession {
     space: SearchSpace,
     interference: InterferenceModel,
     max_grad_accum: u32,
+    mono_prune: bool,
 }
 
 impl MistSession {
@@ -111,6 +121,7 @@ impl MistSession {
             calibration_samples: 400,
             max_grad_accum: 256,
             seed: 0xAB5EED,
+            mono_prune: true,
         }
     }
 
@@ -149,6 +160,7 @@ impl MistSession {
             &self.interference,
         )
         .with_max_grad_accum(self.max_grad_accum)
+        .with_monotone_prune(self.mono_prune)
         .tune(global_batch)
     }
 

@@ -1,20 +1,80 @@
 //! Dead-code and unused-symbol detection.
 //!
 //! The interpreter executes every SSA slot, so "dead" here means *the
-//! value can never influence any root over the declared domain*. Slots
-//! are marked live by a DFS from the roots; a `Select` whose guard the
-//! interval analysis proved constant contributes only its guard and the
-//! taken branch, so the untaken subtree — and any symbol read only from
-//! it — surfaces as dead. In a freshly compiled program with no constant
-//! guards everything is live by construction (programs are built by DFS
-//! from the roots), which is exactly what makes a dead-code finding a
-//! signal and not noise.
+//! value can never influence any root over the declared domain*.
+//! Liveness is the crate's one *backward* dataflow instance: the fact
+//! lattice is the booleans under "or", roots are live by fiat, and a
+//! slot is live when some live user effectively reads it — where a
+//! `Select` whose guard the interval analysis proved constant reads
+//! only its guard and the taken branch, so the untaken subtree — and
+//! any symbol read only from it — surfaces as dead. The least fixpoint
+//! equals the historical root-DFS marking exactly. In a freshly
+//! compiled program with no constant guards everything is live by
+//! construction (programs are built by DFS from the roots), which is
+//! exactly what makes a dead-code finding a signal and not noise.
 
 use mist_symbolic::{Instr, Program};
 
 use crate::diag::{Analysis, Diagnostic, Severity};
+use crate::framework::{self, Direction, FactEnv, Lattice, TransferFunction};
 use crate::interval::{guard_constant, AbstractValue};
 use crate::unit::UnitRegistry;
+
+/// Liveness fact: whether a slot can influence any root.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Live(bool);
+
+impl Lattice for Live {
+    fn bottom() -> Self {
+        Live(false)
+    }
+    fn join(&self, other: &Self) -> Self {
+        Live(self.0 || other.0)
+    }
+}
+
+/// The backward liveness instance. `guard_taken` holds the interval
+/// analysis' constant-guard verdicts per `Select` slot.
+struct LivenessAnalysis<'p> {
+    program: &'p Program,
+    is_root: Vec<bool>,
+    guard_taken: Vec<Option<bool>>,
+}
+
+impl LivenessAnalysis<'_> {
+    /// Whether `user`'s instruction effectively reads `slot`: always,
+    /// except for the untaken branch of a constant-guard `Select`.
+    fn reads(&self, user: u32, slot: u32) -> bool {
+        match self.program.instr(user as usize) {
+            Instr::Select(c, a, b) => match self.guard_taken[user as usize] {
+                Some(true) => slot == c || slot == a,
+                Some(false) => slot == c || slot == b,
+                None => slot == c || slot == a || slot == b,
+            },
+            _ => true,
+        }
+    }
+}
+
+impl TransferFunction for LivenessAnalysis<'_> {
+    type Fact = Live;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn transfer(&mut self, slot: u32, _instr: Instr<'_>, env: &FactEnv<'_, Live>) -> Live {
+        if self.is_root[slot as usize] {
+            return Live(true);
+        }
+        for &u in env.users(slot) {
+            if env.fact(u).0 && self.reads(u, slot) {
+                return Live(true);
+            }
+        }
+        Live(false)
+    }
+}
 
 pub(crate) fn analyze(
     program: &Program,
@@ -22,23 +82,26 @@ pub(crate) fn analyze(
     values: &[AbstractValue],
 ) -> Vec<Diagnostic> {
     let n = program.len();
-    let mut live = vec![false; n];
-    let mut stack: Vec<u32> = program.root_slots().to_vec();
-    while let Some(slot) = stack.pop() {
-        let s = slot as usize;
-        if live[s] {
-            continue;
-        }
-        live[s] = true;
-        match program.instr(s) {
-            Instr::Select(c, a, b) => match guard_constant(values[c as usize]) {
-                Some(true) => stack.extend([c, a]),
-                Some(false) => stack.extend([c, b]),
-                None => stack.extend([c, a, b]),
-            },
-            other => other.for_each_operand(|op| stack.push(op)),
-        }
+    let mut is_root = vec![false; n];
+    for &r in program.root_slots() {
+        is_root[r as usize] = true;
     }
+    let guard_taken: Vec<Option<bool>> = program
+        .instrs()
+        .map(|instr| match instr {
+            Instr::Select(c, _, _) => guard_constant(values[c as usize]),
+            _ => None,
+        })
+        .collect();
+    let mut analysis = LivenessAnalysis {
+        program,
+        is_root,
+        guard_taken,
+    };
+    let live: Vec<bool> = framework::fixpoint(program, &mut analysis)
+        .into_iter()
+        .map(|l| l.0)
+        .collect();
 
     let mut diags = Vec::new();
 

@@ -1,0 +1,205 @@
+//! Generic abstract-interpretation framework over the SSA stream.
+//!
+//! Every analysis in this crate is an instance of the same recipe: pick
+//! a join-semilattice of facts ([`Lattice`]), give a transfer function
+//! per opcode ([`TransferFunction`]), and run the worklist driver
+//! ([`fixpoint`]) until nothing changes. The driver owns iteration
+//! order, change detection and dependency propagation; analyses own
+//! only their domain semantics, which is what makes a new analysis (see
+//! [`crate::mono`]) a single-file addition.
+//!
+//! # Contract
+//!
+//! * [`Lattice::bottom`] is the initial fact of every slot and must be
+//!   the identity of [`Lattice::join`].
+//! * Transfer functions must be *monotone* in the operand facts and the
+//!   lattice must have finite height, or the driver may not terminate.
+//! * Transfer functions must be deterministic: the driver guarantees a
+//!   deterministic visit order (slots are seeded in direction order and
+//!   re-queued FIFO), so the whole analysis — including anything the
+//!   caller derives from the final facts — is reproducible bit for bit.
+//!
+//! Compiled [`Program`]s are SSA with operands always referring to
+//! *earlier* slots, so a forward pass in slot order (or a backward pass
+//! in reverse order) converges in a single sweep; the worklist exists
+//! for generality and costs nothing in that common case.
+
+use std::collections::VecDeque;
+
+use mist_symbolic::{Instr, Program};
+
+/// A join-semilattice of dataflow facts.
+pub trait Lattice: Clone + PartialEq {
+    /// The least element: the initial fact of every slot, and the
+    /// identity of [`Lattice::join`].
+    fn bottom() -> Self;
+    /// The least upper bound of two facts.
+    fn join(&self, other: &Self) -> Self;
+}
+
+/// Direction a dataflow analysis propagates facts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from operands to users (interval, unit, monotonicity).
+    Forward,
+    /// Facts flow from users to operands (liveness).
+    Backward,
+}
+
+/// Read-only view of the fixpoint state handed to transfer functions.
+pub struct FactEnv<'e, F> {
+    program: &'e Program,
+    facts: &'e [F],
+    users: &'e [Vec<u32>],
+}
+
+impl<'e, F> FactEnv<'e, F> {
+    /// The program under analysis.
+    pub fn program(&self) -> &'e Program {
+        self.program
+    }
+
+    /// The current fact of `slot` (bottom until first transferred).
+    pub fn fact(&self, slot: u32) -> &F {
+        &self.facts[slot as usize]
+    }
+
+    /// All current facts, indexed by slot.
+    pub fn facts(&self) -> &'e [F] {
+        self.facts
+    }
+
+    /// Slots whose instruction reads `slot` as an operand (one entry
+    /// per operand occurrence, in slot order).
+    pub fn users(&self, slot: u32) -> &'e [u32] {
+        &self.users[slot as usize]
+    }
+}
+
+/// An analysis: a fact lattice plus a per-instruction transfer function.
+pub trait TransferFunction {
+    /// The fact lattice this analysis computes over.
+    type Fact: Lattice;
+
+    /// Which way facts propagate.
+    fn direction(&self) -> Direction;
+
+    /// Recomputes the fact of `slot` from the current environment. For
+    /// forward analyses the operand facts are final whenever the
+    /// program is topologically ordered; backward analyses read
+    /// [`FactEnv::users`] instead.
+    fn transfer(
+        &mut self,
+        slot: u32,
+        instr: Instr<'_>,
+        env: &FactEnv<'_, Self::Fact>,
+    ) -> Self::Fact;
+}
+
+/// Slots whose instructions read each slot, indexed by operand slot.
+fn compute_users(program: &Program) -> Vec<Vec<u32>> {
+    let mut users: Vec<Vec<u32>> = vec![Vec::new(); program.len()];
+    for (slot, instr) in program.instrs().enumerate() {
+        instr.for_each_operand(|op| users[op as usize].push(slot as u32));
+    }
+    users
+}
+
+/// Runs `analysis` to a fixpoint over `program` and returns the final
+/// per-slot facts.
+///
+/// The worklist is seeded with every slot in direction order (forward:
+/// ascending, backward: descending) and drained FIFO; when a slot's
+/// fact changes, its dependents (users for forward analyses, operands
+/// for backward ones) are re-queued. On a topologically ordered SSA
+/// stream the seed pass already converges, so the driver's cost is one
+/// transfer per slot plus the change checks.
+pub fn fixpoint<T: TransferFunction>(program: &Program, analysis: &mut T) -> Vec<T::Fact> {
+    let n = program.len();
+    let users = compute_users(program);
+    let mut facts: Vec<T::Fact> = vec![T::Fact::bottom(); n];
+    let mut on_list = vec![true; n];
+    let mut worklist: VecDeque<u32> = match analysis.direction() {
+        Direction::Forward => (0..n as u32).collect(),
+        Direction::Backward => (0..n as u32).rev().collect(),
+    };
+    while let Some(slot) = worklist.pop_front() {
+        on_list[slot as usize] = false;
+        let new = {
+            let env = FactEnv {
+                program,
+                facts: &facts,
+                users: &users,
+            };
+            analysis.transfer(slot, program.instr(slot as usize), &env)
+        };
+        if new != facts[slot as usize] {
+            facts[slot as usize] = new;
+            let mut requeue = |dep: u32| {
+                if !on_list[dep as usize] {
+                    on_list[dep as usize] = true;
+                    worklist.push_back(dep);
+                }
+            };
+            match analysis.direction() {
+                Direction::Forward => {
+                    for &u in &users[slot as usize] {
+                        requeue(u);
+                    }
+                }
+                Direction::Backward => {
+                    program.instr(slot as usize).for_each_operand(requeue);
+                }
+            }
+        }
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mist_symbolic::Context;
+
+    /// Reaching-symbols analysis: the set of symbol indices a slot
+    /// depends on, as a bitmask. Exercises the driver with a lattice
+    /// none of the production analyses use.
+    struct ReachingSyms;
+
+    impl Lattice for u64 {
+        fn bottom() -> Self {
+            0
+        }
+        fn join(&self, other: &Self) -> Self {
+            self | other
+        }
+    }
+
+    impl TransferFunction for ReachingSyms {
+        type Fact = u64;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn transfer(&mut self, _slot: u32, instr: Instr<'_>, env: &FactEnv<'_, u64>) -> u64 {
+            if let Instr::Sym(i) = instr {
+                return 1 << i;
+            }
+            let mut acc = 0u64;
+            instr.for_each_operand(|op| acc |= env.fact(op));
+            acc
+        }
+    }
+
+    #[test]
+    fn forward_fixpoint_reaches_all_operand_symbols() {
+        let ctx = Context::new();
+        let a = ctx.symbol("a");
+        let b = ctx.symbol("b");
+        let program = ctx.compile_program(&[("root", a * b + a)]);
+        let facts = fixpoint(&program, &mut ReachingSyms);
+        let root = program.root_slots()[0] as usize;
+        let na = program.symbols().index_of("a").unwrap();
+        let nb = program.symbols().index_of("b").unwrap();
+        assert_eq!(facts[root], (1 << na) | (1 << nb));
+    }
+}

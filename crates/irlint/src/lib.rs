@@ -48,12 +48,16 @@
 mod deadcode;
 mod diag;
 mod domain;
+pub mod framework;
 mod interval;
 mod lint;
+pub mod mono;
 mod unit;
 
 pub use diag::{Analysis, Diagnostic, LintReport, RootBounds, Severity};
 pub use domain::{DomainMap, SymbolDomain};
-pub use interval::{constant_guards, sweep_facts, AbstractValue};
+pub use framework::{fixpoint, Direction, FactEnv, Lattice, TransferFunction};
+pub use interval::{constant_guards, root_intervals, sweep_facts, AbstractValue};
 pub use lint::lint_program;
+pub use mono::{monotonicity, Mono, MonoReport, RootMono};
 pub use unit::{DimExponents, Unit, UnitRegistry};

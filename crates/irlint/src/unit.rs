@@ -18,6 +18,11 @@
 //!   integral over the domain (per the documented `Node::Cmp` invariant),
 //!   which is checked against the interval analysis results;
 //! * `Select` unifies its two branches (the guard may have any unit).
+//!
+//! The inference is a forward instance of the crate's
+//! [`framework`](crate::framework): unification mismatches collapse to
+//! [`Unit::Any`] in the transfer and are reported by a deterministic
+//! post-pass over the final facts.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -25,6 +30,7 @@ use std::fmt;
 use mist_symbolic::{CmpOp, Instr, Program};
 
 use crate::diag::{Analysis, Diagnostic, Severity};
+use crate::framework::{self, Direction, FactEnv, Lattice, TransferFunction};
 use crate::interval::AbstractValue;
 
 /// Exponents over the base dimensions `[bytes, seconds, elements]`.
@@ -86,6 +92,19 @@ impl Unit {
             ]),
         };
         self.multiply(neg)
+    }
+}
+
+impl Lattice for Unit {
+    /// `Any` is both the unification identity and the join identity.
+    fn bottom() -> Self {
+        Unit::Any
+    }
+
+    /// Join = unification, with concrete mismatches collapsing to
+    /// `Any`; the diagnostic post-pass reports where that happened.
+    fn join(&self, other: &Self) -> Self {
+        self.unify(*other).unwrap_or(Unit::Any)
     }
 }
 
@@ -169,6 +188,55 @@ impl UnitRegistry {
     }
 }
 
+/// The forward unit-inference instance. Pure: mismatches collapse to
+/// `Any` (exactly the value the old in-pass emission continued with);
+/// the post-pass re-derives the mismatch reports from the final facts,
+/// which equal the in-pass facts because operand units are final by the
+/// time a slot is first transferred.
+struct UnitAnalysis {
+    sym_units: Vec<Unit>,
+}
+
+impl TransferFunction for UnitAnalysis {
+    type Fact = Unit;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn transfer(&mut self, _slot: u32, instr: Instr<'_>, env: &FactEnv<'_, Unit>) -> Unit {
+        let units = env.facts();
+        match instr {
+            Instr::Const(_) => Unit::Any,
+            Instr::Sym(i) => self.sym_units[i as usize],
+            Instr::Add(ops) | Instr::Min(ops) | Instr::Max(ops) => {
+                fold_unify(ops, units).unwrap_or(Unit::Any)
+            }
+            Instr::Mul(ops) => ops
+                .iter()
+                .fold(Unit::Any, |acc, &op| acc.multiply(units[op as usize])),
+            Instr::Div(a, b) => units[a as usize].divide(units[b as usize]),
+            Instr::Floor(a) | Instr::Ceil(a) => units[a as usize],
+            Instr::Cmp(..) => Unit::DIMENSIONLESS,
+            Instr::Select(_, a, b) => units[a as usize].join(&units[b as usize]),
+        }
+    }
+}
+
+/// Unifies operand units left to right; `Err` carries the accumulated
+/// unit and the first mismatching operand unit (for reporting).
+fn fold_unify(ops: &[u32], units: &[Unit]) -> Result<Unit, (Unit, Unit)> {
+    let mut acc = Unit::Any;
+    for &op in ops {
+        let u = units[op as usize];
+        match acc.unify(u) {
+            Some(v) => acc = v,
+            None => return Err((acc, u)),
+        }
+    }
+    Ok(acc)
+}
+
 /// Runs unit inference; returns the per-slot units and diagnostics.
 pub(crate) fn analyze(
     program: &Program,
@@ -196,24 +264,30 @@ pub(crate) fn analyze(
         })
         .collect();
 
-    let mut units: Vec<Unit> = Vec::with_capacity(program.len());
+    let mut analysis = UnitAnalysis { sym_units };
+    let units = framework::fixpoint(program, &mut analysis);
+
+    // Diagnostic post-pass, in ascending slot order (identical to the
+    // historical in-pass emission order).
     for (slot, instr) in program.instrs().enumerate() {
-        let u = match instr {
-            Instr::Const(_) => Unit::Any,
-            Instr::Sym(i) => sym_units[i as usize],
+        match instr {
             Instr::Add(ops) | Instr::Min(ops) | Instr::Max(ops) => {
                 let name = match instr {
                     Instr::Add(_) => "add",
                     Instr::Min(_) => "min",
                     _ => "max",
                 };
-                unify_operands(name, ops, &units, slot, &mut diags)
+                if let Err((acc, u)) = fold_unify(ops, &units) {
+                    diags.push(Diagnostic {
+                        severity: Severity::Error,
+                        analysis: Analysis::Units,
+                        code: "unit-mismatch",
+                        slot: Some(slot as u32),
+                        root: None,
+                        message: format!("{name} mixes `{acc}` and `{u}`"),
+                    });
+                }
             }
-            Instr::Mul(ops) => ops
-                .iter()
-                .fold(Unit::Any, |acc, &op| acc.multiply(units[op as usize])),
-            Instr::Div(a, b) => units[a as usize].divide(units[b as usize]),
-            Instr::Floor(a) | Instr::Ceil(a) => units[a as usize],
             Instr::Cmp(op, a, b) => {
                 let (ua, ub) = (units[a as usize], units[b as usize]);
                 if ua.unify(ub).is_none() {
@@ -241,27 +315,22 @@ pub(crate) fn analyze(
                         });
                     }
                 }
-                Unit::DIMENSIONLESS
             }
             Instr::Select(_, a, b) => {
                 let (ua, ub) = (units[a as usize], units[b as usize]);
-                match ua.unify(ub) {
-                    Some(u) => u,
-                    None => {
-                        diags.push(Diagnostic {
-                            severity: Severity::Error,
-                            analysis: Analysis::Units,
-                            code: "unit-mismatch",
-                            slot: Some(slot as u32),
-                            root: None,
-                            message: format!("select branches have units `{ua}` and `{ub}`"),
-                        });
-                        Unit::Any
-                    }
+                if ua.unify(ub).is_none() {
+                    diags.push(Diagnostic {
+                        severity: Severity::Error,
+                        analysis: Analysis::Units,
+                        code: "unit-mismatch",
+                        slot: Some(slot as u32),
+                        root: None,
+                        message: format!("select branches have units `{ua}` and `{ub}`"),
+                    });
                 }
             }
-        };
-        units.push(u);
+            _ => {}
+        }
     }
 
     for (i, label) in program.root_labels().iter().enumerate() {
@@ -291,34 +360,6 @@ pub(crate) fn analyze(
     }
 
     (units, diags)
-}
-
-fn unify_operands(
-    op_name: &str,
-    ops: &[u32],
-    units: &[Unit],
-    slot: usize,
-    diags: &mut Vec<Diagnostic>,
-) -> Unit {
-    let mut acc = Unit::Any;
-    for &op in ops {
-        let u = units[op as usize];
-        match acc.unify(u) {
-            Some(v) => acc = v,
-            None => {
-                diags.push(Diagnostic {
-                    severity: Severity::Error,
-                    analysis: Analysis::Units,
-                    code: "unit-mismatch",
-                    slot: Some(slot as u32),
-                    root: None,
-                    message: format!("{op_name} mixes `{acc}` and `{u}`"),
-                });
-                return Unit::Any;
-            }
-        }
-    }
-    acc
 }
 
 #[cfg(test)]

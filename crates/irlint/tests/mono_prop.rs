@@ -1,0 +1,161 @@
+//! Property test: monotonicity verdicts agree with finite differences.
+//!
+//! Random expression DAGs over three symbols with mixed-sign domains
+//! are analyzed, then evaluated along axis-aligned lines through
+//! random domain points. A root claimed `Increasing` in a symbol must
+//! never decrease along any line where only that symbol varies (the
+//! claims are weak, so equality is fine); `Decreasing` mirrors;
+//! `Constant` demands bit-equal values. `Unknown` claims nothing.
+//! Constants are kept small enough that overflow is impossible, so a
+//! non-finite evaluation can only arise from a division the analysis
+//! already refused to classify; such lines are skipped.
+
+use mist_irlint::{monotonicity, DomainMap, Mono, SymbolDomain};
+use mist_symbolic::{CmpOp, Context, Expr, Program};
+use proptest::prelude::*;
+
+const SYMS: [&str; 3] = ["a", "b", "c"];
+const DOMAINS: [(f64, f64); 3] = [(-4.0, 4.0), (0.5, 3.0), (-3.0, -0.5)];
+
+/// Owned expression tree, lowered to a `Context` per test case
+/// (`Expr` borrows its context, so proptest can't generate it
+/// directly).
+#[derive(Debug, Clone)]
+enum Ast {
+    Const(f64),
+    Sym(usize),
+    Add(Box<Ast>, Box<Ast>),
+    Mul(Box<Ast>, Box<Ast>),
+    Min(Box<Ast>, Box<Ast>),
+    Max(Box<Ast>, Box<Ast>),
+    Div(Box<Ast>, Box<Ast>),
+    Floor(Box<Ast>),
+    Ceil(Box<Ast>),
+    Le(Box<Ast>, Box<Ast>),
+    Ge(Box<Ast>, Box<Ast>),
+    Select(Box<Ast>, Box<Ast>, Box<Ast>),
+}
+
+fn ast_strategy() -> impl Strategy<Value = Ast> {
+    let leaf = prop_oneof![
+        (-4.0f64..4.0).prop_map(Ast::Const),
+        (0usize..SYMS.len()).prop_map(Ast::Sym),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        let pair = (inner.clone(), inner.clone());
+        prop_oneof![
+            pair.clone().prop_map(|(a, b)| Ast::Add(a.into(), b.into())),
+            pair.clone().prop_map(|(a, b)| Ast::Mul(a.into(), b.into())),
+            pair.clone().prop_map(|(a, b)| Ast::Min(a.into(), b.into())),
+            pair.clone().prop_map(|(a, b)| Ast::Max(a.into(), b.into())),
+            pair.clone().prop_map(|(a, b)| Ast::Div(a.into(), b.into())),
+            inner.clone().prop_map(|a| Ast::Floor(a.into())),
+            inner.clone().prop_map(|a| Ast::Ceil(a.into())),
+            pair.clone().prop_map(|(a, b)| Ast::Le(a.into(), b.into())),
+            pair.prop_map(|(a, b)| Ast::Ge(a.into(), b.into())),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| Ast::Select(
+                c.into(),
+                a.into(),
+                b.into()
+            )),
+        ]
+    })
+}
+
+fn lower<'c>(ctx: &'c Context, ast: &Ast) -> Expr<'c> {
+    match ast {
+        Ast::Const(v) => ctx.constant(*v),
+        Ast::Sym(i) => ctx.symbol(SYMS[*i]),
+        Ast::Add(a, b) => lower(ctx, a) + lower(ctx, b),
+        Ast::Mul(a, b) => lower(ctx, a) * lower(ctx, b),
+        Ast::Min(a, b) => lower(ctx, a).min(lower(ctx, b)),
+        Ast::Max(a, b) => lower(ctx, a).max(lower(ctx, b)),
+        Ast::Div(a, b) => lower(ctx, a) / lower(ctx, b),
+        Ast::Floor(a) => lower(ctx, a).floor(),
+        Ast::Ceil(a) => lower(ctx, a).ceil(),
+        Ast::Le(a, b) => ctx.cmp(CmpOp::Le, lower(ctx, a), lower(ctx, b)),
+        Ast::Ge(a, b) => ctx.cmp(CmpOp::Ge, lower(ctx, a), lower(ctx, b)),
+        Ast::Select(c, a, b) => ctx.select(lower(ctx, c), lower(ctx, a), lower(ctx, b)),
+    }
+}
+
+/// Evaluates the single root at a point given by per-symbol values;
+/// `None` when the evaluation is non-finite.
+fn eval_at(program: &Program, point: &[f64; 3]) -> Option<f64> {
+    let table = program.symbols();
+    let mut inputs = vec![0.0; table.len()];
+    for (name, &v) in SYMS.iter().zip(point) {
+        if let Some(i) = table.index_of(name) {
+            inputs[i] = v;
+        }
+    }
+    program.eval_scalar_root(0, &inputs).ok()
+}
+
+/// A coordinate inside symbol `s`'s domain from a unit sample.
+fn coord(s: usize, t: f64) -> f64 {
+    let (lo, hi) = DOMAINS[s];
+    lo + (hi - lo) * t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn verdicts_agree_with_finite_differences(
+        ast in ast_strategy(),
+        base in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
+        lines in prop::collection::vec(0.0f64..1.0, 5 * SYMS.len()),
+    ) {
+        let ctx = Context::new();
+        let expr = lower(&ctx, &ast);
+        let program = ctx.compile_program(&[("root", expr)]);
+
+        let mut domains = DomainMap::new();
+        for (s, name) in SYMS.iter().enumerate() {
+            let (lo, hi) = DOMAINS[s];
+            domains = domains.declare(name, SymbolDomain::new(lo, hi, false));
+        }
+        let report = monotonicity(&program, &domains);
+
+        for (s, name) in SYMS.iter().enumerate() {
+            let verdict = report.verdict("root", name);
+            if verdict == Mono::Unknown {
+                continue;
+            }
+            // Points along the axis-aligned line varying only `s`,
+            // sorted by the varying coordinate.
+            let mut ts: Vec<f64> = lines[5 * s..5 * (s + 1)].to_vec();
+            ts.sort_by(f64::total_cmp);
+            let values: Vec<Option<f64>> = ts
+                .iter()
+                .map(|&t| {
+                    let mut point = [coord(0, base.0), coord(1, base.1), coord(2, base.2)];
+                    point[s] = coord(s, t);
+                    eval_at(&program, &point)
+                })
+                .collect();
+            if values.iter().any(Option::is_none) {
+                continue; // non-finite evaluation: nothing to falsify
+            }
+            let values: Vec<f64> = values.into_iter().flatten().collect();
+            for w in values.windows(2) {
+                match verdict {
+                    Mono::Constant => prop_assert_eq!(
+                        w[0], w[1],
+                        "claimed constant in {} but {} != {}", name, w[0], w[1]
+                    ),
+                    Mono::Increasing => prop_assert!(
+                        w[1] >= w[0],
+                        "claimed increasing in {} but {} -> {}", name, w[0], w[1]
+                    ),
+                    Mono::Decreasing => prop_assert!(
+                        w[1] <= w[0],
+                        "claimed decreasing in {} but {} -> {}", name, w[0], w[1]
+                    ),
+                    Mono::Unknown => unreachable!(),
+                }
+            }
+        }
+    }
+}

@@ -170,6 +170,15 @@ impl PlanCache {
         }
     }
 
+    /// Removes the entry with this exact fingerprint, if present.
+    /// Returns whether an entry was removed. Used by the planner to
+    /// evict cached plans whose certificate no longer checks out.
+    pub fn remove(&mut self, exact: &str) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.exact != exact);
+        self.entries.len() != before
+    }
+
     /// The cache's JSONL serialization (one entry per line).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
@@ -222,6 +231,7 @@ mod tests {
                 stage_points: Vec::new(),
                 stats: Default::default(),
                 telemetry: Default::default(),
+                certificate: Default::default(),
             },
             export: FrontierExport { records },
         }
@@ -238,7 +248,7 @@ mod tests {
                 micro_batch: 4,
             }],
             budget: 22.0e9,
-            budget_sensitive: false,
+            proof: mist_tuner::BudgetProof::Witness,
             per_l: vec![Vec::new(); 4],
         }
     }

@@ -59,6 +59,7 @@ pub struct PlannerService {
     hits: mist_telemetry::Counter,
     misses: mist_telemetry::Counter,
     warm_starts: mist_telemetry::Counter,
+    cert_rejections: mist_telemetry::Counter,
 }
 
 impl PlannerService {
@@ -72,6 +73,7 @@ impl PlannerService {
             hits: mist_telemetry::Counter::new(),
             misses: mist_telemetry::Counter::new(),
             warm_starts: mist_telemetry::Counter::new(),
+            cert_rejections: mist_telemetry::Counter::new(),
         }
     }
 
@@ -88,6 +90,11 @@ impl PlannerService {
     /// Warm-started tuner runs since startup.
     pub fn warm_start_count(&self) -> u64 {
         self.warm_starts.value()
+    }
+
+    /// Cached plans evicted because their certificate failed re-check.
+    pub fn cert_rejection_count(&self) -> u64 {
+        self.cert_rejections.value()
     }
 
     /// Handles one request line; returns the response line and whether
@@ -139,7 +146,7 @@ impl PlannerService {
         );
 
         if !req.no_cache {
-            if let Some(value) = self.try_hit(&resolved, started) {
+            if let Some(value) = self.try_hit(&resolved, req.seed, started) {
                 return value;
             }
         }
@@ -148,7 +155,7 @@ impl PlannerService {
         // queries wait here, then (cache permitting) take the hit path.
         let _flight = self.begin_flight(resolved.exact.clone());
         if !req.no_cache {
-            if let Some(value) = self.try_hit(&resolved, started) {
+            if let Some(value) = self.try_hit(&resolved, req.seed, started) {
                 return value;
             }
         }
@@ -223,14 +230,42 @@ impl PlannerService {
         }
     }
 
-    /// Exact-hit fast path.
-    fn try_hit(&self, resolved: &Resolved, started: Instant) -> Option<Value> {
-        let cache = self.cache.lock();
-        let entry = cache.lookup(&resolved.exact)?;
+    /// Exact-hit fast path. Before a cached plan is served its
+    /// certificate is re-derived through the interval framework; an
+    /// entry that no longer checks out (corrupted file, stale wire
+    /// format, tampering) is evicted and the query falls through to a
+    /// fresh tune instead of serving a bad plan.
+    fn try_hit(&self, resolved: &Resolved, seed: u64, started: Instant) -> Option<Value> {
+        let outcome = {
+            let cache = self.cache.lock();
+            cache.lookup(&resolved.exact)?.outcome.clone()
+        };
+        let interference = self.calibration(resolved.cluster.platform, seed);
+        let db = OpCostDb::new(resolved.cluster.gpu.clone());
+        let report = mist_tuner::certify_plan(
+            &resolved.model,
+            &resolved.cluster,
+            &db,
+            &interference,
+            &outcome.plan,
+            &outcome.stage_points,
+            outcome.predicted_iteration,
+            resolved.budget,
+            resolved.space.overlap_aware,
+            "serve",
+        );
+        if !report.ok() || report.certificate != outcome.certificate {
+            self.cert_rejections.inc();
+            mist_telemetry::counter_add("service.cache.cert_rejections", 1);
+            eprintln!(
+                "mist-service: evicting cached plan {}: certificate re-check failed: {:?}",
+                resolved.exact, report.failures
+            );
+            self.cache.lock().remove(&resolved.exact);
+            return None;
+        }
         self.hits.inc();
         mist_telemetry::counter_add("service.cache.hits", 1);
-        let outcome = entry.outcome.clone();
-        drop(cache);
         Some(self.respond(resolved, &outcome, "hit", 0, started))
     }
 
@@ -276,6 +311,7 @@ impl PlannerService {
             "hits": self.hits.value(),
             "misses": self.misses.value(),
             "warm_starts": self.warm_starts.value(),
+            "cert_rejections": self.cert_rejections.value(),
             "entries": entries,
         })
     }
@@ -533,6 +569,40 @@ mod tests {
         assert_eq!(planner.cache_hits(), 0);
         assert_eq!(planner.cache_misses(), 2);
         assert_eq!(planner.cache.lock().len(), 0);
+    }
+
+    #[test]
+    fn corrupted_cached_plan_is_evicted_and_retuned() {
+        let planner = PlannerService::new(PlanCache::in_memory());
+        let cold = planner.plan(&req(16));
+        assert_eq!(work_str(&cold, "source"), &Value::Str("cold".into()));
+
+        // Tamper with the cached plan's memory claim.
+        let exact = planner.resolve(&req(16)).unwrap().exact;
+        {
+            let mut cache = planner.cache.lock();
+            let mut entry = cache.lookup(&exact).unwrap().clone();
+            entry.outcome.stage_points[0].mem_fwd *= 2.0;
+            cache.insert(entry);
+        }
+
+        // The serve-time certificate re-check must refuse the corrupted
+        // entry, evict it, and fall through to a fresh tune.
+        let after = planner.plan(&req(16));
+        assert_eq!(work_str(&after, "source"), &Value::Str("cold".into()));
+        assert_eq!(planner.cert_rejection_count(), 1);
+        assert_eq!(planner.cache_hits(), 0);
+        assert_eq!(
+            result_json(&cold),
+            result_json(&after),
+            "the re-tune must reproduce the honest result"
+        );
+
+        // The re-tune repopulated the cache with a certified entry.
+        let hit = planner.plan(&req(16));
+        assert_eq!(work_str(&hit, "source"), &Value::Str("hit".into()));
+        assert_eq!(planner.cache_hits(), 1);
+        assert_eq!(planner.cert_rejection_count(), 1);
     }
 
     #[test]

@@ -66,6 +66,12 @@ pub struct TuneOutcome {
     /// instrumented library layers recorded (MILP nodes/pivots, cache
     /// hits, symbolic program sizes, ...).
     pub telemetry: MetricsSnapshot,
+    /// Independently re-derived proof (through the `mist-irlint`
+    /// interval framework) that the plan's memory claims fit the budget
+    /// and its cost claims reproduce the reported objective. Checked
+    /// again by `mist-service` before serving a cached plan and by
+    /// `mist-cli verify-plan`.
+    pub certificate: crate::PlanCertificate,
 }
 
 /// Top-level auto-tuner for one `(model, cluster, search space)`.
@@ -79,6 +85,7 @@ pub struct Tuner<'a> {
     max_outer: u32,
     budget: Option<f64>,
     seed: Option<Arc<FrontierExport>>,
+    mono_prune: bool,
 }
 
 impl<'a> Tuner<'a> {
@@ -100,6 +107,7 @@ impl<'a> Tuner<'a> {
             max_outer: u32::MAX,
             budget: None,
             seed: None,
+            mono_prune: true,
         }
     }
 
@@ -129,6 +137,15 @@ impl<'a> Tuner<'a> {
     /// (see [`crate::seed`] for the soundness contract).
     pub fn with_frontier_seed(mut self, seed: Arc<FrontierExport>) -> Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Enables or disables proof-licensed monotone pruning of the
+    /// intra-stage sweep (default on). Pruning never changes the plan —
+    /// it only skips rows a monotonicity proof shows are out of memory
+    /// — so the toggle exists for A/B studies and byte-identity tests.
+    pub fn with_monotone_prune(mut self, enabled: bool) -> Self {
+        self.mono_prune = enabled;
         self
     }
 
@@ -200,7 +217,7 @@ impl<'a> Tuner<'a> {
         if let Some(seed) = &self.seed {
             intra = intra.with_seed(Arc::clone(seed));
         }
-        intra
+        intra.with_monotone_prune(self.mono_prune)
     }
 
     /// Runs the full hierarchical tuning loop.
@@ -275,11 +292,13 @@ impl<'a> Tuner<'a> {
                         }
                     }
                     let t_intra = Instant::now();
-                    let pool = std::sync::Arc::clone(intra.pool());
                     let computed = {
                         let _sweep_span =
                             mist_telemetry::span!("intra.sweep", grad_accum = g, stages = s);
-                        pool.map_ordered(unique.clone(), |k| intra.frontiers(k, max_layers))
+                        // Batched: keys are processed in ascending
+                        // in-flight levels so monotone pruning can skip
+                        // provably-OOM rows of later levels.
+                        intra.frontiers_batch(&unique, max_layers)
                     };
                     stats.intra_secs += t_intra.elapsed().as_secs_f64();
                     let frontier_handles: Vec<_> = keys
@@ -408,10 +427,11 @@ impl<'a> Tuner<'a> {
         let spec_hits = intra.specializer().cache_hits();
         let spec_misses = intra.specializer().cache_misses();
         let rej = intra.rejections();
-        let (rej_oom, rej_nonfinite, rej_dominated) = (
+        let (rej_oom, rej_nonfinite, rej_dominated, rej_mono_pruned) = (
             rej.oom.value(),
             rej.nonfinite.value(),
             rej.dominated.value(),
+            rej.mono_pruned.value(),
         );
         let frontier_size = intra.frontier_size_high_water();
         let seeded = intra.seeded_frontiers();
@@ -419,6 +439,11 @@ impl<'a> Tuner<'a> {
             // Published only when a warm-start seed actually fired, so
             // cold-run telemetry stays byte-identical to older builds.
             collector.counter_add("tuner.seeded_frontiers", seeded);
+        }
+        if rej_mono_pruned > 0 {
+            // Same cold-stability rule: the key only appears when the
+            // monotone pruner actually skipped rows.
+            collector.counter_add("tuner.rejections.mono_pruned", rej_mono_pruned);
         }
         collector.counter_add("tuner.configs_evaluated", stats.configs_evaluated);
         collector.counter_add("tuner.outer_candidates", stats.outer_candidates as u64);
@@ -445,6 +470,12 @@ impl<'a> Tuner<'a> {
                 .counters
                 .entry("tuner.seeded_frontiers".to_owned())
                 .or_insert(seeded);
+        }
+        if rej_mono_pruned > 0 {
+            telemetry
+                .counters
+                .entry("tuner.rejections.mono_pruned".to_owned())
+                .or_insert(rej_mono_pruned);
         }
         telemetry
             .counters
@@ -538,13 +569,34 @@ impl<'a> Tuner<'a> {
             global_batch,
         };
         debug_assert_eq!(plan.validate(), Ok(()));
+        let stage_points: Vec<StagePoint> = points.iter().map(|p| p.point).collect();
+        // Certify the winner through the independent interval-framework
+        // path; a failure here is a tuner bug, not an input error.
+        let cert = crate::certify_plan(
+            self.model,
+            self.cluster,
+            self.db,
+            self.interference,
+            &plan,
+            &stage_points,
+            predicted,
+            self.budget.unwrap_or(self.cluster.gpu.memory_bytes),
+            self.space.overlap_aware,
+            "tune",
+        );
+        debug_assert!(
+            cert.ok(),
+            "tune-time certificate failed: {:?}",
+            cert.failures
+        );
         Some(TuneOutcome {
             predicted_iteration: predicted,
             predicted_throughput: global_batch as f64 / predicted,
-            stage_points: points.iter().map(|p| p.point).collect(),
+            stage_points,
             stats,
             telemetry,
             plan,
+            certificate: cert.certificate,
         })
     }
 
@@ -798,6 +850,65 @@ mod tests {
                 .counters
                 .contains_key("tuner.seeded_frontiers"),
             "cold runs must not grow new telemetry keys"
+        );
+    }
+
+    /// Monotone pruning must be invisible in the output: the plan, the
+    /// Pareto samples, and the predicted numbers are byte-identical with
+    /// pruning on and off, while the pruned run provably evaluates fewer
+    /// configurations. The workload is chosen so the memory budget is
+    /// tight enough that whole `(tape, layer-count)` groups OOM at low
+    /// in-flight and the proof-licensed floor extrapolates them away at
+    /// higher in-flight.
+    #[test]
+    fn monotone_pruning_is_byte_identical_and_cheaper() {
+        let model = gpt3(ModelSize::B6_7, 2048, AttentionImpl::Flash);
+        let cluster = ClusterSpec::for_gpu_count(Platform::GcpL4, 4);
+        let db = OpCostDb::new(GpuSpec::l4());
+        let intf = InterferenceModel::pcie_defaults();
+        let space = SearchSpace::mist();
+        let run = |prune: bool| {
+            Tuner::new(&model, &cluster, &db, &space, &intf)
+                .with_max_grad_accum(8)
+                .with_budget(3e9)
+                .with_monotone_prune(prune)
+                .tune(16)
+                .expect("6.7B at a 3 GB budget must still be tunable")
+        };
+        let off = run(false);
+        let on = run(true);
+
+        assert_eq!(
+            serde_json::to_string(&off.plan).unwrap(),
+            serde_json::to_string(&on.plan).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&off.stage_points).unwrap(),
+            serde_json::to_string(&on.stage_points).unwrap()
+        );
+        assert_eq!(
+            off.predicted_iteration.to_bits(),
+            on.predicted_iteration.to_bits()
+        );
+        assert_eq!(
+            off.predicted_throughput.to_bits(),
+            on.predicted_throughput.to_bits()
+        );
+        assert!(
+            on.stats.configs_evaluated < off.stats.configs_evaluated,
+            "pruned {} must evaluate strictly fewer configs than unpruned {}",
+            on.stats.configs_evaluated,
+            off.stats.configs_evaluated
+        );
+        assert!(
+            on.telemetry.counter("tuner.rejections.mono_pruned") > 0,
+            "the tight budget must trigger at least one proof-licensed skip"
+        );
+        assert!(
+            !off.telemetry
+                .counters
+                .contains_key("tuner.rejections.mono_pruned"),
+            "unpruned runs must not grow new telemetry keys"
         );
     }
 

@@ -33,7 +33,7 @@ use mist_graph::{
 };
 use mist_hardware::{ClusterSpec, DeviceMesh, OpCostDb};
 use mist_interference::InterferenceModel;
-use mist_irlint::DomainMap;
+use mist_irlint::{monotonicity, root_intervals, DomainMap, SymbolDomain};
 use mist_models::ModelSpec;
 use mist_pool::ThreadPool;
 use mist_schedule::stage_times;
@@ -42,7 +42,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::pareto::{pareto_frontier, sample_frontier};
-use crate::seed::{role_rank, FrontierExport, FrontierRecord, SeedCandidate};
+use crate::seed::{role_rank, BudgetProof, FrontierExport, FrontierRecord, SeedCandidate};
 use crate::space::{CkptMode, SearchSpace};
 use crate::specialize::Specializer;
 
@@ -80,10 +80,10 @@ pub struct FrontierKey {
 type TapeKey = (DeviceMesh, u32, u32, u64, StageRole);
 
 /// Per-sweep rejection tally, accumulated while a candidate's rows are
-/// evaluated and merged across candidates. Plain sums, so merging is
-/// order-independent and the totals are deterministic at any thread
-/// count.
-#[derive(Debug, Clone, Copy, Default)]
+/// evaluated and merged across candidates. Plain sums (and an
+/// order-independent max for `mem_hi`), so merging is order-independent
+/// and the totals are deterministic at any thread count.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct SweepTally {
     /// `(layers, zero, offload)` rows enumerated.
     pub enumerated: u64,
@@ -92,10 +92,31 @@ pub(crate) struct SweepTally {
     pub oom: u64,
     /// Rows rejected because the predicted time was not finite.
     pub nonfinite: u64,
-    /// Whether the memory budget influenced any row: an OOM rejection,
-    /// or (under tuned checkpointing) a nonzero resolved `ckpt`. Drives
-    /// [`FrontierRecord::budget_sensitive`] for warm-start reuse.
+    /// Rows skipped without evaluation because a monotonicity proof
+    /// extrapolated an all-OOM outcome from a smaller in-flight count.
+    pub mono_pruned: u64,
+    /// Whether the memory budget influenced any row: an OOM rejection
+    /// (including mono-pruned rows, which are extrapolated OOMs), or
+    /// (under tuned checkpointing) a nonzero resolved `ckpt`. Drives
+    /// [`BudgetProof::Sensitive`] for warm-start reuse.
     pub budget_bound: bool,
+    /// Interval-proven upper bound on peak memory across all candidates
+    /// of the sweep (`-∞` before any candidate merges in). When finite
+    /// and at most the budget, licenses [`BudgetProof::StaticFit`].
+    pub mem_hi: f64,
+}
+
+impl Default for SweepTally {
+    fn default() -> Self {
+        SweepTally {
+            enumerated: 0,
+            oom: 0,
+            nonfinite: 0,
+            mono_pruned: 0,
+            budget_bound: false,
+            mem_hi: f64::NEG_INFINITY,
+        }
+    }
 }
 
 impl SweepTally {
@@ -103,7 +124,9 @@ impl SweepTally {
         self.enumerated += other.enumerated;
         self.oom += other.oom;
         self.nonfinite += other.nonfinite;
+        self.mono_pruned += other.mono_pruned;
         self.budget_bound |= other.budget_bound;
+        self.mem_hi = self.mem_hi.max(other.mem_hi);
     }
 }
 
@@ -118,6 +141,8 @@ pub(crate) struct RejectionCounters {
     pub nonfinite: mist_telemetry::Counter,
     /// Feasible points dominated away by Pareto reduction + sampling.
     pub dominated: mist_telemetry::Counter,
+    /// Rows skipped by proof-licensed monotone pruning.
+    pub mono_pruned: mist_telemetry::Counter,
 }
 
 impl RejectionCounters {
@@ -126,6 +151,7 @@ impl RejectionCounters {
             oom: mist_telemetry::Counter::new(),
             nonfinite: mist_telemetry::Counter::new(),
             dominated: mist_telemetry::Counter::new(),
+            mono_pruned: mist_telemetry::Counter::new(),
         }
     }
 }
@@ -149,11 +175,33 @@ pub struct IntraStageTuner<'a> {
     // Warm-start seed: frontiers exported by an earlier, provably
     // compatible tune. Consulted on frontier-cache misses only.
     seed: Option<Arc<FrontierExport>>,
-    // Per-key budget sensitivity of the sweep that produced (or seeded)
-    // each cached frontier — exported for warm-start reuse decisions.
-    budget_flags: Mutex<HashMap<FrontierKey, bool>>,
+    // Per-key budget proof of the sweep that produced (or seeded) each
+    // cached frontier — exported for warm-start reuse decisions.
+    budget_proofs: Mutex<HashMap<FrontierKey, BudgetProof>>,
     // Frontier families taken from the seed instead of being swept.
     seeded: mist_telemetry::Counter,
+    // Proof-licensed monotone pruning of provably-OOM sweep rows.
+    mono_prune: bool,
+    // Committed all-OOM floors: (tape key, layer count) → smallest
+    // in-flight count at which every sweep row for that layer count was
+    // out of memory. Sound to consult only where `mono_proofs` holds
+    // (peak memory non-decreasing in `inflight`), and only committed
+    // between in-flight levels by `frontiers_batch` so results never
+    // depend on thread interleaving.
+    oom_floors: Mutex<HashMap<(TapeKey, u32), u32>>,
+    // Floors observed during the current in-flight level, merged into
+    // `oom_floors` by `commit_floors` (min-merge: order-independent).
+    pending_floors: Mutex<Vec<((TapeKey, u32), u32)>>,
+    // Per-tapes monotonicity verdict: whether both memory roots of both
+    // the full stage program and the two-root `mem_pair` are provably
+    // non-decreasing in `inflight` over the sweep domain. Keyed by the
+    // `StageTapes` address — tape Arcs live in `tape_cache` for the
+    // tuner's lifetime, so addresses are stable.
+    mono_proofs: Mutex<HashMap<usize, bool>>,
+    // Interval-proven peak-memory upper bound per (tapes address,
+    // inflight) — the `BudgetProof::StaticFit` derivation, cached
+    // because candidates recur across frontier keys.
+    mem_hi_cache: Mutex<HashMap<(usize, u32), f64>>,
     // Per-sweep program specialization: residual programs per
     // (program, frozen-group) pair plus the sweep-domain guard facts.
     specializer: Specializer,
@@ -198,8 +246,13 @@ impl<'a> IntraStageTuner<'a> {
             tape_cache: Mutex::new(HashMap::new()),
             frontier_cache: Mutex::new(HashMap::new()),
             seed: None,
-            budget_flags: Mutex::new(HashMap::new()),
+            budget_proofs: Mutex::new(HashMap::new()),
             seeded: mist_telemetry::Counter::new(),
+            mono_prune: true,
+            oom_floors: Mutex::new(HashMap::new()),
+            pending_floors: Mutex::new(Vec::new()),
+            mono_proofs: Mutex::new(HashMap::new()),
+            mem_hi_cache: Mutex::new(HashMap::new()),
             specializer: Specializer::new(),
             domains: space.symbol_domains(model),
             configs_evaluated: mist_telemetry::Counter::new(),
@@ -212,6 +265,15 @@ impl<'a> IntraStageTuner<'a> {
     /// Overrides the per-GPU memory budget (tests, what-if studies).
     pub fn with_budget(mut self, budget: f64) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Enables or disables proof-licensed monotone pruning (default on).
+    /// Pruning never changes any frontier — it only skips evaluating
+    /// rows proven out-of-memory — so this toggle exists for A/B
+    /// studies and the byte-identity tests.
+    pub fn with_monotone_prune(mut self, enabled: bool) -> Self {
+        self.mono_prune = enabled;
         self
     }
 
@@ -276,8 +338,126 @@ impl<'a> IntraStageTuner<'a> {
         self.budget
     }
 
+    /// Computes the frontier families of several keys at once, returning
+    /// results in input order.
+    ///
+    /// This is the entry point that activates monotone pruning across
+    /// keys: keys are grouped by in-flight count and the levels are
+    /// processed in ascending order, committing the all-OOM floors each
+    /// level discovered before the next level starts. A later level may
+    /// then skip `(candidate, layer-count)` groups whose rows are proven
+    /// out-of-memory — peak memory is non-decreasing in `inflight`
+    /// (checked per tapes by the monotonicity analysis, never assumed)
+    /// and every row already OOMed at a smaller in-flight count.
+    /// Because floors only ever cover all-OOM groups, the returned
+    /// frontiers are byte-identical to pruning disabled; only the
+    /// number of evaluated rows changes. Level-sequential commits make
+    /// that count deterministic at any thread count.
+    pub fn frontiers_batch(
+        &self,
+        keys: &[FrontierKey],
+        max_layers: u32,
+    ) -> Vec<Arc<Vec<Vec<ParetoPoint>>>> {
+        if !self.mono_prune {
+            return self
+                .pool
+                .map_ordered(keys.to_vec(), |k| self.frontiers(k, max_layers));
+        }
+        // Group by in-flight level, ascending; first-seen order within a
+        // level preserves the caller's submission order.
+        let mut levels: Vec<(u32, Vec<usize>)> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            match levels
+                .iter_mut()
+                .find(|(inflight, _)| *inflight == key.inflight)
+            {
+                Some((_, idxs)) => idxs.push(i),
+                None => levels.push((key.inflight, vec![i])),
+            }
+        }
+        levels.sort_by_key(|&(inflight, _)| inflight);
+        let mut results: Vec<Option<Arc<Vec<Vec<ParetoPoint>>>>> = vec![None; keys.len()];
+        for (_, idxs) in levels {
+            let level_keys: Vec<FrontierKey> = idxs.iter().map(|&i| keys[i]).collect();
+            let outs = self
+                .pool
+                .map_ordered(level_keys, |k| self.frontiers(k, max_layers));
+            for (i, out) in idxs.into_iter().zip(outs) {
+                results[i] = Some(out);
+            }
+            self.commit_floors();
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every key belongs to exactly one level"))
+            .collect()
+    }
+
+    /// Merges the floors the current level recorded into the committed
+    /// memo. Min-merge per `(tape key, layer count)`: commit order never
+    /// affects the surviving floor.
+    fn commit_floors(&self) {
+        let pending: Vec<((TapeKey, u32), u32)> = std::mem::take(&mut *self.pending_floors.lock());
+        let mut floors = self.oom_floors.lock();
+        for (key, inflight) in pending {
+            let entry = floors.entry(key).or_insert(inflight);
+            *entry = (*entry).min(inflight);
+        }
+    }
+
+    /// Whether both memory roots of both stage programs are provably
+    /// non-decreasing in `inflight` over the whole sweep domain — the
+    /// license for extrapolating an all-OOM outcome to larger in-flight
+    /// counts. Derived by the monotonicity analysis, cached per tapes.
+    fn mono_licensed(&self, tapes: &StageTapes) -> bool {
+        let ptr = tapes as *const StageTapes as usize;
+        if let Some(&hit) = self.mono_proofs.lock().get(&ptr) {
+            return hit;
+        }
+        let non_decreasing = |program| {
+            let report = monotonicity(program, &self.domains);
+            report.verdict("mem_fwd", "inflight").non_decreasing()
+                && report.verdict("mem_bwd", "inflight").non_decreasing()
+        };
+        let proven = non_decreasing(&tapes.program) && non_decreasing(&tapes.mem_pair);
+        self.mono_proofs.lock().insert(ptr, proven);
+        proven
+    }
+
+    /// Interval-proven upper bound (bytes) on one candidate's peak
+    /// memory over the whole sweep domain at a fixed in-flight count;
+    /// `+∞` when the analysis cannot bound it. Cached per
+    /// `(tapes, inflight)` — candidates recur across frontier keys.
+    fn static_mem_hi(&self, tapes: &StageTapes, inflight: u32) -> f64 {
+        let ptr = tapes as *const StageTapes as usize;
+        if let Some(&hit) = self.mem_hi_cache.lock().get(&(ptr, inflight)) {
+            return hit;
+        }
+        let domains = self
+            .domains
+            .clone()
+            .declare("inflight", SymbolDomain::point(f64::from(inflight), true));
+        let mem_hi = root_intervals(&tapes.program, &domains)
+            .iter()
+            .filter(|rb| rb.label == "mem_fwd" || rb.label == "mem_bwd")
+            .map(|rb| {
+                if rb.may_nonfinite {
+                    f64::INFINITY
+                } else {
+                    rb.hi
+                }
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+        self.mem_hi_cache.lock().insert((ptr, inflight), mem_hi);
+        mem_hi
+    }
+
     /// Returns `frontiers[l − 1]` = sampled Pareto points for a stage of
     /// `l` layers, for `l ∈ 1..=max_layers`. Results are cached per key.
+    ///
+    /// Single-key entry point: records pending all-OOM floors but never
+    /// commits them — only [`Self::frontiers_batch`] commits, between
+    /// in-flight levels, so pruning stays deterministic.
     pub fn frontiers(&self, key: FrontierKey, max_layers: u32) -> Arc<Vec<Vec<ParetoPoint>>> {
         if let Some(hit) = self.frontier_cache.lock().get(&key) {
             if hit.len() >= max_layers as usize {
@@ -320,12 +500,11 @@ impl<'a> IntraStageTuner<'a> {
             max_layers,
         )?;
         self.seeded.inc();
-        // A record reused under a larger budget was budget-insensitive,
-        // and stays so under the larger budget; at equal budgets the
-        // flag carries over verbatim.
-        self.budget_flags
-            .lock()
-            .insert(key, record.budget_sensitive);
+        // The proof that licensed reuse keeps holding for the reused
+        // family: a `StaticFit` bound is budget-independent, and a
+        // `Witness` reused upward stays a witness under the larger
+        // budget; at equal budgets the proof carries over verbatim.
+        self.budget_proofs.lock().insert(key, record.proof);
         Some(record.per_l[..max_layers as usize].to_vec())
     }
 
@@ -335,7 +514,7 @@ impl<'a> IntraStageTuner<'a> {
     /// enumerate the same candidate list share one record).
     pub fn export_frontiers(&self) -> FrontierExport {
         let cache = self.frontier_cache.lock();
-        let flags = self.budget_flags.lock();
+        let proofs = self.budget_proofs.lock();
         let mut keys: Vec<FrontierKey> = cache.keys().copied().collect();
         keys.sort_by_key(|k| {
             (
@@ -372,10 +551,10 @@ impl<'a> IntraStageTuner<'a> {
                 inflight: key.inflight,
                 candidates,
                 budget: self.budget,
-                // Conservative default: a family with no recorded flag
+                // Conservative default: a family with no recorded proof
                 // (e.g. produced by `evaluate_config`-style paths) is
                 // treated as budget-sensitive.
-                budget_sensitive: flags.get(&key).copied().unwrap_or(true),
+                proof: proofs.get(&key).copied().unwrap_or(BudgetProof::Sensitive),
                 per_l: per_l.as_ref().clone(),
             });
         }
@@ -478,7 +657,10 @@ impl<'a> IntraStageTuner<'a> {
             let tapes = self.tapes(&cand);
             let mut ws = self.take_workspace();
             let mut partial: Vec<Vec<ParetoPoint>> = vec![Vec::new(); max_layers as usize];
-            let mut tally = SweepTally::default();
+            let mut tally = SweepTally {
+                mem_hi: self.static_mem_hi(&tapes, key.inflight),
+                ..SweepTally::default()
+            };
             self.evaluate_candidate(
                 &cand,
                 &tapes,
@@ -502,7 +684,7 @@ impl<'a> IntraStageTuner<'a> {
         let feasible: u64 = per_l.iter().map(|p| p.len() as u64).sum();
         debug_assert_eq!(
             tally.enumerated,
-            tally.oom + tally.nonfinite + feasible,
+            tally.oom + tally.nonfinite + feasible + tally.mono_pruned,
             "every enumerated row must be attributed to exactly one outcome"
         );
 
@@ -522,10 +704,23 @@ impl<'a> IntraStageTuner<'a> {
         let sizes: Vec<u32> = per_l.iter().map(|p| p.len() as u32).collect();
         let survived: u64 = sizes.iter().map(|&s| s as u64).sum();
         let dominated = feasible - survived;
-        self.budget_flags.lock().insert(key, tally.budget_bound);
+        // Strongest proof first: a static interval bound beats the
+        // sweep's own witness because it licenses downward budget reuse
+        // (and, unlike the witness, is derived rather than observed).
+        let proof = if tally.budget_bound {
+            BudgetProof::Sensitive
+        } else if tally.mem_hi.is_finite() && tally.mem_hi <= self.budget {
+            BudgetProof::StaticFit {
+                mem_hi: tally.mem_hi,
+            }
+        } else {
+            BudgetProof::Witness
+        };
+        self.budget_proofs.lock().insert(key, proof);
         self.rejections.oom.add(tally.oom);
         self.rejections.nonfinite.add(tally.nonfinite);
         self.rejections.dominated.add(dominated);
+        self.rejections.mono_pruned.add(tally.mono_pruned);
         self.frontier_size
             .set_max(sizes.iter().copied().max().unwrap_or(0) as f64);
         mist_telemetry::journal_event(|| mist_telemetry::JournalEvent::FrontierSummary {
@@ -541,6 +736,7 @@ impl<'a> IntraStageTuner<'a> {
             feasible,
             survived,
             dominated,
+            mono_pruned: tally.mono_pruned,
             sizes: sizes.clone(),
         });
         per_l
@@ -571,12 +767,68 @@ impl<'a> IntraStageTuner<'a> {
     ) {
         let combos = self.space.offload_combos();
         let zeros = self.space.zero_levels();
+        let rows_per_l = (zeros.len() * combos.len()) as u64;
         let nl = max_layers as usize;
-        self.configs_evaluated
-            .add((nl * zeros.len() * combos.len()) as u64);
-        tally.enumerated += (nl * zeros.len() * combos.len()) as u64;
+        tally.enumerated += nl as u64 * rows_per_l;
 
-        let ls: Vec<f64> = (1..=max_layers).map(f64::from).collect();
+        // Proof-licensed monotone pruning: a layer count whose rows
+        // *all* ran out of memory at a smaller in-flight count is
+        // skipped outright when the monotonicity analysis proved peak
+        // memory non-decreasing in `inflight` — the rows would OOM
+        // again and contribute nothing. The frontier is unchanged by
+        // construction; only the evaluated-row count shrinks.
+        let tape_key: TapeKey = (cand.mesh, cand.dp, cand.tp, cand.micro_batch, cand.role);
+        let licensed = self.mono_prune && rows_per_l > 0 && self.mono_licensed(tapes);
+        let mut retained: Vec<u32> = Vec::with_capacity(nl);
+        let mut skipped: Vec<u32> = Vec::new();
+        let mut skip_floor = 0u32;
+        if licensed {
+            let floors = self.oom_floors.lock();
+            for l in 1..=max_layers {
+                match floors.get(&(tape_key, l)) {
+                    Some(&fl) if fl < key.inflight => {
+                        skipped.push(l);
+                        skip_floor = skip_floor.max(fl);
+                    }
+                    _ => retained.push(l),
+                }
+            }
+        } else {
+            retained.extend(1..=max_layers);
+        }
+        if !skipped.is_empty() {
+            tally.mono_pruned += skipped.len() as u64 * rows_per_l;
+            // Extrapolated OOMs: the budget shaped the sweep outcome.
+            tally.budget_bound = true;
+            mist_telemetry::journal_event(|| mist_telemetry::JournalEvent::MonotonePrune {
+                mesh_nodes: key.mesh.nodes,
+                mesh_gpus: key.mesh.gpus_per_node,
+                role: format!("{:?}", key.role),
+                inflight: key.inflight,
+                floor: skip_floor,
+                layers: skipped.clone(),
+                rows: skipped.len() as u64 * rows_per_l,
+            });
+        }
+        if retained.is_empty() {
+            return;
+        }
+        self.configs_evaluated
+            .add(retained.len() as u64 * rows_per_l);
+
+        let nr = retained.len();
+        let ls: Vec<f64> = retained.iter().map(|&l| f64::from(l)).collect();
+        // Per retained layer count, across all (zero, offload) groups:
+        // whether any row was feasible or non-finite, and whether any
+        // OOM came from the conservative post-evaluation recheck rather
+        // than the analytic `ckpt = ∞` path. An all-OOM layer count
+        // becomes a floor for larger in-flight counts — except under
+        // tuned checkpointing with a recheck OOM, where the resolved
+        // `ckpt` changes with `inflight` and the outcome is not
+        // directly extrapolatable.
+        let mut any_feasible = vec![false; nr];
+        let mut any_nonfinite = vec![false; nr];
+        let mut recheck_oom = vec![false; nr];
         let frozen_ckpt = match self.space.ckpt {
             CkptMode::None => Some(0),
             CkptMode::Full | CkptMode::Tuned => None,
@@ -585,11 +837,11 @@ impl<'a> IntraStageTuner<'a> {
         for &z in zeros {
             for &off in &combos {
                 let frozen = sweep_frozen_symbols(z, off, key.inflight, frozen_ckpt);
-                // One row per layer count. The frozen symbols are bound
-                // too: specialization removes them from the residual
-                // table, but an extra binding is free and keeps the
-                // batch valid for any residual shape.
-                let mut batch = BatchBindings::new(nl);
+                // One row per retained layer count. The frozen symbols
+                // are bound too: specialization removes them from the
+                // residual table, but an extra binding is free and
+                // keeps the batch valid for any residual shape.
+                let mut batch = BatchBindings::new(nr);
                 batch.set_values("L", ls.clone());
                 batch.set_scalar("zero", f64::from(z));
                 batch.set_scalar("wo", off[0]);
@@ -603,7 +855,7 @@ impl<'a> IntraStageTuner<'a> {
                 // only — no need to evaluate all 22 roots for the
                 // feasibility probes).
                 let ckpt_col: Vec<f64> = match self.space.ckpt {
-                    CkptMode::None => vec![0.0; nl],
+                    CkptMode::None => vec![0.0; nr],
                     CkptMode::Full => ls.clone(),
                     CkptMode::Tuned => {
                         let mem =
@@ -621,9 +873,10 @@ impl<'a> IntraStageTuner<'a> {
                         let m0 = mem_at(&|_| 0.0);
                         let m1 = mem_at(&|_| 1.0);
                         let ml = mem_at(&|l| l);
-                        (1..=max_layers)
+                        retained
+                            .iter()
                             .enumerate()
-                            .map(|(i, l)| minimal_ckpt(m0[i], m1[i], ml[i], l, self.budget))
+                            .map(|(i, &l)| minimal_ckpt(m0[i], m1[i], ml[i], l, self.budget))
                             .collect()
                     }
                 };
@@ -645,7 +898,7 @@ impl<'a> IntraStageTuner<'a> {
                 spec.eval_batch(&batch, ws)
                     .expect("specialized stage program");
 
-                for (i, l) in (1..=max_layers).enumerate() {
+                for (i, &l) in retained.iter().enumerate() {
                     let ckpt = ckpt_col[i];
                     if ckpt.is_infinite() {
                         tally.oom += 1;
@@ -656,6 +909,7 @@ impl<'a> IntraStageTuner<'a> {
                     if mem_peak > self.budget {
                         tally.oom += 1;
                         tally.budget_bound = true;
+                        recheck_oom[i] = true;
                         continue; // Conservative re-check of the linear solve.
                     }
                     let (t, d) = if self.space.overlap_aware {
@@ -669,8 +923,10 @@ impl<'a> IntraStageTuner<'a> {
                     };
                     if !t.is_finite() {
                         tally.nonfinite += 1;
+                        any_nonfinite[i] = true;
                         continue;
                     }
+                    any_feasible[i] = true;
                     let config = StageConfigValues {
                         layers: l,
                         ckpt: ckpt as u32,
@@ -689,6 +945,19 @@ impl<'a> IntraStageTuner<'a> {
                         config,
                         point,
                     });
+                }
+            }
+        }
+
+        // Record new all-OOM floors for larger in-flight counts. Only
+        // pending here — `frontiers_batch` commits between levels so
+        // concurrent sweeps of the same level never observe each other.
+        if licensed {
+            let mut pending = self.pending_floors.lock();
+            for (i, &l) in retained.iter().enumerate() {
+                let extrapolatable = self.space.ckpt != CkptMode::Tuned || !recheck_oom[i];
+                if !any_feasible[i] && !any_nonfinite[i] && extrapolatable {
+                    pending.push(((tape_key, l), key.inflight));
                 }
             }
         }

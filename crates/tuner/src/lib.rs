@@ -20,6 +20,7 @@
 //! Aceso, Alpa, uniform heuristics) are expressed as [`SearchSpace`]
 //! presets — the methodology behind the paper's Fig. 13 breakdown.
 
+mod certify;
 mod driver;
 mod inter;
 mod intra;
@@ -28,6 +29,7 @@ mod seed;
 mod space;
 mod specialize;
 
+pub use certify::{certify_plan, CertBound, CertReport, PlanCertificate, StageCert};
 pub use driver::{TuneOutcome, TuneStats, Tuner};
 pub use inter::{
     enumerate_inter_stage, solve_inter_stage, solve_inter_stage_dp, solve_inter_stage_milp,
@@ -35,6 +37,6 @@ pub use inter::{
 };
 pub use intra::{FrontierKey, IntraStageTuner, ParetoPoint};
 pub use pareto::{pareto_frontier, sample_frontier};
-pub use seed::{FrontierExport, FrontierRecord, SeedCandidate};
+pub use seed::{BudgetProof, FrontierExport, FrontierRecord, SeedCandidate};
 pub use space::{CkptMode, SearchSpace};
 pub use specialize::Specializer;

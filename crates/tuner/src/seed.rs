@@ -26,11 +26,24 @@
 //! cluster); the planner service enforces that via its cache
 //! fingerprints.
 //!
-//! Budget deltas are sound one-sidedly: a sweep in which memory never
-//! influenced any row (no OOM rejection and, under tuned
-//! checkpointing, every resolved `ckpt` equal to zero) produces the
-//! same rows under any *larger* budget. [`FrontierRecord::
-//! budget_sensitive`] records whether memory bit anywhere;
+//! Budget deltas are governed by a [`BudgetProof`] attached to each
+//! record, strongest first:
+//!
+//! * [`BudgetProof::StaticFit`] — interval analysis over the sweep
+//!   domain proved every candidate's peak memory is at most `mem_hi`
+//!   bytes, so memory cannot influence any row under *any* budget
+//!   `>= mem_hi`, including budgets **below** the recorded one. This
+//!   is the derived replacement for the old hand-written
+//!   `budget_sensitive` flag: the claim comes out of the
+//!   abstract-interpretation framework, not out of instrumenting the
+//!   sweep.
+//! * [`BudgetProof::Witness`] — the sweep itself observed that memory
+//!   never bit (no OOM rejection and, under tuned checkpointing, every
+//!   resolved `ckpt` equal to zero). Sound *upward* only: a smaller
+//!   budget could have rejected rows the witness run kept.
+//! * [`BudgetProof::Sensitive`] — memory influenced at least one row;
+//!   only the exact recorded budget reproduces the sweep.
+//!
 //! [`FrontierRecord::reusable_under`] applies the rule.
 
 use mist_graph::StageRole;
@@ -38,6 +51,28 @@ use mist_hardware::DeviceMesh;
 use serde::{Deserialize, Serialize};
 
 use crate::intra::ParetoPoint;
+
+/// Why (and under which budgets) a cached frontier record reproduces
+/// the sweep that produced it. See the module docs for the soundness
+/// argument behind each variant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BudgetProof {
+    /// Interval analysis bounded every candidate's peak memory by
+    /// `mem_hi` bytes over the whole sweep domain: the rows are
+    /// budget-independent under any budget `>= mem_hi`, even below
+    /// the recorded one.
+    StaticFit {
+        /// Proven upper bound on peak memory (bytes) across all
+        /// enumerated candidates and sweep points.
+        mem_hi: f64,
+    },
+    /// The sweep observed that memory never influenced a row; sound
+    /// for budgets at or above the recorded one only.
+    Witness,
+    /// Memory influenced at least one row (OOM rejection or a nonzero
+    /// tuned checkpoint count); exact budget match required.
+    Sensitive,
+}
 
 /// One `(dp, tp, micro_batch)` parallelism candidate, as enumerated by
 /// the intra-stage sweep for a given mesh and `G`.
@@ -67,10 +102,8 @@ pub struct FrontierRecord {
     pub candidates: Vec<SeedCandidate>,
     /// Per-GPU memory budget (bytes) the sweep ran under.
     pub budget: f64,
-    /// Whether the budget influenced any row (OOM rejection, or a
-    /// nonzero tuned checkpoint count). When `false`, the record is
-    /// valid under any budget `>= budget`.
-    pub budget_sensitive: bool,
+    /// Proof governing reuse under other budgets.
+    pub proof: BudgetProof,
     /// `per_l[l - 1]` = sampled frontier for a stage of `l` layers.
     pub per_l: Vec<Vec<ParetoPoint>>,
 }
@@ -79,7 +112,12 @@ impl FrontierRecord {
     /// Whether this record's frontiers are exactly what a sweep under
     /// `budget` would produce.
     pub fn reusable_under(&self, budget: f64) -> bool {
-        budget == self.budget || (!self.budget_sensitive && budget >= self.budget)
+        budget == self.budget
+            || match self.proof {
+                BudgetProof::Sensitive => false,
+                BudgetProof::Witness => budget >= self.budget,
+                BudgetProof::StaticFit { mem_hi } => budget >= mem_hi,
+            }
     }
 }
 
@@ -136,7 +174,7 @@ impl FrontierExport {
 mod tests {
     use super::*;
 
-    fn record(budget: f64, sensitive: bool) -> FrontierRecord {
+    fn record(budget: f64, proof: BudgetProof) -> FrontierRecord {
         FrontierRecord {
             mesh: DeviceMesh::new(1, 4),
             role: StageRole::Only,
@@ -147,26 +185,34 @@ mod tests {
                 micro_batch: 4,
             }],
             budget,
-            budget_sensitive: sensitive,
+            proof,
             per_l: vec![Vec::new(); 8],
         }
     }
 
     #[test]
     fn budget_reuse_rules() {
-        let insensitive = record(10.0, false);
-        assert!(insensitive.reusable_under(10.0));
-        assert!(insensitive.reusable_under(20.0), "upward reuse is sound");
-        assert!(!insensitive.reusable_under(5.0), "downward reuse is not");
-        let sensitive = record(10.0, true);
+        let witness = record(10.0, BudgetProof::Witness);
+        assert!(witness.reusable_under(10.0));
+        assert!(witness.reusable_under(20.0), "upward reuse is sound");
+        assert!(!witness.reusable_under(5.0), "downward reuse is not");
+        let sensitive = record(10.0, BudgetProof::Sensitive);
         assert!(sensitive.reusable_under(10.0), "exact budget always ok");
         assert!(!sensitive.reusable_under(20.0));
         assert!(!sensitive.reusable_under(5.0));
+        let proven = record(10.0, BudgetProof::StaticFit { mem_hi: 4.0 });
+        assert!(proven.reusable_under(10.0));
+        assert!(proven.reusable_under(20.0));
+        assert!(
+            proven.reusable_under(5.0),
+            "static fit licenses downward reuse to mem_hi"
+        );
+        assert!(!proven.reusable_under(3.0), "but never below the bound");
     }
 
     #[test]
     fn lookup_requires_exact_candidates_and_length() {
-        let rec = record(10.0, false);
+        let rec = record(10.0, BudgetProof::Witness);
         let export = FrontierExport {
             records: vec![rec.clone()],
         };

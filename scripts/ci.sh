@@ -28,7 +28,14 @@
 #      error-severity diagnostic (unit mismatch, reachable division by
 #      zero, a cost root not provably finite and non-negative) fails
 #      the gate
-#   8. planner daemon: start `mist-cli serve` on a Unix socket and drive
+#   8. plan certificates: `mist-cli verify-plan` tunes every one of the
+#      18 model presets and independently re-derives each chosen plan's
+#      memory and cost roots through the mist-irlint interval engine;
+#      any plan whose recorded numbers escape the derived bounds, whose
+#      peak memory is not proven under budget, or whose re-derived
+#      certificate differs from the one embedded in the outcome fails
+#      the gate
+#   9. planner daemon: start `mist-cli serve` on a Unix socket and drive
 #      the GPT-3 6.7B workload through cold → exact-hit → warm-start
 #      queries; the hit and warm responses must be byte-identical to
 #      the cold one once the run-variable `work` subtree is stripped
@@ -36,14 +43,15 @@
 #      fewer configs, and the daemon must shut down cleanly (the EXIT
 #      trap kills it if the stage fails first); responses and daemon
 #      logs land in artifacts/daemon/
-#   9. history: append this run's fused/specialized evaluation
-#      throughput, the 6.7B tuning time, and the daemon's
-#      cold/hit/warm query timings to results/history.jsonl so perf
-#      trends are visible across commits (append-only; commit the new
-#      line with your change). Runs last, after every gate has passed,
-#      so only green runs are recorded; the candidate entry must also
-#      pass `golden_diff.py --trend` (warm strictly faster than cold)
-#      before it is appended.
+#  10. history: append this run's fused/specialized evaluation
+#      throughput, the 6.7B tuning time and configs-evaluated count,
+#      and the daemon's cold/hit/warm query timings to
+#      results/history.jsonl so perf trends are visible across commits
+#      (append-only; commit the new line with your change). Runs last,
+#      after every gate has passed, so only green runs are recorded;
+#      the candidate entry must also pass `golden_diff.py --trend`
+#      (warm strictly faster than cold, configs_evaluated no higher
+#      than the committed baseline) before it is appended.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -56,21 +64,21 @@ FMT_PACKAGES=(
     mist-symbolic mist-telemetry mist-tuner
 )
 
-echo "==> [1/9] cargo build --release"
+echo "==> [1/10] cargo build --release"
 cargo build --release
 
-echo "==> [2/9] cargo test -q"
+echo "==> [2/10] cargo test -q"
 cargo test -q
 
-echo "==> [3/9] cargo clippy --workspace --all-targets -- -D warnings"
+echo "==> [3/10] cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [4/9] cargo fmt --check (first-party packages)"
+echo "==> [4/10] cargo fmt --check (first-party packages)"
 fmt_args=()
 for p in "${FMT_PACKAGES[@]}"; do fmt_args+=(-p "$p"); done
 cargo fmt --check "${fmt_args[@]}"
 
-echo "==> [5/9] golden drift check"
+echo "==> [5/10] golden drift check"
 # Regenerating a golden overwrites the committed file in results/, so
 # stash the committed versions first and always restore them — the drift
 # check must leave the working tree untouched whether it passes or fails.
@@ -117,7 +125,7 @@ if [ "$drift" -ne 0 ]; then
     exit 1
 fi
 
-echo "==> [6/9] provenance digest drift (mist-cli explain --json)"
+echo "==> [6/10] provenance digest drift (mist-cli explain --json)"
 # Same workload as the committed snapshot; --threads 2 exercises the
 # cross-thread canonical ordering of the digest. Wall-clock lives under
 # the digest's `timing` key, which golden_diff.py strips.
@@ -135,10 +143,15 @@ else
     exit 1
 fi
 
-echo "==> [7/9] IR lint (mist-irlint over every preset's stage programs)"
+echo "==> [7/10] IR lint (mist-irlint over every preset's stage programs)"
 target/release/mist-cli lint-ir
 
-echo "==> [8/9] planner daemon (cold → exact-hit → warm-start)"
+echo "==> [8/10] plan certificates (mist-cli verify-plan, all 18 presets)"
+# Tunes each preset at the stage-8 defaults and re-derives the chosen
+# plan through the interval engine; exits 1 on any certificate failure.
+target/release/mist-cli verify-plan --gpus 4 --batch 8 --max-grad-accum 4
+
+echo "==> [9/10] planner daemon (cold → exact-hit → warm-start)"
 mkdir -p "$tmpdir/daemon" artifacts/daemon
 DAEMON_SOCK="$tmpdir/planner.sock"
 target/release/mist-cli serve --listen "$DAEMON_SOCK" \
@@ -223,7 +236,7 @@ DAEMON_PID=""
 cp "$tmpdir/daemon/daemon_stdout.log" "$tmpdir/daemon/daemon_stderr.log" artifacts/daemon/
 echo "    daemon shut down cleanly; journal in artifacts/daemon/"
 
-echo "==> [9/9] append run metrics to results/history.jsonl"
+echo "==> [10/10] append run metrics to results/history.jsonl"
 # Runs last so only fully green runs are recorded.
 # results/bench_symbolic.json currently holds the freshly regenerated
 # copy from stage 5 (the committed bytes are restored from $tmpdir at
@@ -261,9 +274,11 @@ with open(sys.argv[3], "w") as f:
     f.write(json.dumps(entry) + "\n")
 print("    candidate:", json.dumps(entry))
 PY
-# The candidate entry must pass the warm-vs-cold trend check before it
-# becomes part of the recorded history.
-python3 scripts/golden_diff.py --trend "$tmpdir/history_entry.jsonl"
+# The candidate entry must pass the trend checks (warm strictly faster
+# than cold; configs-evaluated no higher than the committed baseline)
+# before it becomes part of the recorded history.
+python3 scripts/golden_diff.py --trend results/history.jsonl \
+    "$tmpdir/history_entry.jsonl"
 cat "$tmpdir/history_entry.jsonl" >> results/history.jsonl
 echo "    appended to results/history.jsonl"
 

@@ -2,7 +2,7 @@
 """Compare two result JSON files, ignoring wall-clock-only fields.
 
 Usage: golden_diff.py <committed.json> <regenerated.json>
-       golden_diff.py --trend <history-entry.jsonl>
+       golden_diff.py --trend [<committed-history.jsonl>] <candidate.jsonl>
 
 Exits 0 when the files agree on every deterministic field, 1 on drift
 (with a short report of the first differences). Timing fields vary run
@@ -16,11 +16,15 @@ than 10% below the committed baseline fails the check — the committed
 bench_symbolic.json doubles as the performance baseline for the fused
 and specialized evaluation engines.
 
---trend validates the last line of a history JSONL file: the planner
-daemon's warm-start query must be strictly faster than its cold query
-on the GPT-3 6.7B workload — the whole point of warm-starting is doing
-less work, so a warm query that is not faster is a regression even if
-its result is byte-identical.
+--trend validates the last line of a candidate history JSONL file: the
+planner daemon's warm-start query must be strictly faster than its
+cold query on the GPT-3 6.7B workload — the whole point of
+warm-starting is doing less work, so a warm query that is not faster
+is a regression even if its result is byte-identical. When a committed
+history file is also given, the candidate's `tune_gpt3_6_7b_configs`
+must not exceed the last committed entry's: monotonicity-licensed
+pruning and warm-starting only ever shrink the enumerated space, so a
+configs-evaluated count that grows is a pruning regression.
 """
 
 import json
@@ -112,14 +116,19 @@ def check_throughput(committed, regenerated):
     return regressions
 
 
-def check_trend(path):
-    """Warm-start queries must beat cold queries on the last entry."""
+def last_entry(path):
     with open(path) as f:
         lines = [line for line in f if line.strip()]
-    if not lines:
+    return json.loads(lines[-1]) if lines else None
+
+
+def check_trend(path, baseline_path=None):
+    """Warm-start queries must beat cold queries on the last entry, and
+    configs-evaluated must not regress upward vs the committed history."""
+    entry = last_entry(path)
+    if entry is None:
         print(f"trend check: {path} is empty", file=sys.stderr)
         return 1
-    entry = json.loads(lines[-1])
     cold = entry.get("query_cold_secs")
     warm = entry.get("query_warm_secs")
     if cold is None or warm is None:
@@ -141,11 +150,32 @@ def check_trend(path):
         f"    trend ok: warm {warm:.3f}s < cold {cold:.3f}s "
         f"({100.0 * (1.0 - warm / cold):.1f}% faster)"
     )
+    if baseline_path is not None:
+        try:
+            baseline = last_entry(baseline_path)
+        except FileNotFoundError:
+            baseline = None
+        base = baseline.get("tune_gpt3_6_7b_configs") if baseline else None
+        fresh = entry.get("tune_gpt3_6_7b_configs")
+        if base is not None and fresh is not None:
+            if fresh > base:
+                print(
+                    f"trend check: configs_evaluated grew from {base} to "
+                    f"{fresh} — pruning/warm-start coverage regressed",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"    trend ok: configs_evaluated {fresh} <= committed "
+                f"baseline {base}"
+            )
     return 0
 
 
 def main():
     if sys.argv[1] == "--trend":
+        if len(sys.argv) > 3:
+            return check_trend(sys.argv[3], baseline_path=sys.argv[2])
         return check_trend(sys.argv[2])
     committed, regenerated = sys.argv[1], sys.argv[2]
     with open(committed) as f:
