@@ -18,7 +18,7 @@ use mist::{
 };
 use mist_bench::write_json;
 use mist_graph::sweep_frozen_symbols;
-use mist_symbolic::{BatchBindings, EvalWorkspace};
+use mist_symbolic::{BatchBindings, CompiledProgram, CompiledWorkspace, EvalWorkspace};
 use mist_tuner::Specializer;
 use serde::Serialize;
 
@@ -33,11 +33,17 @@ struct BenchResult {
     specialized_ns_per_batch: f64,
     specialized_speedup: f64,
     specialized_rows_per_sec: f64,
+    compiled_ns_per_batch: f64,
+    compiled_speedup: f64,
+    compiled_rows_per_sec: f64,
     program_instructions: usize,
     separate_instructions: usize,
     specialized_instructions: usize,
     program_registers: usize,
     specialized_registers: usize,
+    compiled_steps: usize,
+    compiled_superinstrs: usize,
+    compiled_tier: &'static str,
 }
 
 fn grid_batch(n: usize) -> BatchBindings {
@@ -165,6 +171,27 @@ fn main() {
         std::hint::black_box(ws_spec.output(0)[0]);
     });
 
+    // Compiled backend: superinstruction-fused, direct-threaded kernels
+    // over the same residual. Must be bit-identical to the interpreter
+    // on every root and row before it is worth timing.
+    let compiled = CompiledProgram::compile(&specialized);
+    let mut ws_comp = CompiledWorkspace::new();
+    compiled.eval_batch(&group_batch, &mut ws_comp).unwrap();
+    for root in 0..specialized.num_roots() {
+        assert_eq!(
+            ws_spec.output(root),
+            ws_comp.output(root),
+            "compiled outputs drifted from interpreted at root {root}"
+        );
+    }
+
+    let compiled_ns = min_time_ns(iters, || {
+        compiled
+            .eval_batch(std::hint::black_box(&group_batch), &mut ws_comp)
+            .unwrap();
+        std::hint::black_box(ws_comp.output(0)[0]);
+    });
+
     let separate_instructions = [
         tapes.mem_fwd.len(),
         tapes.mem_bwd.len(),
@@ -202,11 +229,17 @@ fn main() {
         specialized_ns_per_batch: specialized_ns,
         specialized_speedup: fused_ns / specialized_ns,
         specialized_rows_per_sec: n as f64 / (specialized_ns * 1e-9),
+        compiled_ns_per_batch: compiled_ns,
+        compiled_speedup: specialized_ns / compiled_ns,
+        compiled_rows_per_sec: n as f64 / (compiled_ns * 1e-9),
         program_instructions: tapes.program.len(),
         separate_instructions,
         specialized_instructions: specialized.len(),
         program_registers: tapes.program.num_regs(),
         specialized_registers: specialized.num_regs(),
+        compiled_steps: compiled.num_steps(),
+        compiled_superinstrs: compiled.superinstrs(),
+        compiled_tier: compiled.tier_name(),
     };
     println!(
         "separate: {:.2} ms/batch  fused: {:.2} ms/batch  specialized: {:.2} ms/batch",
@@ -229,6 +262,15 @@ fn main() {
         result.specialized_registers,
         result.specialized_rows_per_sec / 1e6,
     );
+    println!(
+        "compiled speedup: {:.1}x over specialized ({} steps, {} superinstrs, \
+         {} tier, {:.1}M rows/sec)",
+        result.compiled_speedup,
+        result.compiled_steps,
+        result.compiled_superinstrs,
+        result.compiled_tier,
+        result.compiled_rows_per_sec / 1e6,
+    );
     write_json("bench_symbolic", &result);
 
     assert!(
@@ -238,5 +280,9 @@ fn main() {
     assert!(
         result.specialized_speedup >= 1.0,
         "specialized evaluation must not be slower than the fused program"
+    );
+    assert!(
+        result.compiled_speedup >= 1.0,
+        "compiled evaluation must not be slower than the interpreted residual"
     );
 }

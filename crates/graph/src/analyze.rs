@@ -37,7 +37,8 @@ use mist_hardware::{
 use mist_irlint::{DomainMap, SymbolDomain, Unit, UnitRegistry};
 use mist_models::ModelSpec;
 use mist_symbolic::{
-    BatchBindings, CmpOp, Context, EvalWorkspace, FrozenSymbols, Program, SymbolicError, Tape,
+    BatchBindings, CmpOp, CompiledWorkspace, Context, EvalWorkspace, FrozenSymbols, Program,
+    SymbolicError, Tape,
 };
 use serde::{Deserialize, Serialize};
 
@@ -795,7 +796,23 @@ impl StageTapes {
     /// Panics if `ws` was not filled by [`StageTapes::eval_batch_fused`]
     /// or `i` is out of range.
     pub fn point_at(&self, ws: &EvalWorkspace, i: usize) -> StagePoint {
-        let s = |root: usize| ws.output(root)[i];
+        Self::assemble_point(&|root| ws.output(root)[i])
+    }
+
+    /// Assembles row `i` of a compiled-backend batch evaluation into a
+    /// [`StagePoint`]. The compiled backend is bit-identical to the
+    /// interpreter, so the assembled point is byte-for-byte the one
+    /// [`StageTapes::point_at`] would produce for the same row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws` was not filled by evaluating the fused stage
+    /// program's compiled form, or `i` is out of range.
+    pub fn point_at_compiled(&self, ws: &CompiledWorkspace, i: usize) -> StagePoint {
+        Self::assemble_point(&|root| ws.output(root)[i])
+    }
+
+    fn assemble_point(s: &dyn Fn(usize) -> f64) -> StagePoint {
         let quad = |base: usize| [s(base), s(base + 1), s(base + 2), s(base + 3)];
         StagePoint {
             mem_fwd: s(stage_roots::MEM_FWD),

@@ -72,7 +72,7 @@ impl AbstractValue {
         self.lo <= v && v <= self.hi
     }
 
-    fn bounded(lo: f64, hi: f64, integral: bool, child_mnf: bool) -> Self {
+    pub(crate) fn bounded(lo: f64, hi: f64, integral: bool, child_mnf: bool) -> Self {
         AbstractValue {
             lo,
             hi,
@@ -176,6 +176,43 @@ impl TransferFunction for IntervalAnalysis<'_> {
                     None => av.join(&bv),
                 }
             }
+            // Superinstructions transfer exactly like the op pairs they
+            // fuse (see `mist_symbolic::fuse_superinstructions`).
+            Instr::MulAdd(a, b, c) => {
+                let m = mul_pair(values[a as usize], values[b as usize]);
+                let cv = values[c as usize];
+                AbstractValue::bounded(
+                    m.lo + cv.lo,
+                    m.hi + cv.hi,
+                    m.integral && cv.integral,
+                    m.may_nonfinite || cv.may_nonfinite,
+                )
+            }
+            Instr::SelectCmp(op, a, b, t, e) => {
+                let cv = transfer_cmp(
+                    self.program,
+                    op,
+                    a,
+                    b,
+                    values[a as usize],
+                    values[b as usize],
+                    &self.le,
+                );
+                let (tv, ev) = (values[t as usize], values[e as usize]);
+                match guard_constant(cv) {
+                    Some(true) => tv,
+                    Some(false) => ev,
+                    None => tv.join(&ev),
+                }
+            }
+            Instr::DivFloor(a, b) => {
+                let q = transfer_div(values[a as usize], values[b as usize]);
+                AbstractValue::bounded(q.lo.floor(), q.hi.floor(), true, q.may_nonfinite)
+            }
+            Instr::DivCeil(a, b) => {
+                let q = transfer_div(values[a as usize], values[b as usize]);
+                AbstractValue::bounded(q.lo.ceil(), q.hi.ceil(), true, q.may_nonfinite)
+            }
         }
     }
 }
@@ -241,7 +278,7 @@ pub(crate) fn analyze(program: &Program, domains: &DomainMap) -> IntervalOutcome
     // already propagated refined quotient bounds and nothing is
     // reported.
     for (slot, instr) in program.instrs().enumerate() {
-        if let Instr::Div(a, b) = instr {
+        if let Instr::Div(a, b) | Instr::DivFloor(a, b) | Instr::DivCeil(a, b) = instr {
             let (num, den) = (values[a as usize], values[b as usize]);
             if den.lo <= 0.0 && den.hi >= 0.0 {
                 let nan_note = if num.lo <= 0.0 && num.hi >= 0.0 {

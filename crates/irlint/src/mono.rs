@@ -253,8 +253,80 @@ impl MonoAnalysis<'_> {
         acc
     }
 
+    /// The quotient transfer — shared between `Div` and the fused
+    /// `DivFloor`/`DivCeil` superinstructions.
+    fn div_fact(&self, a: u32, b: u32, env: &FactEnv<'_, MonoFact>) -> MonoFact {
+        let (fa, fb) = (env.fact(a), env.fact(b));
+        let (va, vb) = (self.values[a as usize], self.values[b as usize]);
+        let sign_definite = !vb.may_nonfinite && (vb.lo > 0.0 || vb.hi < 0.0);
+        let per_sym = (0..self.nsyms)
+            .map(|s| {
+                let (ma, mb) = (Self::at(fa, s), Self::at(fb, s));
+                if ma == Mono::Constant && mb == Mono::Constant {
+                    return Mono::Constant;
+                }
+                if !sign_definite {
+                    return Mono::Unknown;
+                }
+                // x → 1/x is antitone on each sign-definite
+                // half-line, so the quotient is the product of
+                // the numerator with a flipped-direction
+                // reciprocal whose interval is [1/hi, 1/lo].
+                let recip = AbstractValue {
+                    lo: 1.0 / vb.hi,
+                    hi: 1.0 / vb.lo,
+                    integral: false,
+                    may_nonfinite: false,
+                };
+                mul_mono(ma, va, mb.flip(), recip)
+            })
+            .collect();
+        MonoFact { per_sym }
+    }
+
+    /// The comparison-indicator transfer — shared between `Cmp` and
+    /// the guard of the fused `SelectCmp` superinstruction.
+    fn cmp_fact(&self, op: CmpOp, a: u32, b: u32, env: &FactEnv<'_, MonoFact>) -> MonoFact {
+        let (fa, fb) = (env.fact(a), env.fact(b));
+        let (va, vb) = (self.values[a as usize], self.values[b as usize]);
+        let ordered = !va.may_nonfinite && !vb.may_nonfinite;
+        let per_sym = (0..self.nsyms)
+            .map(|s| {
+                let (ma, mb) = (Self::at(fa, s), Self::at(fb, s));
+                if ma == Mono::Constant && mb == Mono::Constant {
+                    return Mono::Constant;
+                }
+                if !ordered {
+                    return Mono::Unknown;
+                }
+                match op {
+                    // [a <= b] moves with b - a: it needs b
+                    // non-decreasing and a non-increasing (or
+                    // the mirror image) to be directional.
+                    CmpOp::Le | CmpOp::Lt => ma.flip().join(mb),
+                    CmpOp::Ge | CmpOp::Gt => mb.flip().join(ma),
+                    CmpOp::Eq => Mono::Unknown,
+                }
+            })
+            .collect();
+        MonoFact { per_sym }
+    }
+
     fn transfer_select(&self, c: u32, a: u32, b: u32, env: &FactEnv<'_, MonoFact>) -> MonoFact {
-        let vc = self.values[c as usize];
+        self.select_with_guard(self.values[c as usize], env.fact(c), a, b, env)
+    }
+
+    /// Select transfer with the guard's interval and fact supplied by
+    /// the caller — shared between `Select` (whose guard is a slot)
+    /// and `SelectCmp` (whose guard is the fused comparison).
+    fn select_with_guard(
+        &self,
+        vc: AbstractValue,
+        fc: &MonoFact,
+        a: u32,
+        b: u32,
+        env: &FactEnv<'_, MonoFact>,
+    ) -> MonoFact {
         // A guard the interval analysis proved constant pins the
         // program to one branch over the whole domain; the fact is
         // that branch's fact, exactly.
@@ -266,7 +338,7 @@ impl MonoAnalysis<'_> {
             }
             return f.clone();
         }
-        let (fc, fa, fb) = (env.fact(c), env.fact(a), env.fact(b));
+        let (fa, fb) = (env.fact(a), env.fact(b));
         let (va, vb) = (self.values[a as usize], self.values[b as usize]);
         let per_sym = (0..self.nsyms)
             .map(|s| {
@@ -341,34 +413,7 @@ impl TransferFunction for MonoAnalysis<'_> {
                 }
                 acc
             }
-            Instr::Div(a, b) => {
-                let (fa, fb) = (env.fact(a), env.fact(b));
-                let (va, vb) = (self.values[a as usize], self.values[b as usize]);
-                let sign_definite = !vb.may_nonfinite && (vb.lo > 0.0 || vb.hi < 0.0);
-                let per_sym = (0..self.nsyms)
-                    .map(|s| {
-                        let (ma, mb) = (Self::at(fa, s), Self::at(fb, s));
-                        if ma == Mono::Constant && mb == Mono::Constant {
-                            return Mono::Constant;
-                        }
-                        if !sign_definite {
-                            return Mono::Unknown;
-                        }
-                        // x → 1/x is antitone on each sign-definite
-                        // half-line, so the quotient is the product of
-                        // the numerator with a flipped-direction
-                        // reciprocal whose interval is [1/hi, 1/lo].
-                        let recip = AbstractValue {
-                            lo: 1.0 / vb.hi,
-                            hi: 1.0 / vb.lo,
-                            integral: false,
-                            may_nonfinite: false,
-                        };
-                        mul_mono(ma, va, mb.flip(), recip)
-                    })
-                    .collect();
-                MonoFact { per_sym }
-            }
+            Instr::Div(a, b) => self.div_fact(a, b, env),
             Instr::Floor(a) | Instr::Ceil(a) => {
                 let f = env.fact(a);
                 if f.per_sym.is_empty() {
@@ -377,33 +422,67 @@ impl TransferFunction for MonoAnalysis<'_> {
                     f.clone()
                 }
             }
-            Instr::Cmp(op, a, b) => {
-                let (fa, fb) = (env.fact(a), env.fact(b));
-                let (va, vb) = (self.values[a as usize], self.values[b as usize]);
-                let ordered = !va.may_nonfinite && !vb.may_nonfinite;
-                let per_sym = (0..self.nsyms)
-                    .map(|s| {
-                        let (ma, mb) = (Self::at(fa, s), Self::at(fb, s));
-                        if ma == Mono::Constant && mb == Mono::Constant {
-                            return Mono::Constant;
-                        }
-                        if !ordered {
-                            return Mono::Unknown;
-                        }
-                        match op {
-                            // [a <= b] moves with b - a: it needs b
-                            // non-decreasing and a non-increasing (or
-                            // the mirror image) to be directional.
-                            CmpOp::Le | CmpOp::Lt => ma.flip().join(mb),
-                            CmpOp::Ge | CmpOp::Gt => mb.flip().join(ma),
-                            CmpOp::Eq => Mono::Unknown,
-                        }
-                    })
-                    .collect();
-                MonoFact { per_sym }
-            }
+            Instr::Cmp(op, a, b) => self.cmp_fact(op, a, b, env),
             Instr::Select(c, a, b) => self.transfer_select(c, a, b, env),
+            // Superinstructions transfer exactly like the op pairs
+            // they fuse (see `mist_symbolic::fuse_superinstructions`):
+            // the fused intermediate's fact is recomputed inline.
+            Instr::MulAdd(a, b, c) => {
+                let mut acc = self.constant_fact();
+                let mut acc_v = AbstractValue::constant(1.0);
+                for &op in &[a, b] {
+                    let f = env.fact(op);
+                    let v = self.values[op as usize];
+                    for (s, m) in acc.per_sym.iter_mut().enumerate() {
+                        *m = mul_mono(*m, acc_v, Self::at(f, s), v);
+                    }
+                    acc_v = mul_pair(acc_v, v);
+                }
+                let fc = env.fact(c);
+                for (s, m) in acc.per_sym.iter_mut().enumerate() {
+                    *m = m.join(Self::at(fc, s));
+                }
+                acc
+            }
+            Instr::SelectCmp(op, a, b, t, e) => {
+                let fc = self.cmp_fact(op, a, b, env);
+                let vc = cmp_interval(op, self.values[a as usize], self.values[b as usize]);
+                self.select_with_guard(vc, &fc, t, e, env)
+            }
+            // Floor/ceil are non-decreasing, so they pass the
+            // quotient's verdict through unchanged.
+            Instr::DivFloor(a, b) | Instr::DivCeil(a, b) => self.div_fact(a, b, env),
         }
+    }
+}
+
+/// The interval of a comparison indicator derived from its operand
+/// intervals alone: `{0, 1}` unless the intervals decide the outcome.
+/// Weaker than the interval analysis' own `Cmp` transfer (which may
+/// also use relational facts), but sound — an undecided guard only
+/// costs precision, never direction.
+fn cmp_interval(op: CmpOp, va: AbstractValue, vb: AbstractValue) -> AbstractValue {
+    let decided = if va.may_nonfinite || vb.may_nonfinite {
+        None
+    } else {
+        match op {
+            CmpOp::Le if va.hi <= vb.lo => Some(true),
+            CmpOp::Le if va.lo > vb.hi => Some(false),
+            CmpOp::Lt if va.hi < vb.lo => Some(true),
+            CmpOp::Lt if va.lo >= vb.hi => Some(false),
+            CmpOp::Ge if va.lo >= vb.hi => Some(true),
+            CmpOp::Ge if va.hi < vb.lo => Some(false),
+            CmpOp::Gt if va.lo > vb.hi => Some(true),
+            CmpOp::Gt if va.hi <= vb.lo => Some(false),
+            CmpOp::Eq if va.lo == va.hi && vb.lo == vb.hi && va.lo == vb.lo => Some(true),
+            CmpOp::Eq if va.hi < vb.lo || va.lo > vb.hi => Some(false),
+            _ => None,
+        }
+    };
+    match decided {
+        Some(true) => AbstractValue::constant(1.0),
+        Some(false) => AbstractValue::constant(0.0),
+        None => AbstractValue::bounded(0.0, 1.0, true, false),
     }
 }
 

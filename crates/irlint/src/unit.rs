@@ -219,6 +219,16 @@ impl TransferFunction for UnitAnalysis {
             Instr::Floor(a) | Instr::Ceil(a) => units[a as usize],
             Instr::Cmp(..) => Unit::DIMENSIONLESS,
             Instr::Select(_, a, b) => units[a as usize].join(&units[b as usize]),
+            // Superinstructions infer exactly like the op pairs they fuse
+            // (see `mist_symbolic::fuse_superinstructions`).
+            Instr::MulAdd(a, b, c) => {
+                let m = units[a as usize].multiply(units[b as usize]);
+                m.unify(units[c as usize]).unwrap_or(Unit::Any)
+            }
+            Instr::SelectCmp(_, _, _, t, e) => units[t as usize].join(&units[e as usize]),
+            Instr::DivFloor(a, b) | Instr::DivCeil(a, b) => {
+                units[a as usize].divide(units[b as usize])
+            }
         }
     }
 }
@@ -326,6 +336,46 @@ pub(crate) fn analyze(
                         slot: Some(slot as u32),
                         root: None,
                         message: format!("select branches have units `{ua}` and `{ub}`"),
+                    });
+                }
+            }
+            // Superinstructions report the same mismatches the fused op
+            // pairs would have reported.
+            Instr::MulAdd(a, b, c) => {
+                let m = units[a as usize].multiply(units[b as usize]);
+                let uc = units[c as usize];
+                if m.unify(uc).is_none() {
+                    diags.push(Diagnostic {
+                        severity: Severity::Error,
+                        analysis: Analysis::Units,
+                        code: "unit-mismatch",
+                        slot: Some(slot as u32),
+                        root: None,
+                        message: format!("add mixes `{m}` and `{uc}`"),
+                    });
+                }
+            }
+            Instr::SelectCmp(_, a, b, t, e) => {
+                let (ua, ub) = (units[a as usize], units[b as usize]);
+                if ua.unify(ub).is_none() {
+                    diags.push(Diagnostic {
+                        severity: Severity::Error,
+                        analysis: Analysis::Units,
+                        code: "unit-mismatch",
+                        slot: Some(slot as u32),
+                        root: None,
+                        message: format!("cmp compares `{ua}` with `{ub}`"),
+                    });
+                }
+                let (ut, ue) = (units[t as usize], units[e as usize]);
+                if ut.unify(ue).is_none() {
+                    diags.push(Diagnostic {
+                        severity: Severity::Error,
+                        analysis: Analysis::Units,
+                        code: "unit-mismatch",
+                        slot: Some(slot as u32),
+                        root: None,
+                        message: format!("select branches have units `{ut}` and `{ue}`"),
                     });
                 }
             }

@@ -52,16 +52,20 @@
 
 #![warn(missing_docs)]
 
+mod compiled;
 mod context;
 mod display;
 mod error;
+mod fuse;
 mod node;
 mod passes;
 mod program;
 mod tape;
 
+pub use compiled::{CompiledProgram, CompiledWorkspace};
 pub use context::{Context, Expr};
 pub use error::SymbolicError;
+pub use fuse::fuse_superinstructions;
 pub use node::{CmpOp, ExprId, Node, SymbolId};
 pub use passes::{
     specialize, specialize_with_stats, FrozenSymbols, GuardFact, SlotRange, SpecializeStats,

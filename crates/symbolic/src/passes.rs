@@ -316,6 +316,10 @@ enum Key {
     Ceil(u32),
     Cmp(CmpOp, u32, u32),
     Select(u32, u32, u32),
+    MulAdd(u32, u32, u32),
+    SelectCmp(CmpOp, u32, u32, u32, u32),
+    DivFloor(u32, u32),
+    DivCeil(u32, u32),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -401,6 +405,10 @@ impl Emitter {
             Key::Ceil(a) => Op::Ceil(*a),
             Key::Cmp(c, a, b) => Op::Cmp(*c, *a, *b),
             Key::Select(c, a, b) => Op::Select(*c, *a, *b),
+            Key::MulAdd(a, b, c) => Op::MulAdd(*a, *b, *c),
+            Key::SelectCmp(o, a, b, t, e) => Op::SelectCmp(*o, *a, *b, *t, *e),
+            Key::DivFloor(a, b) => Op::DivFloor(*a, *b),
+            Key::DivCeil(a, b) => Op::DivCeil(*a, *b),
         };
         let slot = self.ops.len() as u32;
         self.ops.push(op);
@@ -702,6 +710,49 @@ pub fn specialize_with_stats(
                     Val::Slot(em.emit(Key::Select(sc, sa, sb)))
                 }
             }
+            // Superinstructions (peephole-fused programs re-entering the
+            // pipeline): constant-fold with the exact fused semantics
+            // when all operands are known, otherwise re-emit as-is.
+            Op::MulAdd(a, b, c) => match (vals[a as usize], vals[b as usize], vals[c as usize]) {
+                (Val::Known(x), Val::Known(y), Val::Known(z)) => Val::Known(x * y + z),
+                (va, vb, vc) => {
+                    let (sa, sb, sc) = (em.resolve(va), em.resolve(vb), em.resolve(vc));
+                    Val::Slot(em.emit(Key::MulAdd(sa, sb, sc)))
+                }
+            },
+            Op::SelectCmp(cmp, a, b, t, e) => {
+                let (va, vb) = (vals[a as usize], vals[b as usize]);
+                let (vt, ve) = (vals[t as usize], vals[e as usize]);
+                if let (Val::Known(x), Val::Known(y)) = (va, vb) {
+                    stats.deleted_selects += 1;
+                    if cmp.apply(x, y) != 0.0 {
+                        vt
+                    } else {
+                        ve
+                    }
+                } else if vt.same_as(ve) {
+                    stats.deleted_selects += 1;
+                    vt
+                } else {
+                    let (sa, sb) = (em.resolve(va), em.resolve(vb));
+                    let (st, se) = (em.resolve(vt), em.resolve(ve));
+                    Val::Slot(em.emit(Key::SelectCmp(cmp, sa, sb, st, se)))
+                }
+            }
+            Op::DivFloor(a, b) => match (vals[a as usize], vals[b as usize]) {
+                (Val::Known(x), Val::Known(y)) => Val::Known((x / y).floor()),
+                (va, vb) => {
+                    let (sa, sb) = (em.resolve(va), em.resolve(vb));
+                    Val::Slot(em.emit(Key::DivFloor(sa, sb)))
+                }
+            },
+            Op::DivCeil(a, b) => match (vals[a as usize], vals[b as usize]) {
+                (Val::Known(x), Val::Known(y)) => Val::Known((x / y).ceil()),
+                (va, vb) => {
+                    let (sa, sb) = (em.resolve(va), em.resolve(vb));
+                    Val::Slot(em.emit(Key::DivCeil(sa, sb)))
+                }
+            },
         };
         vals.push(val);
     }
@@ -774,6 +825,21 @@ fn sweep_dead_slots(em: Emitter, roots: &[u32]) -> (Vec<Op>, Vec<u32>, Vec<u32>,
             f(a);
             f(b);
         }
+        Op::MulAdd(a, b, c) => {
+            f(a);
+            f(b);
+            f(c);
+        }
+        Op::SelectCmp(_, a, b, t, e) => {
+            f(a);
+            f(b);
+            f(t);
+            f(e);
+        }
+        Op::DivFloor(a, b) | Op::DivCeil(a, b) => {
+            f(a);
+            f(b);
+        }
     };
     for slot in (0..old_ops.len()).rev() {
         if live[slot] {
@@ -834,6 +900,18 @@ fn sweep_dead_slots(em: Emitter, roots: &[u32]) -> (Vec<Op>, Vec<u32>, Vec<u32>,
             Op::Select(c, a, b) => {
                 Op::Select(remap[c as usize], remap[a as usize], remap[b as usize])
             }
+            Op::MulAdd(a, b, c) => {
+                Op::MulAdd(remap[a as usize], remap[b as usize], remap[c as usize])
+            }
+            Op::SelectCmp(o, a, b, t, e) => Op::SelectCmp(
+                o,
+                remap[a as usize],
+                remap[b as usize],
+                remap[t as usize],
+                remap[e as usize],
+            ),
+            Op::DivFloor(a, b) => Op::DivFloor(remap[a as usize], remap[b as usize]),
+            Op::DivCeil(a, b) => Op::DivCeil(remap[a as usize], remap[b as usize]),
         };
         remap[slot] = ops.len() as u32;
         ops.push(new_op);

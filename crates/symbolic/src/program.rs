@@ -192,6 +192,18 @@ pub(crate) enum Op {
     Ceil(u32),
     Cmp(CmpOp, u32, u32),
     Select(u32, u32, u32),
+    /// Fused `(a * b) + c` with *two* roundings — the peephole pass
+    /// never emits hardware FMA, so results stay bit-identical to the
+    /// unfused `Mul` + `Add` pair.
+    MulAdd(u32, u32, u32),
+    /// Fused `if cmp(a, b) { t } else { f }` (guarded select). Exact
+    /// because `Cmp` only ever produces `1.0`/`0.0` and `Select` tests
+    /// `!= 0.0`.
+    SelectCmp(CmpOp, u32, u32, u32, u32),
+    /// Fused `(a / b).floor()` (integer division pattern).
+    DivFloor(u32, u32),
+    /// Fused `(a / b).ceil()` (rounding-up division pattern).
+    DivCeil(u32, u32),
 }
 
 /// A read-only view of one SSA instruction of a [`Program`], for
@@ -225,6 +237,16 @@ pub enum Instr<'p> {
     Cmp(CmpOp, u32, u32),
     /// `if cond != 0 { then } else { other }` as `Select(cond, then, other)`.
     Select(u32, u32, u32),
+    /// Fused `(a * b) + c` as `MulAdd(a, b, c)`, rounded twice exactly
+    /// like the separate `Mul` and `Add` (never a hardware FMA).
+    MulAdd(u32, u32, u32),
+    /// Fused `if cmp(a, b) { t } else { f }` as
+    /// `SelectCmp(op, a, b, t, f)`.
+    SelectCmp(CmpOp, u32, u32, u32, u32),
+    /// Fused `(a / b).floor()` as `DivFloor(a, b)`.
+    DivFloor(u32, u32),
+    /// Fused `(a / b).ceil()` as `DivCeil(a, b)`.
+    DivCeil(u32, u32),
 }
 
 impl Instr<'_> {
@@ -242,6 +264,21 @@ impl Instr<'_> {
             Instr::Floor(a) | Instr::Ceil(a) => f(a),
             Instr::Select(c, a, b) => {
                 f(c);
+                f(a);
+                f(b);
+            }
+            Instr::MulAdd(a, b, c) => {
+                f(a);
+                f(b);
+                f(c);
+            }
+            Instr::SelectCmp(_, a, b, t, e) => {
+                f(a);
+                f(b);
+                f(t);
+                f(e);
+            }
+            Instr::DivFloor(a, b) | Instr::DivCeil(a, b) => {
                 f(a);
                 f(b);
             }
@@ -443,6 +480,10 @@ impl Program {
             Op::Ceil(a) => Instr::Ceil(a),
             Op::Cmp(op, a, b) => Instr::Cmp(op, a, b),
             Op::Select(c, a, b) => Instr::Select(c, a, b),
+            Op::MulAdd(a, b, c) => Instr::MulAdd(a, b, c),
+            Op::SelectCmp(op, a, b, t, e) => Instr::SelectCmp(op, a, b, t, e),
+            Op::DivFloor(a, b) => Instr::DivFloor(a, b),
+            Op::DivCeil(a, b) => Instr::DivCeil(a, b),
         }
     }
 
@@ -603,6 +644,16 @@ impl Program {
                     slots[b as usize]
                 }
             }
+            Op::MulAdd(a, b, c) => slots[a as usize] * slots[b as usize] + slots[c as usize],
+            Op::SelectCmp(op, a, b, t, e) => {
+                if op.apply(slots[a as usize], slots[b as usize]) != 0.0 {
+                    slots[t as usize]
+                } else {
+                    slots[e as usize]
+                }
+            }
+            Op::DivFloor(a, b) => (slots[a as usize] / slots[b as usize]).floor(),
+            Op::DivCeil(a, b) => (slots[a as usize] / slots[b as usize]).ceil(),
         }
     }
 
@@ -678,6 +729,35 @@ impl Program {
                     }
                 }
                 Op::Select(c, a, b) => select_kernel(&mut buf, view(c), view(a), view(b)),
+                // Superinstructions only appear in peephole-fused
+                // programs, which the compiled backend executes; these
+                // interpreter arms exist for the bit-identity tests and
+                // keep the same two-pass rounding as the unfused pair.
+                Op::MulAdd(a, b, c) => {
+                    bin_kernel(&mut buf, view(a), view(b), |x, y| x * y);
+                    match view(c) {
+                        ArgView::Uniform(v) => fold_uniform(&mut buf, v, |x, y| x + y),
+                        ArgView::Col(col) => fold_col(&mut buf, col, |x, y| x + y),
+                    }
+                }
+                Op::SelectCmp(cmp, a, b, t, e) => {
+                    let (va, vb, vt, ve) = (view(a), view(b), view(t), view(e));
+                    let at = |v: ArgView<'_>, i: usize| match v {
+                        ArgView::Uniform(x) => x,
+                        ArgView::Col(c) => c[i],
+                    };
+                    for (i, x) in buf.iter_mut().enumerate() {
+                        *x = if cmp.apply(at(va, i), at(vb, i)) != 0.0 {
+                            at(vt, i)
+                        } else {
+                            at(ve, i)
+                        };
+                    }
+                }
+                Op::DivFloor(a, b) => {
+                    bin_kernel(&mut buf, view(a), view(b), |x, y| (x / y).floor())
+                }
+                Op::DivCeil(a, b) => bin_kernel(&mut buf, view(a), view(b), |x, y| (x / y).ceil()),
             }
         }
         ws.regs[dst] = buf;
@@ -723,6 +803,16 @@ impl Program {
                     u(b)
                 }
             }
+            Op::MulAdd(a, b, c) => Some(u(a)? * u(b)? + u(c)?),
+            Op::SelectCmp(cmp, a, b, t, e) => {
+                if cmp.apply(u(a)?, u(b)?) != 0.0 {
+                    u(t)
+                } else {
+                    u(e)
+                }
+            }
+            Op::DivFloor(a, b) => Some((u(a)? / u(b)?).floor()),
+            Op::DivCeil(a, b) => Some((u(a)? / u(b)?).ceil()),
         }
     }
 }
@@ -764,6 +854,21 @@ pub(crate) fn allocate_registers(ops: &[Op], operands: &[u32], roots: &[u32]) ->
         Op::Floor(a) | Op::Ceil(a) => f(a),
         Op::Select(c, a, b) => {
             f(c);
+            f(a);
+            f(b);
+        }
+        Op::MulAdd(a, b, c) => {
+            f(a);
+            f(b);
+            f(c);
+        }
+        Op::SelectCmp(_, a, b, t, e) => {
+            f(a);
+            f(b);
+            f(t);
+            f(e);
+        }
+        Op::DivFloor(a, b) | Op::DivCeil(a, b) => {
             f(a);
             f(b);
         }

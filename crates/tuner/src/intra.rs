@@ -37,7 +37,7 @@ use mist_irlint::{monotonicity, root_intervals, DomainMap, SymbolDomain};
 use mist_models::ModelSpec;
 use mist_pool::ThreadPool;
 use mist_schedule::stage_times;
-use mist_symbolic::{BatchBindings, EvalWorkspace};
+use mist_symbolic::{BatchBindings, CompiledWorkspace, EvalWorkspace};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -217,10 +217,17 @@ pub struct IntraStageTuner<'a> {
     rejections: RejectionCounters,
     // High-water sampled frontier size across all (key, layer) families.
     frontier_size: mist_telemetry::Gauge,
+    // Direct-threaded evaluation through the compiled backend, with the
+    // memory-first filtered sweep (default on). Bit-identical to the
+    // interpreter, so this toggle exists for A/B studies and the
+    // byte-identity tests — mirroring `mono_prune`.
+    compiled_eval: bool,
     // Reused across batch evaluations: register and output columns are
     // allocated once per concurrent evaluator and recycled for the whole
     // search. Tasks check a workspace out, use it, and return it.
     workspaces: Mutex<Vec<EvalWorkspace>>,
+    // Same pooling for the compiled backend's block-register scratch.
+    compiled_workspaces: Mutex<Vec<CompiledWorkspace>>,
 }
 
 impl<'a> IntraStageTuner<'a> {
@@ -258,7 +265,9 @@ impl<'a> IntraStageTuner<'a> {
             configs_evaluated: mist_telemetry::Counter::new(),
             rejections: RejectionCounters::new(),
             frontier_size: mist_telemetry::Gauge::new(),
+            compiled_eval: true,
             workspaces: Mutex::new(Vec::new()),
+            compiled_workspaces: Mutex::new(Vec::new()),
         }
     }
 
@@ -274,6 +283,17 @@ impl<'a> IntraStageTuner<'a> {
     /// studies and the byte-identity tests.
     pub fn with_monotone_prune(mut self, enabled: bool) -> Self {
         self.mono_prune = enabled;
+        self
+    }
+
+    /// Enables or disables the compiled evaluation backend (default on):
+    /// superinstruction-fused, direct-threaded kernels plus the
+    /// memory-first filtered sweep. The backend is bit-identical to the
+    /// interpreter on every root and row, so frontiers, accounting and
+    /// journal order never change — the toggle exists for A/B studies
+    /// and the byte-identity tests.
+    pub fn with_compiled_eval(mut self, enabled: bool) -> Self {
+        self.compiled_eval = enabled;
         self
     }
 
@@ -306,6 +326,16 @@ impl<'a> IntraStageTuner<'a> {
     /// Returns a workspace for the next task to reuse.
     fn put_workspace(&self, ws: EvalWorkspace) {
         self.workspaces.lock().push(ws);
+    }
+
+    /// Checks a compiled-backend workspace out of the pool.
+    fn take_compiled_workspace(&self) -> CompiledWorkspace {
+        self.compiled_workspaces.lock().pop().unwrap_or_default()
+    }
+
+    /// Returns a compiled-backend workspace for the next task to reuse.
+    fn put_compiled_workspace(&self, ws: CompiledWorkspace) {
+        self.compiled_workspaces.lock().push(ws);
     }
 
     /// Number of configurations evaluated so far (tuning-time studies).
@@ -656,6 +686,7 @@ impl<'a> IntraStageTuner<'a> {
         let partials = self.pool.map_ordered(cands, |cand| {
             let tapes = self.tapes(&cand);
             let mut ws = self.take_workspace();
+            let mut cws = self.take_compiled_workspace();
             let mut partial: Vec<Vec<ParetoPoint>> = vec![Vec::new(); max_layers as usize];
             let mut tally = SweepTally {
                 mem_hi: self.static_mem_hi(&tapes, key.inflight),
@@ -668,9 +699,11 @@ impl<'a> IntraStageTuner<'a> {
                 max_layers,
                 &mut partial,
                 &mut ws,
+                &mut cws,
                 &mut tally,
             );
             self.put_workspace(ws);
+            self.put_compiled_workspace(cws);
             (partial, tally)
         });
         let mut per_l: Vec<Vec<ParetoPoint>> = vec![Vec::new(); max_layers as usize];
@@ -747,13 +780,24 @@ impl<'a> IntraStageTuner<'a> {
     ///
     /// The sweep is grouped by `(zero, offload)`: within a group those
     /// knobs — plus `inflight`, and `ckpt` under [`CkptMode::None`] — are
-    /// constant, so the 22-root stage program is specialized once per
-    /// group (via the shared [`Specializer`] cache, so groups recur for
-    /// free across candidates and frontier keys) and the batch only
-    /// varies `L`/`ckpt`. Groups iterate ZeRO-outer/offload-inner, which
-    /// appends points to each `per_l[l]` in exactly the order the
-    /// ungrouped `(l, zero, offload)` row sweep produced — downstream
-    /// Pareto reduction sees a byte-identical input sequence.
+    /// constant and the batch only varies `L`/`ckpt`. Groups iterate
+    /// ZeRO-outer/offload-inner, which appends points to each `per_l[l]`
+    /// in exactly the order the ungrouped `(l, zero, offload)` row sweep
+    /// produced — downstream Pareto reduction sees a byte-identical
+    /// input sequence.
+    ///
+    /// Under the interpreter (`--no-compiled-eval`) the 22-root stage
+    /// program is specialized once per group via the shared
+    /// [`Specializer`] cache and the group knobs vanish from the
+    /// residual. Under the compiled backend (default on) the *generic*
+    /// programs are compiled once per candidate instead — group knobs
+    /// stay bound as batch scalars — and each group runs as a
+    /// *memory-first filtered sweep*: the two-root `mem_pair` is
+    /// evaluated over every row, rows that fail the budget check are
+    /// rejected without ever running the 22-root program, and the
+    /// survivors are compacted into a smaller batch. Both backends are
+    /// bit-identical per row and the survivor compaction preserves row
+    /// order, so frontiers, tallies and journal order never differ.
     #[allow(clippy::too_many_arguments)]
     fn evaluate_candidate(
         &self,
@@ -763,6 +807,7 @@ impl<'a> IntraStageTuner<'a> {
         max_layers: u32,
         per_l: &mut [Vec<ParetoPoint>],
         ws: &mut EvalWorkspace,
+        cws: &mut CompiledWorkspace,
         tally: &mut SweepTally,
     ) {
         let combos = self.space.offload_combos();
@@ -834,6 +879,23 @@ impl<'a> IntraStageTuner<'a> {
             CkptMode::Full | CkptMode::Tuned => None,
         };
 
+        // The compiled backend lowers the *generic* stage programs —
+        // not the per-group residuals. A group's batch is ~30 rows, far
+        // too small to amortize a fresh specialize + compile (the
+        // residual is used exactly once), while `tapes.program` and
+        // `tapes.mem_pair` are shared by every `(zero, offload)` group
+        // of this candidate and by every frontier key that reuses its
+        // tapes — so the content-addressed compile cache hits almost
+        // always. The frozen knobs are bound as batch scalars instead,
+        // which the specializer's own contract proves byte-identical to
+        // evaluating the residual.
+        let compiled = self.compiled_eval.then(|| {
+            (
+                self.specializer.compiled(&tapes.program),
+                self.specializer.compiled(&tapes.mem_pair),
+            )
+        });
+
         for &z in zeros {
             for &off in &combos {
                 let frozen = sweep_frozen_symbols(z, off, key.inflight, frozen_ckpt);
@@ -850,25 +912,46 @@ impl<'a> IntraStageTuner<'a> {
                 batch.set_scalar("ao", off[3]);
                 batch.set_scalar("inflight", f64::from(key.inflight));
 
+                // The two-root `mem_pair` residual backing the
+                // interpreter's tuned-checkpoint probes. The compiled
+                // backend uses the generic compiled `mem_pair` instead
+                // (hoisted above), so it never pays the per-group
+                // specialization pass.
+                let mem = (!self.compiled_eval && self.space.ckpt == CkptMode::Tuned).then(|| {
+                    self.specializer
+                        .specialized(&tapes.mem_pair, &frozen, &self.domains)
+                });
+
                 // Resolve the checkpoint count per row through the
-                // specialized two-root `mem_pair` program (peak memory
-                // only — no need to evaluate all 22 roots for the
-                // feasibility probes).
+                // two-root `mem_pair` program (peak memory only — no
+                // need to evaluate all 22 roots for the feasibility
+                // probes).
                 let ckpt_col: Vec<f64> = match self.space.ckpt {
                     CkptMode::None => vec![0.0; nr],
                     CkptMode::Full => ls.clone(),
                     CkptMode::Tuned => {
-                        let mem =
-                            self.specializer
-                                .specialized(&tapes.mem_pair, &frozen, &self.domains);
                         let mut mem_at = |ckpt_of: &dyn Fn(f64) -> f64| -> Vec<f64> {
                             batch.set_values("ckpt", ls.iter().map(|&l| ckpt_of(l)).collect());
-                            mem.eval_batch(&batch, ws).expect("mem_pair program");
-                            ws.output(0)
-                                .iter()
-                                .zip(ws.output(1))
-                                .map(|(&f, &b)| f.max(b))
-                                .collect()
+                            match &compiled {
+                                Some((_, cmem)) => {
+                                    cmem.eval_batch(&batch, cws).expect("mem_pair program");
+                                    cws.output(0)
+                                        .iter()
+                                        .zip(cws.output(1))
+                                        .map(|(&f, &b)| f.max(b))
+                                        .collect()
+                                }
+                                None => {
+                                    let mem =
+                                        mem.as_ref().expect("mem_pair residual exists under Tuned");
+                                    mem.eval_batch(&batch, ws).expect("mem_pair program");
+                                    ws.output(0)
+                                        .iter()
+                                        .zip(ws.output(1))
+                                        .map(|(&f, &b)| f.max(b))
+                                        .collect()
+                                }
+                            }
                         };
                         let m0 = mem_at(&|_| 0.0);
                         let m1 = mem_at(&|_| 1.0);
@@ -888,63 +971,117 @@ impl<'a> IntraStageTuner<'a> {
                 }
                 batch.set_values("ckpt", ckpt_col.clone());
 
-                // One specialized pass over all 22 roots at the resolved
-                // checkpoint counts. Rows whose `ckpt` is the `∞`
-                // infeasibility marker are out of the guard-fact domain;
-                // they are discarded below, never read back.
-                let spec = self
-                    .specializer
-                    .specialized(&tapes.program, &frozen, &self.domains);
-                spec.eval_batch(&batch, ws)
-                    .expect("specialized stage program");
-
-                for (i, &l) in retained.iter().enumerate() {
-                    let ckpt = ckpt_col[i];
-                    if ckpt.is_infinite() {
-                        tally.oom += 1;
-                        continue; // No feasible checkpoint count.
+                // One pass over all 22 roots at the resolved checkpoint
+                // counts. Rows whose `ckpt` is the `∞` infeasibility
+                // marker are out of the guard-fact domain; they are
+                // discarded below, never read back.
+                if let Some((cprog, cmem)) = &compiled {
+                    // Memory-first filtered sweep: the two-root
+                    // `mem_pair` runs over every row first; rows whose
+                    // resolved `ckpt` is `∞` or whose peak memory busts
+                    // the budget are rejected without ever paying for
+                    // the 22-root program. Survivors keep their sweep
+                    // order, so the compacted outputs read back in
+                    // exactly the order the unfiltered loop visits them.
+                    cmem.eval_batch(&batch, cws).expect("mem_pair program");
+                    let mem_peaks: Vec<f64> = cws
+                        .output(0)
+                        .iter()
+                        .zip(cws.output(1))
+                        .map(|(&f, &b)| f.max(b))
+                        .collect();
+                    // The survivor predicate must be the exact
+                    // complement of the rejection tests in the walk
+                    // below, or a NaN peak (never > budget, never
+                    // <= budget) would desynchronize the cursor.
+                    let mut surv_ls: Vec<f64> = Vec::with_capacity(nr);
+                    let mut surv_ckpts: Vec<f64> = Vec::with_capacity(nr);
+                    for (i, &l) in retained.iter().enumerate() {
+                        // `!(a > b)` rather than `a <= b`: the walk
+                        // rejects on `> budget`, and a NaN peak must
+                        // land on the same side here.
+                        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                        if !ckpt_col[i].is_infinite() && !(mem_peaks[i] > self.budget) {
+                            surv_ls.push(f64::from(l));
+                            surv_ckpts.push(ckpt_col[i]);
+                        }
                     }
-                    let point = tapes.point_at(ws, i);
-                    let mem_peak = point.mem_fwd.max(point.mem_bwd);
-                    if mem_peak > self.budget {
-                        tally.oom += 1;
-                        tally.budget_bound = true;
-                        recheck_oom[i] = true;
-                        continue; // Conservative re-check of the linear solve.
+                    if !surv_ls.is_empty() {
+                        let mut surv = BatchBindings::new(surv_ls.len());
+                        surv.set_values("L", surv_ls);
+                        surv.set_values("ckpt", surv_ckpts);
+                        surv.set_scalar("zero", f64::from(z));
+                        surv.set_scalar("wo", off[0]);
+                        surv.set_scalar("go", off[1]);
+                        surv.set_scalar("oo", off[2]);
+                        surv.set_scalar("ao", off[3]);
+                        surv.set_scalar("inflight", f64::from(key.inflight));
+                        cprog
+                            .eval_batch(&surv, cws)
+                            .expect("compiled stage program");
                     }
-                    let (t, d) = if self.space.overlap_aware {
-                        let st = stage_times(&point, self.interference);
-                        (st.t, st.d)
-                    } else {
-                        // Shortcoming #1: serial predictor.
-                        let sum = |s: [f64; 4]| s.iter().sum::<f64>();
-                        let t = sum(point.fwd) + sum(point.bwd);
-                        (t, sum(point.first_extra) + sum(point.last_extra))
-                    };
-                    if !t.is_finite() {
-                        tally.nonfinite += 1;
-                        any_nonfinite[i] = true;
-                        continue;
+                    // Walk the ORIGINAL row order; `cursor` tracks the
+                    // next survivor column in the compacted outputs.
+                    let mut cursor = 0usize;
+                    for (i, &l) in retained.iter().enumerate() {
+                        let ckpt = ckpt_col[i];
+                        if ckpt.is_infinite() {
+                            tally.oom += 1;
+                            continue; // No feasible checkpoint count.
+                        }
+                        if mem_peaks[i] > self.budget {
+                            tally.oom += 1;
+                            tally.budget_bound = true;
+                            recheck_oom[i] = true;
+                            continue; // Rejected by the mem-first pre-pass.
+                        }
+                        let point = tapes.point_at_compiled(cws, cursor);
+                        cursor += 1;
+                        self.classify_row(
+                            cand,
+                            key,
+                            i,
+                            l,
+                            z,
+                            off,
+                            ckpt,
+                            point,
+                            per_l,
+                            tally,
+                            &mut any_feasible,
+                            &mut any_nonfinite,
+                            &mut recheck_oom,
+                        );
                     }
-                    any_feasible[i] = true;
-                    let config = StageConfigValues {
-                        layers: l,
-                        ckpt: ckpt as u32,
-                        zero: z,
-                        wo: off[0],
-                        go: off[1],
-                        oo: off[2],
-                        ao: off[3],
-                        inflight: key.inflight,
-                    };
-                    per_l[(l - 1) as usize].push(ParetoPoint {
-                        t,
-                        d,
-                        mem_peak,
-                        candidate: *cand,
-                        config,
-                        point,
-                    });
+                } else {
+                    let spec = self
+                        .specializer
+                        .specialized(&tapes.program, &frozen, &self.domains);
+                    spec.eval_batch(&batch, ws)
+                        .expect("specialized stage program");
+                    for (i, &l) in retained.iter().enumerate() {
+                        let ckpt = ckpt_col[i];
+                        if ckpt.is_infinite() {
+                            tally.oom += 1;
+                            continue; // No feasible checkpoint count.
+                        }
+                        let point = tapes.point_at(ws, i);
+                        self.classify_row(
+                            cand,
+                            key,
+                            i,
+                            l,
+                            z,
+                            off,
+                            ckpt,
+                            point,
+                            per_l,
+                            tally,
+                            &mut any_feasible,
+                            &mut any_nonfinite,
+                            &mut recheck_oom,
+                        );
+                    }
                 }
             }
         }
@@ -961,6 +1098,70 @@ impl<'a> IntraStageTuner<'a> {
                 }
             }
         }
+    }
+
+    /// The shared tail of both evaluation backends for one evaluated
+    /// sweep row: the conservative budget re-check, the time/imbalance
+    /// predictor, and the feasible-point append. `i` indexes the
+    /// retained layer counts (for the per-layer outcome flags), `l` is
+    /// the layer count itself.
+    #[allow(clippy::too_many_arguments)]
+    fn classify_row(
+        &self,
+        cand: &StageCandidate,
+        key: FrontierKey,
+        i: usize,
+        l: u32,
+        z: u8,
+        off: [f64; 4],
+        ckpt: f64,
+        point: StagePoint,
+        per_l: &mut [Vec<ParetoPoint>],
+        tally: &mut SweepTally,
+        any_feasible: &mut [bool],
+        any_nonfinite: &mut [bool],
+        recheck_oom: &mut [bool],
+    ) {
+        let mem_peak = point.mem_fwd.max(point.mem_bwd);
+        if mem_peak > self.budget {
+            tally.oom += 1;
+            tally.budget_bound = true;
+            recheck_oom[i] = true;
+            return; // Conservative re-check of the linear solve.
+        }
+        let (t, d) = if self.space.overlap_aware {
+            let st = stage_times(&point, self.interference);
+            (st.t, st.d)
+        } else {
+            // Shortcoming #1: serial predictor.
+            let sum = |s: [f64; 4]| s.iter().sum::<f64>();
+            let t = sum(point.fwd) + sum(point.bwd);
+            (t, sum(point.first_extra) + sum(point.last_extra))
+        };
+        if !t.is_finite() {
+            tally.nonfinite += 1;
+            any_nonfinite[i] = true;
+            return;
+        }
+        any_feasible[i] = true;
+        let config = StageConfigValues {
+            layers: l,
+            ckpt: ckpt as u32,
+            zero: z,
+            wo: off[0],
+            go: off[1],
+            oo: off[2],
+            ao: off[3],
+            inflight: key.inflight,
+        };
+        per_l[(l - 1) as usize].push(ParetoPoint {
+            t,
+            d,
+            mem_peak,
+            candidate: *cand,
+            config,
+            point,
+        });
     }
 }
 
@@ -1135,7 +1336,12 @@ mod tests {
     fn specializer_cache_is_shared_across_frontier_keys() {
         let c = ctx();
         let space = SearchSpace::mist();
-        let tuner = IntraStageTuner::new(&c.model, &c.cluster, &c.db, &space, &c.interference, 8);
+        // Residual specialization is the interpreter backend's
+        // evaluation strategy (the compiled backend runs the generic
+        // programs and never requests residuals), so pin the
+        // interpreter to test the residual cache's semantics.
+        let tuner = IntraStageTuner::new(&c.model, &c.cluster, &c.db, &space, &c.interference, 8)
+            .with_compiled_eval(false);
         let k = key(DeviceMesh::new(1, 4), 4);
         tuner.frontiers(k, 16);
         let misses_one_key = tuner.specializer().cache_misses();
@@ -1155,6 +1361,95 @@ mod tests {
             "recomputation over identical groups must not rebuild residuals"
         );
         assert!(tuner.specializer().cache_hits() >= misses_one_key);
+    }
+
+    /// The compiled backend's analog: step tables are content-addressed
+    /// by generic program id, so re-sweeping the same tapes — whether
+    /// for a larger layer cap or another frontier key — never
+    /// recompiles, and the residual cache sees no traffic at all.
+    #[test]
+    fn compile_cache_is_shared_across_frontier_keys() {
+        let c = ctx();
+        let space = SearchSpace::mist();
+        let tuner = IntraStageTuner::new(&c.model, &c.cluster, &c.db, &space, &c.interference, 8);
+        let k = key(DeviceMesh::new(1, 4), 4);
+        tuner.frontiers(k, 16);
+        let misses_one_key = tuner.specializer().compile_misses();
+        assert!(misses_one_key > 0, "compiled sweep must build step tables");
+        assert_eq!(
+            tuner.specializer().cache_misses(),
+            0,
+            "the compiled backend must not pay for residual specialization"
+        );
+        tuner.frontiers(k, 32);
+        assert_eq!(
+            tuner.specializer().compile_misses(),
+            misses_one_key,
+            "recomputation over identical tapes must not recompile"
+        );
+        assert!(tuner.specializer().compile_hits() >= misses_one_key);
+    }
+
+    /// Survivor compaction must be invisible: with a budget tight enough
+    /// that whole rows OOM (so the memory-first filter actually compacts
+    /// the batch), the frontiers, the row-to-bucket attribution and the
+    /// `configs_evaluated` accounting are byte-identical across the
+    /// compiled and interpreted backends. The `enumerated = oom +
+    /// nonfinite + feasible + mono_pruned` balance itself is enforced by
+    /// a debug assertion inside `compute_frontiers` on every test run.
+    #[test]
+    fn survivor_compaction_preserves_row_order_and_buckets() {
+        let c = ctx();
+        // Tuned ckpt (mist) exercises the `∞`-marker path + the filter;
+        // Full ckpt (megatron) exercises the pure filter path.
+        for space in [SearchSpace::mist(), SearchSpace::megatron()] {
+            let budget = 8e9; // Tight: some rows OOM, some survive.
+            let mk = |compiled: bool| {
+                IntraStageTuner::new(&c.model, &c.cluster, &c.db, &space, &c.interference, 8)
+                    .with_budget(budget)
+                    .with_compiled_eval(compiled)
+            };
+            let t_off = mk(false);
+            let t_on = mk(true);
+            let k = key(DeviceMesh::new(1, 4), 4);
+            let f_off = t_off.frontiers(k, c.model.num_layers);
+            let f_on = t_on.frontiers(k, c.model.num_layers);
+            assert_eq!(
+                serde_json::to_string(f_off.as_ref()).unwrap(),
+                serde_json::to_string(f_on.as_ref()).unwrap(),
+                "space {}: frontiers must be byte-identical across backends",
+                space.name
+            );
+            assert_eq!(t_off.configs_evaluated(), t_on.configs_evaluated());
+            assert_eq!(
+                t_off.rejections().oom.value(),
+                t_on.rejections().oom.value(),
+                "space {}: OOM attribution must not move between buckets",
+                space.name
+            );
+            assert_eq!(
+                t_off.rejections().nonfinite.value(),
+                t_on.rejections().nonfinite.value()
+            );
+            assert_eq!(
+                t_off.rejections().dominated.value(),
+                t_on.rejections().dominated.value()
+            );
+            assert!(
+                t_on.rejections().oom.value() > 0,
+                "space {}: the tight budget must make the filter compact rows",
+                space.name
+            );
+            assert!(
+                t_on.specializer().compile_misses() > 0,
+                "compiled sweeps must build step tables"
+            );
+            assert_eq!(
+                t_off.specializer().compile_misses(),
+                0,
+                "interpreted sweeps must never touch the compiled backend"
+            );
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mist_irlint::DomainMap;
-use mist_symbolic::{specialize, FrozenSymbols, Program, SweepFacts};
+use mist_symbolic::{specialize, CompiledProgram, FrozenSymbols, Program, SweepFacts};
 use parking_lot::Mutex;
 
 /// Cache of specialized programs and of sweep-domain facts.
@@ -39,8 +39,17 @@ use parking_lot::Mutex;
 pub struct Specializer {
     programs: Mutex<HashMap<(u64, u64), Arc<Program>>>,
     facts: Mutex<HashMap<u64, Arc<SweepFacts>>>,
+    /// Direct-threaded compiles, keyed by the source (usually residual)
+    /// program id — compilation is deterministic per program, so the
+    /// id alone content-addresses the step table.
+    compiled: Mutex<HashMap<u64, Arc<CompiledProgram>>>,
     hits: mist_telemetry::Counter,
     misses: mist_telemetry::Counter,
+    compile_hits: mist_telemetry::Counter,
+    compile_misses: mist_telemetry::Counter,
+    /// High-water superinstruction count across every step table built
+    /// — how much the peephole fuser found in real sweep programs.
+    superinstrs: mist_telemetry::Gauge,
 }
 
 impl Default for Specializer {
@@ -55,8 +64,12 @@ impl Specializer {
         Specializer {
             programs: Mutex::new(HashMap::new()),
             facts: Mutex::new(HashMap::new()),
+            compiled: Mutex::new(HashMap::new()),
             hits: mist_telemetry::Counter::new(),
             misses: mist_telemetry::Counter::new(),
+            compile_hits: mist_telemetry::Counter::new(),
+            compile_misses: mist_telemetry::Counter::new(),
+            superinstrs: mist_telemetry::Gauge::new(),
         }
     }
 
@@ -119,6 +132,30 @@ impl Specializer {
         self.programs.lock().entry(key).or_insert(residual).clone()
     }
 
+    /// Returns `program` lowered to the direct-threaded backend,
+    /// reusing a cached compile when one exists for the same program.
+    ///
+    /// Compilation (superinstruction fusion + lowering + kernel
+    /// resolution) is deterministic per program, so the cache is keyed
+    /// by [`Program::id`] alone and the compiled `Arc` is shared across
+    /// every pool worker sweeping the same residual.
+    pub fn compiled(&self, program: &Program) -> Arc<CompiledProgram> {
+        if let Some(hit) = self.compiled.lock().get(&program.id()) {
+            self.compile_hits.inc();
+            return hit.clone();
+        }
+        self.compile_misses.inc();
+        let compiled = Arc::new(CompiledProgram::compile(program));
+        self.superinstrs.set_max(compiled.superinstrs() as f64);
+        // Two pool tasks can race to compile the same residual; first
+        // insert wins so every caller shares one step table.
+        self.compiled
+            .lock()
+            .entry(program.id())
+            .or_insert(compiled)
+            .clone()
+    }
+
     /// Cache hits so far.
     pub fn cache_hits(&self) -> u64 {
         self.hits.value()
@@ -127,6 +164,22 @@ impl Specializer {
     /// Cache misses (= distinct residual programs built) so far.
     pub fn cache_misses(&self) -> u64 {
         self.misses.value()
+    }
+
+    /// Compiled-backend cache hits so far.
+    pub fn compile_hits(&self) -> u64 {
+        self.compile_hits.value()
+    }
+
+    /// Compiled-backend cache misses (= distinct step tables built) so
+    /// far.
+    pub fn compile_misses(&self) -> u64 {
+        self.compile_misses.value()
+    }
+
+    /// Largest superinstruction count seen in any compiled step table.
+    pub fn superinstrs_high_water(&self) -> f64 {
+        self.superinstrs.value()
     }
 }
 

@@ -13,9 +13,9 @@
 #      packages explicitly)
 #   5. golden drift: regenerate the two cheap committed result files and
 #      fail if any deterministic field changed (wall-clock-only fields
-#      are ignored) or if fused/specialized evaluation throughput drops
-#      more than 10% below the committed bench_symbolic.json baseline
-#      (see scripts/golden_diff.py)
+#      are ignored) or if fused/specialized/compiled evaluation
+#      throughput drops more than 10% below the committed
+#      bench_symbolic.json baseline (see scripts/golden_diff.py)
 #   6. provenance digest drift: tune GPT-3 6.7B with --journal, run
 #      `mist-cli explain --json` over the decision journal, and compare
 #      against the committed results/explain_gpt3_6_7b.json snapshot
@@ -43,7 +43,7 @@
 #      fewer configs, and the daemon must shut down cleanly (the EXIT
 #      trap kills it if the stage fails first); responses and daemon
 #      logs land in artifacts/daemon/
-#  10. history: append this run's fused/specialized evaluation
+#  10. history: append this run's fused/specialized/compiled evaluation
 #      throughput, the 6.7B tuning time and configs-evaluated count,
 #      and the daemon's cold/hit/warm query timings to
 #      results/history.jsonl so perf trends are visible across commits
@@ -264,6 +264,7 @@ entry = {
     "commit": commit,
     "fused_rows_per_sec": bench.get("fused_rows_per_sec"),
     "specialized_rows_per_sec": bench.get("specialized_rows_per_sec"),
+    "compiled_rows_per_sec": bench.get("compiled_rows_per_sec"),
     "tune_gpt3_6_7b_secs": tune.get("tuning_seconds"),
     "tune_gpt3_6_7b_configs": tune.get("configs_evaluated"),
     "query_cold_secs": query_secs("cold32"),

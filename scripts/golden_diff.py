@@ -24,7 +24,10 @@ is a regression even if its result is byte-identical. When a committed
 history file is also given, the candidate's `tune_gpt3_6_7b_configs`
 must not exceed the last committed entry's: monotonicity-licensed
 pruning and warm-starting only ever shrink the enumerated space, so a
-configs-evaluated count that grows is a pruning regression.
+configs-evaluated count that grows is a pruning regression. The
+candidate's `compiled_rows_per_sec` must also stay within 10% of the
+last committed entry's (skipped when the committed history predates
+the compiled backend and lacks the field).
 """
 
 import json
@@ -44,6 +47,7 @@ TIMING_FIELDS = {
     # must then be byte-identical across cold, hit and warm answers.
     "work",
     "tuning_secs",
+    "tuning_seconds",
     "elapsed_secs",
     "intra_secs",
     "inter_secs",
@@ -60,11 +64,18 @@ TIMING_FIELDS = {
     "specialized_ns_per_batch",
     "specialized_speedup",
     "specialized_rows_per_sec",
+    "compiled_ns_per_batch",
+    "compiled_speedup",
+    "compiled_rows_per_sec",
 }
 
 # Rows/sec fields gated against regression: the regenerated value may
 # wobble run to run, but must stay within 10% of the committed baseline.
-THROUGHPUT_FIELDS = ("fused_rows_per_sec", "specialized_rows_per_sec")
+THROUGHPUT_FIELDS = (
+    "fused_rows_per_sec",
+    "specialized_rows_per_sec",
+    "compiled_rows_per_sec",
+)
 THROUGHPUT_TOLERANCE = 0.9
 
 
@@ -168,6 +179,24 @@ def check_trend(path, baseline_path=None):
             print(
                 f"    trend ok: configs_evaluated {fresh} <= committed "
                 f"baseline {base}"
+            )
+        base_rps = (
+            baseline.get("compiled_rows_per_sec") if baseline else None
+        )
+        fresh_rps = entry.get("compiled_rows_per_sec")
+        if base_rps is not None and fresh_rps is not None:
+            if fresh_rps < THROUGHPUT_TOLERANCE * base_rps:
+                print(
+                    f"trend check: compiled_rows_per_sec {fresh_rps:.0f} is "
+                    f"{100.0 * (1.0 - fresh_rps / base_rps):.1f}% below the "
+                    f"committed baseline {base_rps:.0f} — the compiled "
+                    "backend's throughput regressed",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"    trend ok: compiled {fresh_rps:.0f} rows/sec within "
+                f"10% of committed baseline {base_rps:.0f}"
             )
     return 0
 
